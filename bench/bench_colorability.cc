@@ -1,0 +1,89 @@
+// Experiment E5 — regenerates Theorem 5.10 / Corollary 5.11: the tableau
+// of a Boolean graph CQ is (k+1)-colorable iff the query has a nontrivial
+// (loop-free) TW(k)-approximation. The bench measures (a) agreement
+// between the polynomial/coloring-based predicate and the exhaustive
+// engine on small queries, and (b) the predicate's behaviour across query
+// densities for k = 1, 2, 3.
+
+#include "bench_util.h"
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "core/structure.h"
+#include "cq/trivial.h"
+#include "cq/containment.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+void AgreementSweep() {
+  using bench::Fmt;
+  std::printf("\nPredicate vs exhaustive engine (small queries)\n");
+  bench::PrintRow({"k", "queries", "agree", "nontrivial%", "ms"});
+  bench::PrintRule(5);
+  for (int k = 1; k <= 2; ++k) {
+    const int trials = 25;
+    int agree = 0, nontrivial = 0;
+    double total_ms = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(k * 5000 + t);
+      const ConjunctiveQuery q =
+          RandomGraphCQ(4 + static_cast<int>(rng.UniformInt(2)), 7, &rng);
+      const bool predicted = HasNontrivialTreewidthApproximation(q, k);
+      bool computed = false;
+      total_ms += bench::TimeMs([&] {
+        const auto result = ComputeApproximations(q, *MakeTreewidthClass(k));
+        for (const auto& a : result.approximations) {
+          computed |= !IsTrivialQuery(a);
+        }
+      });
+      agree += (predicted == computed);
+      nontrivial += computed;
+    }
+    bench::PrintRow({Fmt(k), Fmt(trials), Fmt(agree),
+                     Fmt(100.0 * nontrivial / trials),
+                     Fmt(total_ms / trials)});
+  }
+}
+
+void DensitySweep() {
+  using bench::Fmt;
+  std::printf(
+      "\n(k+1)-colorability rate of random tableaux (poly-time predicate)\n");
+  bench::PrintRow({"vars", "atoms", "k=1 %", "k=2 %", "k=3 %", "ms"});
+  bench::PrintRule(6);
+  for (const int nvars : {6, 8, 10}) {
+    for (const int natoms : {nvars, 2 * nvars, 3 * nvars}) {
+      const int trials = 100;
+      int yes[4] = {0, 0, 0, 0};
+      const double ms = bench::TimeMs([&] {
+        for (int t = 0; t < trials; ++t) {
+          Rng rng(nvars * 131 + natoms * 17 + t);
+          const ConjunctiveQuery q = RandomGraphCQ(nvars, natoms, &rng);
+          for (int k = 1; k <= 3; ++k) {
+            yes[k] += HasLoopFreeTreewidthApproximation(q, k);
+          }
+        }
+      });
+      bench::PrintRow({Fmt(nvars), Fmt(natoms),
+                       Fmt(100.0 * yes[1] / trials),
+                       Fmt(100.0 * yes[2] / trials),
+                       Fmt(100.0 * yes[3] / trials), Fmt(ms)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main() {
+  std::printf(
+      "E5: Theorem 5.10 / Corollary 5.11 — (k+1)-colorability governs\n"
+      "nontrivial TW(k)-approximations. Expected: 100%% agreement between\n"
+      "the coloring predicate and the exhaustive engine; colorability\n"
+      "rates fall as density rises and rise with k.\n");
+  cqa::AgreementSweep();
+  cqa::DensitySweep();
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Experiment E4 — the Introduction's motivating comparison: evaluating a
+// cyclic CQ Q with the generic |D|^O(|Q|) backtracking engine versus
+// evaluating its acyclic approximation Q' with Yannakakis' O(|D|·|Q'|)
+// algorithm, on growing synthetic databases.
+//
+// The paper's bound is about worst-case search, so the series use
+// match-free instances where the generic engine must exhaust its search
+// space (dense layered digraphs whose height structurally forbids the
+// pattern — Lemma 8.13 — and layered ternary databases whose position
+// chains cannot close a cycle), plus a match-present sanity series
+// (there the generic engine early-exits, so both are fast — also the
+// expected shape). Soundness (Q'(D) ⊆ Q(D)) is asserted throughout.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "cq/properties.h"
+#include "data/generators.h"
+#include "eval/naive.h"
+#include "eval/yannakakis.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+
+namespace cqa {
+namespace {
+
+// Dense 4-layer digraph: height 3 < 4 = height of Q2's tableau, so
+// neither Q2 nor its P4 approximation can match (Lemma 8.13); the naive
+// engine exhausts a large partial-match space.
+Database HardGraphInstance(int width, Rng* rng) {
+  return LayeredDigraphDatabase(4, width, 3.0 / width, rng);
+}
+
+// Layered ternary database: positions 1 and 3 always step one layer up,
+// so the ternary cycle query (which chains positions 1/3 back to the
+// start) has no match while partial chains abound.
+Database HardTernaryInstance(int layers, int width, Rng* rng) {
+  Database db(Vocabulary::Single("R", 3), layers * width);
+  const int per_layer_facts = width * 8;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < per_layer_facts; ++i) {
+      const Element a = l * width + static_cast<Element>(rng->UniformInt(width));
+      const Element b = static_cast<Element>(rng->UniformInt(layers * width));
+      const Element c =
+          (l + 1) * width + static_cast<Element>(rng->UniformInt(width));
+      db.AddFact(0, {a, b, c});
+    }
+  }
+  return db;
+}
+
+void SeriesGraphWorkload() {
+  using bench::Fmt;
+  const ConjunctiveQuery q = IntroQ2();
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(q, *MakeTreewidthClass(1));
+  std::printf(
+      "\nWorkload A (worst case): intro Q2 vs its P4 approximation on "
+      "dense 4-layer digraphs (no match by height)\n");
+  bench::PrintRow({"|D|(nodes)", "|D|(edges)", "naive_ms", "yanna_ms",
+                   "speedup", "sound"});
+  bench::PrintRule(6);
+  for (const int width : {8, 16, 32, 64, 128}) {
+    Rng rng(width);
+    const Database db = HardGraphInstance(width, &rng);
+    bool exact = false, fast = false;
+    const double naive_ms =
+        bench::TimeMs([&] { exact = EvaluateNaiveBoolean(q, db); });
+    const double yanna_ms =
+        bench::TimeMs([&] { fast = EvaluateYannakakisBoolean(approx, db); });
+    const bool sound = !fast || exact;
+    bench::PrintRow({Fmt(4 * width), Fmt(db.NumFacts()), Fmt(naive_ms),
+                     Fmt(yanna_ms),
+                     Fmt(naive_ms / std::max(yanna_ms, 0.001)),
+                     sound ? "yes" : "NO"});
+  }
+}
+
+void SeriesTernaryWorkload() {
+  using bench::Fmt;
+  const ConjunctiveQuery q = Example66Query();
+  const auto result = ComputeApproximations(q, *MakeAcyclicClass());
+  // The same-join-count rewrite (Q2' of Example 6.6).
+  const ConjunctiveQuery approx = result.approximations.size() > 1
+                                      ? result.approximations[1]
+                                      : result.approximations[0];
+  std::printf(
+      "\nWorkload B (worst case): Example 6.6 ternary cycle vs an acyclic "
+      "approximation on layered ternary databases (no cycle closure)\n");
+  bench::PrintRow({"|D|(elems)", "|D|(facts)", "naive_ms", "yanna_ms",
+                   "speedup", "sound"});
+  bench::PrintRule(6);
+  for (const int width : {8, 16, 32, 64}) {
+    Rng rng(width * 3);
+    const Database db = HardTernaryInstance(4, width, &rng);
+    bool exact = false, fast = false;
+    const double naive_ms =
+        bench::TimeMs([&] { exact = EvaluateNaiveBoolean(q, db); });
+    const double yanna_ms =
+        bench::TimeMs([&] { fast = EvaluateYannakakisBoolean(approx, db); });
+    const bool sound = !fast || exact;
+    bench::PrintRow({Fmt(4 * width), Fmt(db.NumFacts()), Fmt(naive_ms),
+                     Fmt(yanna_ms),
+                     Fmt(naive_ms / std::max(yanna_ms, 0.001)),
+                     sound ? "yes" : "NO"});
+  }
+}
+
+void SeriesMatchPresent() {
+  using bench::Fmt;
+  const ConjunctiveQuery q = IntroQ2();
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(q, *MakeTreewidthClass(1));
+  std::printf(
+      "\nSanity series (match present): both engines early-exit / scan "
+      "once — small times, soundness holds\n");
+  bench::PrintRow({"|D|(nodes)", "naive_ms", "yanna_ms", "both_true",
+                   "sound"});
+  bench::PrintRule(5);
+  for (const int n : {100, 400, 1600}) {
+    Rng rng(n);
+    const Database db = RandomDigraphDatabase(n, 6.0 / n, &rng);
+    bool exact = false, fast = false;
+    const double naive_ms =
+        bench::TimeMs([&] { exact = EvaluateNaiveBoolean(q, db); });
+    const double yanna_ms =
+        bench::TimeMs([&] { fast = EvaluateYannakakisBoolean(approx, db); });
+    bench::PrintRow({Fmt(n), Fmt(naive_ms), Fmt(yanna_ms),
+                     (exact && fast) ? "yes" : "mixed",
+                     (!fast || exact) ? "yes" : "NO"});
+  }
+}
+
+// google-benchmark microbenchmarks over representative hard instances.
+void BM_NaiveQ2Hard(benchmark::State& state) {
+  const ConjunctiveQuery q = IntroQ2();
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  const Database db = HardGraphInstance(static_cast<int>(state.range(0)),
+                                        &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateNaiveBoolean(q, db));
+  }
+}
+BENCHMARK(BM_NaiveQ2Hard)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_YannakakisApproxQ2Hard(benchmark::State& state) {
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(IntroQ2(), *MakeTreewidthClass(1));
+  Rng rng(static_cast<uint64_t>(state.range(0)));
+  const Database db = HardGraphInstance(static_cast<int>(state.range(0)),
+                                        &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateYannakakisBoolean(approx, db));
+  }
+}
+BENCHMARK(BM_YannakakisApproxQ2Hard)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E4: evaluation complexity comparison (paper Introduction)\n"
+      "|D|^O(|Q|) generic join vs O(f(|Q|) + |D|·s(|Q|)) via an acyclic\n"
+      "approximation. Expected shape: on worst-case (match-free)\n"
+      "instances the approximation wins by a factor that grows with |D|;\n"
+      "soundness column always 'yes'.\n");
+  cqa::SeriesGraphWorkload();
+  cqa::SeriesTernaryWorkload();
+  cqa::SeriesMatchPresent();
+  std::printf("\ngoogle-benchmark microbenchmarks:\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment E1 — regenerates Figure 1 (the paper's summary table) as
+// measured columns: for each class (TW(1), TW(k), AC, HTW(k)) and growing
+// random CQs, the existence rate of approximations (paper: "always"), the
+// observed size of approximations relative to |Q| (paper: at most |Q| for
+// graph-based classes, polynomial for hypergraph-based), and the
+// computation time (paper: single-exponential — visible as the growth of
+// time with |Q| against polynomially growing candidate checks).
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "cq/containment.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+struct ClassSpec {
+  std::unique_ptr<QueryClass> cls;
+  bool graph_vocab;  // which workload to use
+};
+
+void RunClassRow(const QueryClass& cls, bool graph_vocab) {
+  using bench::Fmt;
+  std::printf("\n%s approximations (%s workload)\n", cls.name().c_str(),
+              graph_vocab ? "graph" : "ternary");
+  bench::PrintRow({"|vars|", "|atoms|", "queries", "exist%", "joins<=|Q|%",
+                   "max_var_ratio", "avg_ms"});
+  bench::PrintRule(7);
+  for (int nvars = 4; nvars <= 7; ++nvars) {
+    const int natoms = nvars + 2;
+    const int trials = 6;
+    int exist = 0, join_bound = 0, total_approx = 0;
+    double max_var_ratio = 0.0;
+    double total_ms = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(1000 * nvars + t);
+      const ConjunctiveQuery q =
+          graph_vocab
+              ? RandomGraphCQ(nvars, natoms, &rng)
+              : RandomCQ(Vocabulary::Single("R", 3), nvars,
+                         (natoms + 1) / 2, &rng);
+      ApproximationResult result;
+      total_ms += bench::TimeMs(
+          [&] { result = ComputeApproximations(q, cls); });
+      if (!result.approximations.empty()) ++exist;
+      for (const auto& a : result.approximations) {
+        ++total_approx;
+        if (a.NumJoins() <= q.NumJoins()) ++join_bound;
+        max_var_ratio = std::max(
+            max_var_ratio, static_cast<double>(a.num_variables()) /
+                               q.num_variables());
+      }
+    }
+    bench::PrintRow(
+        {Fmt(nvars), Fmt(natoms), Fmt(trials),
+         Fmt(100.0 * exist / trials),
+         total_approx > 0 ? Fmt(100.0 * join_bound / total_approx)
+                          : "n/a",
+         Fmt(max_var_ratio), Fmt(total_ms / trials)});
+  }
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main() {
+  std::printf(
+      "E1: Figure 1 — existence / size / time of approximations\n"
+      "Paper: approximations always exist; graph-based sizes are bounded\n"
+      "by |Q| (joins); hypergraph-based sizes are polynomial in |Q|;\n"
+      "computation is single-exponential.\n");
+  cqa::RunClassRow(*cqa::MakeTreewidthClass(1), /*graph_vocab=*/true);
+  cqa::RunClassRow(*cqa::MakeTreewidthClass(2), /*graph_vocab=*/true);
+  cqa::RunClassRow(*cqa::MakeAcyclicClass(), /*graph_vocab=*/false);
+  cqa::RunClassRow(*cqa::MakeHypertreeClass(2), /*graph_vocab=*/false);
+  std::printf(
+      "\nShape check vs Figure 1: existence 100%% in every row; graph-based\n"
+      "rows keep joins <= |Q| at 100%%; hypergraph-based rows may exceed\n"
+      "|Q| in joins but stay polynomial in variables (var ratio column).\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment E6 — Section 6: hypergraph-based approximations. Regenerates
+// Example 6.6 (the three non-equivalent acyclic approximations with fewer /
+// equal / more joins) and measures the Corollary 6.3/6.5 size bounds
+// (O(n^{m-1}) variables) and computation times for AC and HTW(k) across
+// the scalable ternary-cycle family and random ternary queries.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "cq/containment.h"
+#include "cq/properties.h"
+#include "gadgets/examples.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+void Example66Row() {
+  using bench::Fmt;
+  std::printf("\nExample 6.6 regeneration (AC class, augmentation on)\n");
+  ApproximationResult result;
+  const double ms = bench::TimeMs([&] {
+    result = ComputeApproximations(Example66Query(), *MakeAcyclicClass());
+  });
+  bench::PrintRow({"#approx", "joins(Q)", "join counts", "ms"});
+  bench::PrintRule(4);
+  std::string joins;
+  std::vector<int> counts;
+  for (const auto& a : result.approximations) counts.push_back(a.NumJoins());
+  std::sort(counts.begin(), counts.end());
+  for (const int j : counts) joins += Fmt(j) + " ";
+  bench::PrintRow({Fmt(static_cast<int>(result.approximations.size())),
+                   Fmt(Example66Query().NumJoins()), joins, Fmt(ms)});
+  std::printf("Paper: 3 approximations with joins {0, 2, 3} vs Q's 2.\n");
+}
+
+void TernaryCycleSweep() {
+  using bench::Fmt;
+  std::printf("\nTernary cycles: AC approximations, size vs poly bound\n");
+  bench::PrintRow({"m(atoms)", "n(vars)", "#approx", "max_vars",
+                   "bound n^2", "ms"});
+  bench::PrintRule(6);
+  for (int m = 2; m <= 4; ++m) {
+    const ConjunctiveQuery q = TernaryCycleQuery(m);
+    ApproximationOptions options;
+    options.candidates.augmentation_budget = (m <= 3) ? 1 : 0;
+    ApproximationResult result;
+    const double ms = bench::TimeMs([&] {
+      result = ComputeApproximations(q, *MakeAcyclicClass(), options);
+    });
+    int max_vars = 0;
+    for (const auto& a : result.approximations) {
+      max_vars = std::max(max_vars, a.num_variables());
+    }
+    bench::PrintRow({Fmt(m), Fmt(q.num_variables()),
+                     Fmt(static_cast<int>(result.approximations.size())),
+                     Fmt(max_vars), Fmt(q.num_variables() * q.num_variables()),
+                     Fmt(ms)});
+  }
+}
+
+void ClassComparison() {
+  using bench::Fmt;
+  std::printf("\nAC vs HTW(1) vs HTW(2) vs GHTW(1) on random ternary CQs\n");
+  bench::PrintRow({"class", "queries", "exist%", "avg#approx", "avg_ms"});
+  bench::PrintRule(5);
+  struct Spec {
+    const char* name;
+    std::unique_ptr<QueryClass> cls;
+  };
+  std::vector<Spec> specs;
+  specs.push_back({"AC", MakeAcyclicClass()});
+  specs.push_back({"HTW(1)", MakeHypertreeClass(1)});
+  specs.push_back({"HTW(2)", MakeHypertreeClass(2)});
+  specs.push_back({"GHTW(1)", MakeGeneralizedHypertreeClass(1)});
+  for (const auto& spec : specs) {
+    const int trials = 5;
+    int exist = 0;
+    int total = 0;
+    double total_ms = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng(31337 + t);
+      const ConjunctiveQuery q =
+          RandomCQ(Vocabulary::Single("R", 3), 5, 3, &rng);
+      ApproximationResult result;
+      total_ms += bench::TimeMs(
+          [&] { result = ComputeApproximations(q, *spec.cls); });
+      exist += !result.approximations.empty();
+      total += static_cast<int>(result.approximations.size());
+    }
+    bench::PrintRow({spec.name, Fmt(trials), Fmt(100.0 * exist / trials),
+                     Fmt(static_cast<double>(total) / trials),
+                     Fmt(total_ms / trials)});
+  }
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main() {
+  std::printf(
+      "E6: Section 6 — hypergraph-based approximations (AC, HTW(k),\n"
+      "GHTW(k)). Expected shape: Example 6.6 yields exactly 3\n"
+      "approximations (joins 0/2/3); sizes stay within the polynomial\n"
+      "bound of Corollary 6.5; existence is 100%% for every class.\n");
+  cqa::Example66Row();
+  cqa::TernaryCycleSweep();
+  cqa::ClassComparison();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E2 — regenerates Proposition 4.4 / Figures 3-5: the family
+// Q_n has at least 2^n non-equivalent minimized TW(1)-approximations,
+// witnessed by the tableaux G^s_n, s ∈ {V,H}^n. For each n the bench
+// builds all 2^n gadgets and machine-checks the paper's certificate:
+// each G^s_n is a TW(1) core with G_n -> G^s_n (Claims 4.7/4.9 shape),
+// and distinct gadgets are pairwise hom-incomparable.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "gadgets/prop44.h"
+#include "graph/analysis.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "hom/preorder.h"
+
+namespace cqa {
+namespace {
+
+void Run() {
+  using bench::Fmt;
+  bench::PrintRow({"n", "|vars(Qn)|", "joins(Qn)", "count=2^n", "cores_ok",
+                   "incomp_ok", "ms"});
+  bench::PrintRule(7);
+  for (int n = 1; n <= 3; ++n) {
+    const double ms = bench::TimeMs([&] {});
+    (void)ms;
+    double total_ms = 0.0;
+    const GnGadget gn = BuildGn(n);
+    std::vector<Digraph> gadgets;
+    std::vector<std::string> strings;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::string s;
+      for (int b = 0; b < n; ++b) s += ((mask >> b) & 1) ? 'H' : 'V';
+      strings.push_back(s);
+      gadgets.push_back(BuildGsn(s));
+    }
+    bool cores_ok = true;
+    bool incomp_ok = true;
+    total_ms += bench::TimeMs([&] {
+      for (const Digraph& g : gadgets) {
+        cores_ok = cores_ok && UnderlyingIsForest(g) && IsCoreDigraph(g) &&
+                   ExistsDigraphHom(gn.g, g);
+      }
+      for (size_t i = 0; i < gadgets.size(); ++i) {
+        for (size_t j = i + 1; j < gadgets.size(); ++j) {
+          incomp_ok =
+              incomp_ok && IncomparableDigraphs(gadgets[i], gadgets[j]);
+        }
+      }
+    });
+    bench::PrintRow({Fmt(n), Fmt(gn.g.num_nodes()),
+                     Fmt(gn.g.num_edges() - 1),
+                     Fmt(static_cast<int>(gadgets.size())),
+                     cores_ok ? "yes" : "NO", incomp_ok ? "yes" : "NO",
+                     Fmt(total_ms)});
+  }
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main() {
+  std::printf(
+      "E2: Prop 4.4 — |TW(1)-APPR_min(Q_n)| >= 2^n\n"
+      "Q_n has 28n variables and 29n-2 joins; each of the 2^n gadgets\n"
+      "G^s_n is a treewidth-1 core receiving a homomorphism from G_n, and\n"
+      "distinct gadgets are pairwise incomparable, so they are pairwise\n"
+      "non-equivalent maximally-contained candidates (paper Claims 4.7/4.9).\n\n");
+  cqa::Run();
+  std::printf(
+      "\nShape check vs Prop 4.4: count column doubles with n while\n"
+      "|vars(Q_n)| grows linearly — the exponential witness family.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the experiment binaries: wall-clock timing and
+// fixed-width table printing so each bench can regenerate its paper
+// table/figure as aligned rows.
+
+#ifndef CQA_BENCH_BENCH_UTIL_H_
+#define CQA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cqa::bench {
+
+/// Milliseconds elapsed while running `fn`.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Prints a row of fixed-width cells.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void PrintRule(size_t cells, int width = 14) {
+  std::printf("%s\n", std::string(cells * width, '-').c_str());
+}
+
+inline std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline std::string Fmt(long long v) { return std::to_string(v); }
+inline std::string Fmt(int v) { return std::to_string(v); }
+inline std::string Fmt(size_t v) { return std::to_string(v); }
+
+}  // namespace cqa::bench
+
+#endif  // CQA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// CLI utility: compute the approximations of a query given on the command
+// line. Vocabulary is inferred from the query text (relation name / arity
+// from first use).
+//
+// Usage:
+//   approximation_explorer [CLASS] 'Q(x) :- E(x,y), E(y,z), E(z,x)'
+// CLASS is one of: tw1 (default), tw2, tw3, ac, htw2, over-ac, over-tw1.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/strings.h"
+#include "core/approximator.h"
+#include "core/overapprox.h"
+#include "core/query_class.h"
+#include "cq/parse.h"
+#include "cq/properties.h"
+
+namespace {
+
+// Scans the rule text and builds a vocabulary from the atoms it mentions.
+cqa::VocabularyPtr InferVocabulary(const std::string& text) {
+  auto vocab = std::make_shared<cqa::Vocabulary>();
+  const size_t body_start = text.find(":-");
+  size_t pos = body_start == std::string::npos ? 0 : body_start + 2;
+  while (pos < text.size()) {
+    const size_t open = text.find('(', pos);
+    if (open == std::string::npos) break;
+    size_t name_start = open;
+    while (name_start > pos &&
+           (std::isalnum(static_cast<unsigned char>(text[name_start - 1])) ||
+            text[name_start - 1] == '_')) {
+      --name_start;
+    }
+    const std::string name = text.substr(name_start, open - name_start);
+    const size_t close = text.find(')', open);
+    if (close == std::string::npos) break;
+    const int arity = 1 + static_cast<int>(std::count(
+                              text.begin() + open, text.begin() + close, ','));
+    if (!name.empty() && !vocab->FindRelation(name).has_value()) {
+      vocab->AddRelation(name, arity);
+    }
+    pos = close + 1;
+  }
+  return vocab;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cqa;
+  std::string cls_name = "tw1";
+  std::string query_text;
+  if (argc == 3) {
+    cls_name = argv[1];
+    query_text = argv[2];
+  } else if (argc == 2) {
+    query_text = argv[1];
+  } else {
+    query_text = "Q(x) :- E(x,y), E(y,z), E(z,x)";
+    std::printf("(no query given; using the triangle demo)\n");
+  }
+
+  const VocabularyPtr vocab = InferVocabulary(query_text);
+  if (vocab->num_relations() == 0) {
+    std::fprintf(stderr, "could not infer any relation from the query\n");
+    return 1;
+  }
+  std::string error;
+  const auto q = ParseQuery(vocab, query_text, &error);
+  if (!q.has_value()) {
+    std::fprintf(stderr, "parse error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("query: %s\n", PrintQuery(*q).c_str());
+  std::printf("  variables: %d, joins: %d, treewidth(G(Q)): %d, acyclic: %s\n",
+              q->num_variables(), q->NumJoins(), QueryTreewidth(*q),
+              IsAcyclicQuery(*q) ? "yes" : "no");
+
+  const bool over = cls_name.rfind("over-", 0) == 0;
+  const std::string base = over ? cls_name.substr(5) : cls_name;
+  std::unique_ptr<QueryClass> cls;
+  if (base == "tw1") cls = MakeTreewidthClass(1);
+  else if (base == "tw2") cls = MakeTreewidthClass(2);
+  else if (base == "tw3") cls = MakeTreewidthClass(3);
+  else if (base == "ac") cls = MakeAcyclicClass();
+  else if (base == "htw2") cls = MakeHypertreeClass(2);
+  else {
+    std::fprintf(stderr, "unknown class '%s'\n", cls_name.c_str());
+    return 1;
+  }
+
+  if (over) {
+    const auto result = ComputeOverapproximations(*q, *cls);
+    std::printf("%zu minimal %s-overapproximation(s):\n",
+                result.overapproximations.size(), cls->name().c_str());
+    for (const auto& o : result.overapproximations) {
+      std::printf("  %s\n", PrintQuery(o).c_str());
+    }
+  } else {
+    const auto result = ComputeApproximations(*q, *cls);
+    std::printf("%zu %s-approximation(s)%s:\n", result.approximations.size(),
+                cls->name().c_str(),
+                result.provably_complete ? "" : " (complete up to budget)");
+    for (const auto& a : result.approximations) {
+      std::printf("  %s\n", PrintQuery(a).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Digraph-level view (Corollary 4.10): every digraph G has acyclic
+// approximations — the closest acyclic digraphs above G in the
+// homomorphism order. This example computes them for a few digraphs and
+// prints DOT renderings.
+
+#include <cstdio>
+
+#include "core/digraph_approx.h"
+#include "graph/analysis.h"
+#include "graph/dot.h"
+#include "graph/standard.h"
+
+int main() {
+  using namespace cqa;
+
+  struct Named {
+    const char* name;
+    Digraph g;
+  };
+  Digraph pentagon_chord = DirectedCycle(5);
+  pentagon_chord.AddEdge(0, 2);
+  const Named cases[] = {
+      {"directed triangle C3", DirectedCycle(3)},
+      {"directed 4-cycle C4", DirectedCycle(4)},
+      {"pentagon with chord", pentagon_chord},
+      {"bidirectional square", Bidirect(DirectedCycle(4))},
+  };
+
+  for (const auto& [name, g] : cases) {
+    std::printf("== %s: %d nodes, %d edges, %s ==\n", name, g.num_nodes(),
+                g.num_edges(),
+                IsBipartite(g) ? "bipartite" : "not bipartite");
+    const std::vector<Digraph> approximations =
+        AcyclicApproximationsOfDigraph(g);
+    std::printf("%zu acyclic approximation(s):\n", approximations.size());
+    for (size_t i = 0; i < approximations.size(); ++i) {
+      const Digraph& t = approximations[i];
+      std::printf("-- approximation %zu (%d nodes, %d edges), core of the\n"
+                  "   maximally contained acyclic pattern:\n%s",
+                  i + 1, t.num_nodes(), t.num_edges(),
+                  ToDot(t, "A" + std::to_string(i + 1)).c_str());
+      // Cross-check the DP-complete identification predicate.
+      std::printf("   verifies as acyclic approximation: %s\n",
+                  IsAcyclicApproximationOfDigraph(t, g) ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Domain example: pattern matching on a synthetic social/follow graph —
+// the workload the paper's introduction motivates. A cyclic "two linked
+// chains" pattern (the Introduction's Q2) is repeatedly evaluated as the
+// graph grows; its acyclic approximation answers soundly and much faster.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "data/generators.h"
+#include "eval/naive.h"
+#include "eval/yannakakis.h"
+#include "gadgets/intro.h"
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqa;
+
+  const ConjunctiveQuery q = IntroQ2();
+  std::printf("Pattern (cyclic, 8 variables):\n  %s\n",
+              PrintQuery(q).c_str());
+
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(q, *MakeTreewidthClass(1));
+  std::printf("Acyclic approximation (paper: a path of length 4):\n  %s\n\n",
+              PrintQuery(approx).c_str());
+
+  std::printf("%-10s %-10s %-12s %-12s %-10s %-8s\n", "users", "follows",
+              "exact_ms", "approx_ms", "speedup", "sound");
+  for (const int users : {100, 200, 400, 800}) {
+    Rng rng(users);
+    const Database follows =
+        RandomDigraphDatabase(users, 5.0 / users, &rng);
+    auto t0 = std::chrono::steady_clock::now();
+    const bool exact = EvaluateNaiveBoolean(q, follows);
+    const double exact_ms = MsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    const bool fast = EvaluateYannakakisBoolean(approx, follows);
+    const double approx_ms = MsSince(t0);
+    std::printf("%-10d %-10d %-12.2f %-12.2f %-10.1f %-8s\n", users,
+                follows.NumFacts(), exact_ms, approx_ms,
+                exact_ms / (approx_ms > 0.001 ? approx_ms : 0.001),
+                (!fast || exact) ? "yes" : "NO");
+  }
+  std::printf(
+      "\nThe approximation never claims a match the exact pattern lacks\n"
+      "(maximally contained rewriting, paper Definition 3.1).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros used throughout cqapprox.
+//
+// CQA_CHECK is always on (including release builds): the library manipulates
+// small symbolic objects, so the cost is negligible and the diagnostics are
+// valuable. CQA_DCHECK compiles out in release builds.
+
+#ifndef CQA_BASE_CHECK_H_
+#define CQA_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cqa {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CQA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace cqa
+
+#define CQA_CHECK(expr)                             \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::cqa::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                               \
+  } while (0)
+
+#ifndef NDEBUG
+#define CQA_DCHECK(expr) CQA_CHECK(expr)
+#else
+#define CQA_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // CQA_BASE_CHECK_H_

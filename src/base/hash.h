@@ -1,0 +1,35 @@
+// Hash combinators for aggregate keys (tuples, vectors of ids).
+
+#ifndef CQA_BASE_HASH_H_
+#define CQA_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cqa {
+
+/// Mixes `value` into `seed` (boost-style combinator with a 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a vector of integers.
+template <typename Int>
+size_t HashVector(const std::vector<Int>& v) {
+  size_t h = v.size();
+  for (const Int x : v) h = HashCombine(h, static_cast<size_t>(x));
+  return h;
+}
+
+/// Functor for unordered containers keyed by `std::vector<Int>`.
+struct VectorHash {
+  template <typename Int>
+  size_t operator()(const std::vector<Int>& v) const {
+    return HashVector(v);
+  }
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_HASH_H_

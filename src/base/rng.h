@@ -1,0 +1,42 @@
+// Deterministic random number generation for workload generators and
+// randomized property tests. We ship our own generator (xoshiro256**) so that
+// seeds produce identical workloads across standard libraries and platforms.
+
+#ifndef CQA_BASE_RNG_H_
+#define CQA_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace cqa {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// The same seed yields the same stream on every platform, which keeps the
+/// benchmark workloads and property-test sweeps reproducible.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in `[0, bound)`. `bound` must be positive.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Returns a uniform integer in `[lo, hi]` (inclusive). Requires lo <= hi.
+  int UniformInRange(int lo, int hi);
+
+  /// Returns a uniform double in `[0, 1)`.
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_RNG_H_

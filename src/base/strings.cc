@@ -1,0 +1,47 @@
+#include "base/strings.h"
+
+#include <cctype>
+
+namespace cqa {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool IsIdentifier(std::string_view text) {
+  if (text.empty()) return false;
+  const unsigned char first = static_cast<unsigned char>(text[0]);
+  if (!std::isalpha(first) && text[0] != '_') return false;
+  for (size_t i = 1; i < text.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (!std::isalnum(c) && text[i] != '_' && text[i] != '\'') return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

@@ -1,0 +1,27 @@
+// Small string helpers shared across the library (joining, splitting,
+// trimming, and integer formatting). No locale dependence.
+
+#ifndef CQA_BASE_STRINGS_H_
+#define CQA_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cqa {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, returning every (possibly empty) field.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes ASCII whitespace from both ends of `text`.
+std::string_view Trim(std::string_view text);
+
+/// True if `text` is a valid identifier: [A-Za-z_][A-Za-z0-9_']*.
+bool IsIdentifier(std::string_view text);
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_STRINGS_H_

@@ -1,0 +1,47 @@
+#include "base/union_find.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+UnionFind::UnionFind(int n) : parent_(n), size_(n, 1), num_sets_(n) {
+  CQA_CHECK(n >= 0);
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+}
+
+int UnionFind::Find(int x) {
+  CQA_DCHECK(x >= 0 && x < size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    const int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+std::vector<int> UnionFind::DenseLabels() {
+  std::vector<int> label(parent_.size(), -1);
+  std::vector<int> root_label(parent_.size(), -1);
+  int next = 0;
+  for (int i = 0; i < size(); ++i) {
+    const int r = Find(i);
+    if (root_label[r] < 0) root_label[r] = next++;
+    label[i] = root_label[r];
+  }
+  return label;
+}
+
+}  // namespace cqa

@@ -1,0 +1,44 @@
+// Disjoint-set union with path compression and union by size. Used for
+// variable-partition manipulation (quotients of tableaux) and for weak
+// connectivity in graph utilities.
+
+#ifndef CQA_BASE_UNION_FIND_H_
+#define CQA_BASE_UNION_FIND_H_
+
+#include <vector>
+
+namespace cqa {
+
+/// Classic disjoint-set-union structure over elements `0..n-1`.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets.
+  explicit UnionFind(int n);
+
+  /// Returns the canonical representative of `x`'s set.
+  int Find(int x);
+
+  /// Merges the sets containing `a` and `b`. Returns true if they were
+  /// previously distinct.
+  bool Union(int a, int b);
+
+  /// Number of elements.
+  int size() const { return static_cast<int>(parent_.size()); }
+
+  /// Number of disjoint sets currently represented.
+  int num_sets() const { return num_sets_; }
+
+  /// Returns a dense relabeling: a vector `label` with `label[x]` in
+  /// `[0, num_sets())`, equal labels iff same set, labels assigned in order of
+  /// first appearance.
+  std::vector<int> DenseLabels();
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_BASE_UNION_FIND_H_

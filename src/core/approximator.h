@@ -1,0 +1,60 @@
+// The approximation engine — the paper's central algorithm (Definition 3.1,
+// Theorem 4.1, Corollaries 4.2/4.3, Theorem 6.1, Corollaries 6.3/6.5).
+//
+// Given a CQ Q and a tractable class C, compute the C-approximations of Q:
+// queries Q' ∈ C with Q' ⊆ Q such that no Q'' ∈ C has Q' ⊂ Q'' ⊆ Q.
+// The algorithm enumerates candidate tableaux (quotients of (T_Q, x̄), plus
+// atom augmentations for hypergraph-based classes), filters by class
+// membership, minimizes, deduplicates up to equivalence, and keeps the
+// →-minimal tableaux — exactly the maximally contained queries.
+
+#ifndef CQA_CORE_APPROXIMATOR_H_
+#define CQA_CORE_APPROXIMATOR_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/query_class.h"
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Options for approximation computation.
+struct ApproximationOptions {
+  CandidateOptions candidates;
+};
+
+/// Outcome of an approximation computation.
+struct ApproximationResult {
+  /// All approximations found, minimized, pairwise non-equivalent.
+  std::vector<ConjunctiveQuery> approximations;
+
+  /// Candidates enumerated / passing the class filter (diagnostics; these
+  /// back the Figure 1 "time to compute" measurements).
+  long long candidates_considered = 0;
+  long long candidates_in_class = 0;
+
+  /// True when the candidate space is provably complete, i.e., the result
+  /// is the exact set C-APPR_min(Q): always for graph-based classes
+  /// (Theorem 4.1); for hypergraph-based classes completeness holds up to
+  /// the augmentation budget (Claim 6.2 may need more padded atoms).
+  bool provably_complete = false;
+};
+
+/// Computes the C-approximations of q. CHECK-fails if no candidate is in
+/// the class (cannot happen for the paper's classes: Q_trivial is a
+/// quotient and belongs to all of them).
+ApproximationResult ComputeApproximations(const ConjunctiveQuery& q,
+                                          const QueryClass& cls,
+                                          const ApproximationOptions& options =
+                                              {});
+
+/// Convenience: one approximation (the first found).
+ConjunctiveQuery ComputeOneApproximation(const ConjunctiveQuery& q,
+                                         const QueryClass& cls,
+                                         const ApproximationOptions& options =
+                                             {});
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_APPROXIMATOR_H_

@@ -1,0 +1,114 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "hom/partitions.h"
+
+namespace cqa {
+
+void ForEachQuotientCandidate(
+    const PointedDatabase& tableau,
+    const std::function<bool(const PointedDatabase&)>& visit) {
+  EnumerateSetPartitions(
+      tableau.db.num_elements(),
+      [&](const std::vector<int>& labels, int num_blocks) {
+        return visit(QuotientDatabase(tableau, labels, num_blocks));
+      });
+}
+
+namespace {
+
+// One augmentation atom: a relation plus, per position, either an existing
+// element id or -1 (fresh element, each occurrence distinct).
+struct AugAtom {
+  RelationId rel;
+  std::vector<int> pattern;
+};
+
+// Applies an atom pattern to `db`, materializing fresh elements.
+void ApplyAtom(Database* db, const AugAtom& atom) {
+  Tuple t(atom.pattern.size());
+  for (size_t i = 0; i < atom.pattern.size(); ++i) {
+    t[i] = atom.pattern[i] >= 0 ? atom.pattern[i] : db->AddElement();
+  }
+  db->AddFact(atom.rel, std::move(t));
+}
+
+// Enumerates all patterns for relation `rel` over `n` existing elements.
+// Only patterns with at least two distinct existing elements are produced —
+// atoms with fewer cannot affect hypergraph-class membership (their
+// hyperedge GYO-reduces away).
+void ForEachPattern(const Vocabulary& vocab, RelationId rel, int n,
+                    const std::function<void(const AugAtom&)>& emit) {
+  const int arity = vocab.arity(rel);
+  AugAtom atom;
+  atom.rel = rel;
+  atom.pattern.assign(arity, -1);
+  // Odometer over (n + 1) symbols per position: -1 (fresh) or 0..n-1.
+  std::vector<int> digits(arity, 0);
+  for (;;) {
+    for (int i = 0; i < arity; ++i) {
+      atom.pattern[i] = digits[i] - 1;  // digit 0 => fresh (-1)
+    }
+    std::vector<int> distinct;
+    for (const int p : atom.pattern) {
+      if (p >= 0) distinct.push_back(p);
+    }
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() >= 2) emit(atom);
+    int pos = 0;
+    while (pos < arity && ++digits[pos] > n) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == arity) break;
+  }
+}
+
+}  // namespace
+
+void ForEachAugmentation(
+    const PointedDatabase& base, int budget,
+    const std::function<bool(const PointedDatabase&)>& visit) {
+  CQA_CHECK(budget >= 0);
+  if (budget == 0) return;
+  const Vocabulary& vocab = *base.db.vocab();
+  const int n = base.db.num_elements();
+
+  // Collect all candidate atoms once (patterns refer to base elements only;
+  // fresh elements of one atom are not visible to another).
+  std::vector<AugAtom> atoms;
+  for (RelationId r = 0; r < vocab.num_relations(); ++r) {
+    ForEachPattern(vocab, r, n, [&](const AugAtom& a) { atoms.push_back(a); });
+  }
+
+  bool keep_going = true;
+  // Choose a non-decreasing sequence of up to `budget` atoms (avoids
+  // visiting permutations of the same multiset twice).
+  std::function<void(const PointedDatabase&, size_t, int)> rec =
+      [&](const PointedDatabase& current, size_t start, int left) {
+        if (!keep_going || left == 0) return;
+        for (size_t i = start; i < atoms.size() && keep_going; ++i) {
+          // Skip atoms that are already facts (no fresh positions).
+          bool has_fresh = false;
+          for (const int p : atoms[i].pattern) has_fresh |= (p < 0);
+          if (!has_fresh) {
+            Tuple t(atoms[i].pattern.begin(), atoms[i].pattern.end());
+            if (current.db.HasFact(atoms[i].rel, t)) continue;
+          }
+          PointedDatabase next = current;
+          ApplyAtom(&next.db, atoms[i]);
+          if (!visit(next)) {
+            keep_going = false;
+            return;
+          }
+          rec(next, i, left - 1);
+        }
+      };
+  rec(base, 0, budget);
+}
+
+}  // namespace cqa

@@ -1,0 +1,52 @@
+// Candidate tableaux for approximation search.
+//
+// Graph-based classes (Theorem 4.1): every C-approximation of Q is
+// equivalent to a query whose tableau is a homomorphic image of (T_Q, x̄);
+// homomorphic images are exactly quotients by variable partitions, so
+// enumerating set partitions is a complete candidate space.
+//
+// Hypergraph-based classes (Theorem 6.1 / Claim 6.2, Example 6.6): quotients
+// alone are incomplete — approximations may add atoms over the image domain
+// (and padded atoms with fresh variables, the "extended subset" trick). We
+// therefore augment out-of-class quotients with up to `augmentation_budget`
+// extra atoms whose positions hold image elements or fresh variables.
+
+#ifndef CQA_CORE_CANDIDATES_H_
+#define CQA_CORE_CANDIDATES_H_
+
+#include <functional>
+
+#include "data/database.h"
+
+namespace cqa {
+
+/// Tuning knobs for candidate enumeration.
+struct CandidateOptions {
+  /// Max number of extra atoms added to an out-of-class quotient
+  /// (hypergraph-based classes only).
+  int augmentation_budget = 1;
+
+  /// Hard cap on the number of candidates visited (< 0 = unlimited).
+  long long max_candidates = -1;
+};
+
+/// Calls `visit` for every quotient of `tableau` by a partition of its
+/// elements (Bell(n) many). Enumeration stops early if `visit` returns
+/// false. This is the complete space for graph-based classes.
+void ForEachQuotientCandidate(
+    const PointedDatabase& tableau,
+    const std::function<bool(const PointedDatabase&)>& visit);
+
+/// Calls `visit` for every augmentation of `base` (a quotient image) with
+/// 1..budget extra facts. Each extra fact fills a relation's positions with
+/// existing elements of `base` or fresh elements (each fresh element used
+/// once); at least two distinct existing elements are required, since only
+/// such atoms can change hypergraph-class membership. Enumeration stops
+/// early if `visit` returns false.
+void ForEachAugmentation(
+    const PointedDatabase& base, int budget,
+    const std::function<bool(const PointedDatabase&)>& visit);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_CANDIDATES_H_

@@ -1,0 +1,113 @@
+#include "core/claim62.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+#include "cq/tableau.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+
+std::optional<ConjunctiveQuery> BuildClaim62Witness(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime) {
+  CQA_CHECK(*q.vocab() == *q_prime.vocab());
+  const PointedDatabase tq = ToTableau(q);
+  const PointedDatabase tqp = ToTableau(q_prime);
+  // Q' ⊆ Q iff (T_Q, x̄) -> (T_Q', x̄').
+  const auto h = FindHomomorphism(tq, tqp);
+  if (!h.has_value()) return std::nullopt;
+
+  const Database& dqp = tqp.db;
+  // U := the active image of h.
+  std::vector<bool> in_u(dqp.num_elements(), false);
+  for (const Element e : *h) in_u[e] = true;
+
+  // T := facts of T_Q' whose elements all lie in U (re-labeled into a fresh
+  // database over U ∪ fresh pads).
+  std::vector<Element> relabel(dqp.num_elements(), -1);
+  Database t_double_prime(q.vocab());
+  for (Element e = 0; e < dqp.num_elements(); ++e) {
+    if (in_u[e]) {
+      relabel[e] = t_double_prime.AddElement();
+      t_double_prime.SetElementName(relabel[e], dqp.ElementName(e));
+    }
+  }
+  auto scope_of = [](const Tuple& tuple) {
+    std::vector<Element> s(tuple.begin(), tuple.end());
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    return s;
+  };
+  // Scopes U_t of the kept facts (to recognize extended subsets).
+  std::vector<std::vector<Element>> kept_scopes;
+  for (RelationId r = 0; r < q.vocab()->num_relations(); ++r) {
+    for (const Tuple& tuple : dqp.facts(r)) {
+      const bool inside = std::all_of(tuple.begin(), tuple.end(),
+                                      [&](Element e) { return in_u[e]; });
+      if (!inside) continue;
+      Tuple mapped(tuple.size());
+      for (size_t i = 0; i < tuple.size(); ++i) mapped[i] = relabel[tuple[i]];
+      t_double_prime.AddFact(r, mapped);
+      kept_scopes.push_back(scope_of(tuple));
+    }
+  }
+
+  // Extended subsets: X = U_s̄ ∩ U for a crossing tuple s̄ (U_s̄ ⊄ U),
+  // X nonempty, and X is not the scope of any kept fact. Pad one fresh
+  // copy of s̄ per distinct X (fresh elements replace the outside part).
+  std::map<std::vector<Element>, std::pair<RelationId, Tuple>> extended;
+  for (RelationId r = 0; r < q.vocab()->num_relations(); ++r) {
+    for (const Tuple& tuple : dqp.facts(r)) {
+      std::vector<Element> inside_part;
+      bool crossing = false;
+      for (const Element e : scope_of(tuple)) {
+        if (in_u[e]) {
+          inside_part.push_back(e);
+        } else {
+          crossing = true;
+        }
+      }
+      if (!crossing || inside_part.empty()) continue;
+      if (std::find(kept_scopes.begin(), kept_scopes.end(), inside_part) !=
+          kept_scopes.end()) {
+        continue;
+      }
+      extended.emplace(inside_part, std::make_pair(r, tuple));
+    }
+  }
+  for (const auto& [x, fact] : extended) {
+    const auto& [rel, tuple] = fact;
+    // Replace each outside element consistently by a fresh element (one
+    // fresh element per distinct outside element of this tuple).
+    std::map<Element, Element> fresh;
+    Tuple padded(tuple.size());
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      const Element e = tuple[i];
+      if (in_u[e]) {
+        padded[i] = relabel[e];
+      } else {
+        const auto it = fresh.find(e);
+        if (it != fresh.end()) {
+          padded[i] = it->second;
+        } else {
+          const Element z = t_double_prime.AddElement();
+          fresh.emplace(e, z);
+          padded[i] = z;
+        }
+      }
+    }
+    t_double_prime.AddFact(rel, padded);
+  }
+
+  // Distinguished tuple: h(x̄) re-labeled.
+  Tuple distinguished(tq.distinguished.size());
+  for (size_t i = 0; i < tq.distinguished.size(); ++i) {
+    distinguished[i] = relabel[(*h)[tq.distinguished[i]]];
+  }
+  return FromTableau(PointedDatabase{std::move(t_double_prime),
+                                     std::move(distinguished)});
+}
+
+}  // namespace cqa

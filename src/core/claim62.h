@@ -1,0 +1,30 @@
+// The constructive heart of Theorem 6.1 (Claim 6.2): given a CQ Q and a
+// hypergraph-based C-query Q' with Q' ⊆ Q, build a C-query Q'' with
+// Q' ⊆ Q'' ⊆ Q whose size is bounded by n + (m-1)²·n^{m-1} variables and
+// ℓ·n^m atoms. The construction restricts T_Q' to the image of a
+// homomorphism from T_Q and re-attaches one fresh-variable "padded" atom
+// per *extended subset* — exactly the paper's proof, machine-checkable.
+//
+// The construction is class-agnostic: it only uses the two closure
+// properties (induced subhypergraphs, edge extensions), so the result is
+// guaranteed to stay in any class that satisfies them (AC, HTW(k),
+// GHTW(k); Lemma 6.4).
+
+#ifndef CQA_CORE_CLAIM62_H_
+#define CQA_CORE_CLAIM62_H_
+
+#include <optional>
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Builds the Claim 6.2 witness Q'' for the pair (q, q_prime). Returns
+/// nullopt if q_prime is not contained in q (no homomorphism
+/// (T_Q, x̄) -> (T_Q', x̄') exists).
+std::optional<ConjunctiveQuery> BuildClaim62Witness(
+    const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_CLAIM62_H_

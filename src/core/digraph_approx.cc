@@ -1,0 +1,37 @@
+#include "core/digraph_approx.h"
+
+#include "core/approximator.h"
+#include "core/verifier.h"
+#include "cq/tableau.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+
+std::vector<Digraph> AcyclicApproximationsOfDigraph(const Digraph& g) {
+  const ConjunctiveQuery q = BooleanQueryFromStructure(g.ToDatabase());
+  // Over graphs, AC = TW(1), and TW(1) is graph-based (complete search).
+  const auto cls = MakeTreewidthClass(1);
+  ApproximationResult result = ComputeApproximations(q, *cls);
+  std::vector<Digraph> out;
+  out.reserve(result.approximations.size());
+  for (const ConjunctiveQuery& approx : result.approximations) {
+    out.push_back(Digraph::FromDatabase(ToTableau(approx).db));
+  }
+  return out;
+}
+
+bool IsAcyclicApproximationOfDigraph(const Digraph& t, const Digraph& g) {
+  const ConjunctiveQuery q = BooleanQueryFromStructure(g.ToDatabase());
+  const ConjunctiveQuery qt = BooleanQueryFromStructure(t.ToDatabase());
+  const auto cls = MakeTreewidthClass(1);
+  return VerifyApproximation(qt, q, *cls).is_approximation;
+}
+
+bool IsExactHomomorphismTarget(const Digraph& g, const Digraph& t) {
+  const Database dg = g.ToDatabase();
+  const Database dt = t.ToDatabase();
+  if (!ExistsHomomorphism(dg, dt)) return false;
+  return !ExistsHomToProperSubstructure(dg, dt);
+}
+
+}  // namespace cqa

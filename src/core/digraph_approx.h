@@ -1,0 +1,31 @@
+// The graph-theoretic reinterpretation (paper, Corollary 4.10 and
+// Corollary 5.4): acyclic approximations of digraphs. An acyclic digraph T
+// is an acyclic approximation of G if G -> T and there is no acyclic T'
+// with G -> T' strictly below T. "Acyclic" is the query-class sense,
+// AC = TW(1) over graphs: loops and 2-cycles are allowed; underlying cycles
+// of length >= 3 are not.
+
+#ifndef CQA_CORE_DIGRAPH_APPROX_H_
+#define CQA_CORE_DIGRAPH_APPROX_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// All acyclic approximations of G (cores, pairwise non-equivalent).
+std::vector<Digraph> AcyclicApproximationsOfDigraph(const Digraph& g);
+
+/// Checks whether T is an acyclic approximation of G (Graph Acyclic
+/// Approximation, the DP-complete problem of Theorem 4.12), by complete
+/// candidate search.
+bool IsAcyclicApproximationOfDigraph(const Digraph& t, const Digraph& g);
+
+/// The Exact Acyclic Homomorphism condition (Section 4.3): G -> T but no
+/// homomorphism from G into a proper subgraph of T.
+bool IsExactHomomorphismTarget(const Digraph& g, const Digraph& t);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_DIGRAPH_APPROX_H_

@@ -1,0 +1,101 @@
+#include "core/overapprox.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "cq/containment.h"
+#include "cq/minimize.h"
+
+namespace cqa {
+namespace {
+
+// Builds the subquery of q induced by the atom subset `mask`, or nullopt
+// if some free variable loses all its occurrences (unsafe head).
+std::optional<ConjunctiveQuery> Subquery(const ConjunctiveQuery& q,
+                                         uint64_t mask) {
+  const int m = static_cast<int>(q.atoms().size());
+  std::vector<bool> var_used(q.num_variables(), false);
+  for (int i = 0; i < m; ++i) {
+    if ((mask >> i) & 1) {
+      for (const int v : q.atoms()[i].vars) var_used[v] = true;
+    }
+  }
+  for (const int v : q.free_variables()) {
+    if (!var_used[v]) return std::nullopt;
+  }
+  // Relabel the surviving variables densely.
+  std::vector<int> relabel(q.num_variables(), -1);
+  ConjunctiveQuery sub(q.vocab());
+  for (int v = 0; v < q.num_variables(); ++v) {
+    if (var_used[v]) {
+      relabel[v] = sub.AddVariable(q.variable_name(v));
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if ((mask >> i) & 1) {
+      std::vector<int> vars;
+      vars.reserve(q.atoms()[i].vars.size());
+      for (const int v : q.atoms()[i].vars) vars.push_back(relabel[v]);
+      sub.AddAtom(q.atoms()[i].rel, std::move(vars));
+    }
+  }
+  std::vector<int> free_vars;
+  free_vars.reserve(q.free_variables().size());
+  for (const int v : q.free_variables()) free_vars.push_back(relabel[v]);
+  sub.SetFreeVariables(std::move(free_vars));
+  sub.Validate();
+  return sub;
+}
+
+}  // namespace
+
+OverapproximationResult ComputeOverapproximations(const ConjunctiveQuery& q,
+                                                  const QueryClass& cls) {
+  q.Validate();
+  const int m = static_cast<int>(q.atoms().size());
+  CQA_CHECK(m <= 20);  // subsets are enumerated explicitly
+  OverapproximationResult result;
+  std::vector<ConjunctiveQuery> pool;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+    ++result.candidates_considered;
+    const auto sub = Subquery(q, mask);
+    if (!sub.has_value()) continue;
+    if (!cls.Contains(*sub)) continue;
+    ++result.candidates_in_class;
+    ConjunctiveQuery minimized = Minimize(*sub);
+    // Dedup up to equivalence.
+    bool duplicate = false;
+    for (const auto& existing : pool) {
+      if (AreEquivalent(existing, minimized)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) pool.push_back(std::move(minimized));
+  }
+  // Keep the ⊆-minimal elements: c survives iff no other pool member is
+  // strictly contained in it.
+  const int p = static_cast<int>(pool.size());
+  std::vector<bool> dominated(p, false);
+  for (int c = 0; c < p; ++c) {
+    for (int d = 0; d < p && !dominated[c]; ++d) {
+      if (d == c || dominated[d]) continue;
+      if (IsStrictlyContainedIn(pool[d], pool[c])) dominated[c] = true;
+    }
+  }
+  for (int c = 0; c < p; ++c) {
+    if (!dominated[c]) {
+      result.overapproximations.push_back(std::move(pool[c]));
+    }
+  }
+  return result;
+}
+
+ConjunctiveQuery ComputeOneOverapproximation(const ConjunctiveQuery& q,
+                                             const QueryClass& cls) {
+  OverapproximationResult result = ComputeOverapproximations(q, cls);
+  CQA_CHECK(!result.overapproximations.empty());
+  return std::move(result.overapproximations.front());
+}
+
+}  // namespace cqa

@@ -1,0 +1,42 @@
+// Overapproximations — the paper's Section 7 future-work notion: a C-query
+// Q'' with Q ⊆ Q'' (returns *all* correct answers, possibly more) that is
+// minimal such. Existence and complexity are open in general (paper,
+// Conclusions); this module implements the natural sound construction:
+// subqueries of Q (atom subsets covering the free variables) that fall in
+// C, ordered by containment, keeping the ⊆-minimal ones. Every result is a
+// genuine overapproximation candidate (Q ⊆ Q'' ∈ C by construction);
+// minimality is relative to the subquery space and reported as such.
+
+#ifndef CQA_CORE_OVERAPPROX_H_
+#define CQA_CORE_OVERAPPROX_H_
+
+#include <vector>
+
+#include "core/query_class.h"
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Result of an overapproximation search.
+struct OverapproximationResult {
+  /// Minimal in-class subquery overapproximations, minimized and pairwise
+  /// non-equivalent. Empty iff no atom subset covering the free variables
+  /// lands in C (cannot happen for AC/TW(k): single atoms are always in
+  /// class).
+  std::vector<ConjunctiveQuery> overapproximations;
+  long long candidates_considered = 0;
+  long long candidates_in_class = 0;
+};
+
+/// Computes subquery overapproximations of q within cls. Exponential in
+/// the number of atoms (subsets), like the underapproximation engine.
+OverapproximationResult ComputeOverapproximations(const ConjunctiveQuery& q,
+                                                  const QueryClass& cls);
+
+/// Convenience: one overapproximation (the first found).
+ConjunctiveQuery ComputeOneOverapproximation(const ConjunctiveQuery& q,
+                                             const QueryClass& cls);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_OVERAPPROX_H_

@@ -1,0 +1,81 @@
+#include "core/query_class.h"
+
+#include "base/check.h"
+#include "cq/properties.h"
+
+namespace cqa {
+namespace {
+
+class TreewidthClass final : public QueryClass {
+ public:
+  explicit TreewidthClass(int k) : k_(k) { CQA_CHECK(k >= 1); }
+  bool Contains(const ConjunctiveQuery& q) const override {
+    return IsTreewidthAtMost(q, k_);
+  }
+  std::string name() const override {
+    return "TW(" + std::to_string(k_) + ")";
+  }
+  bool IsGraphBased() const override { return true; }
+
+ private:
+  int k_;
+};
+
+class AcyclicClass final : public QueryClass {
+ public:
+  bool Contains(const ConjunctiveQuery& q) const override {
+    return IsAcyclicQuery(q);
+  }
+  std::string name() const override { return "AC"; }
+  bool IsGraphBased() const override { return false; }
+};
+
+class HypertreeClass final : public QueryClass {
+ public:
+  explicit HypertreeClass(int k) : k_(k) { CQA_CHECK(k >= 1); }
+  bool Contains(const ConjunctiveQuery& q) const override {
+    return IsHypertreeWidthAtMost(q, k_);
+  }
+  std::string name() const override {
+    return "HTW(" + std::to_string(k_) + ")";
+  }
+  bool IsGraphBased() const override { return false; }
+
+ private:
+  int k_;
+};
+
+class GeneralizedHypertreeClass final : public QueryClass {
+ public:
+  explicit GeneralizedHypertreeClass(int k) : k_(k) { CQA_CHECK(k >= 1); }
+  bool Contains(const ConjunctiveQuery& q) const override {
+    return IsGeneralizedHypertreeWidthAtMost(q, k_);
+  }
+  std::string name() const override {
+    return "GHTW(" + std::to_string(k_) + ")";
+  }
+  bool IsGraphBased() const override { return false; }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+std::unique_ptr<QueryClass> MakeTreewidthClass(int k) {
+  return std::make_unique<TreewidthClass>(k);
+}
+
+std::unique_ptr<QueryClass> MakeAcyclicClass() {
+  return std::make_unique<AcyclicClass>();
+}
+
+std::unique_ptr<QueryClass> MakeHypertreeClass(int k) {
+  return std::make_unique<HypertreeClass>(k);
+}
+
+std::unique_ptr<QueryClass> MakeGeneralizedHypertreeClass(int k) {
+  return std::make_unique<GeneralizedHypertreeClass>(k);
+}
+
+}  // namespace cqa

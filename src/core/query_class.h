@@ -1,0 +1,49 @@
+// The tractable CQ classes the paper approximates into (Sections 4 and 6):
+// graph-based TW(k) and hypergraph-based AC, HTW(k), GHTW(k). A QueryClass
+// bundles the membership predicate with the closure kind that determines
+// which candidate tableaux are complete for approximation search
+// (Theorem 4.1 for graph-based classes, Theorem 6.1 for hypergraph-based).
+
+#ifndef CQA_CORE_QUERY_CLASS_H_
+#define CQA_CORE_QUERY_CLASS_H_
+
+#include <memory>
+#include <string>
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// A class C of conjunctive queries to approximate into.
+class QueryClass {
+ public:
+  virtual ~QueryClass() = default;
+
+  /// Membership: is q a C-query?
+  virtual bool Contains(const ConjunctiveQuery& q) const = 0;
+
+  /// Human-readable name, e.g. "TW(2)".
+  virtual std::string name() const = 0;
+
+  /// Graph-based classes are closed under subgraphs, so homomorphic images
+  /// (quotients) of the tableau are a complete candidate space
+  /// (Theorem 4.1). Hypergraph-based classes additionally need atom
+  /// augmentation (Theorem 6.1 / Claim 6.2).
+  virtual bool IsGraphBased() const = 0;
+};
+
+/// TW(k): treewidth of G(Q) at most k. Graph-based.
+std::unique_ptr<QueryClass> MakeTreewidthClass(int k);
+
+/// AC: H(Q) acyclic (= HTW(1)). Hypergraph-based.
+std::unique_ptr<QueryClass> MakeAcyclicClass();
+
+/// HTW(k): hypertree width of H(Q) at most k. Hypergraph-based.
+std::unique_ptr<QueryClass> MakeHypertreeClass(int k);
+
+/// GHTW(k): generalized hypertree width of H(Q) at most k. Hypergraph-based.
+std::unique_ptr<QueryClass> MakeGeneralizedHypertreeClass(int k);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_QUERY_CLASS_H_

@@ -1,0 +1,36 @@
+#include "core/strong_tw.h"
+
+#include "core/query_class.h"
+#include "core/verifier.h"
+#include "cq/properties.h"
+
+namespace cqa {
+
+bool HasMaximumTreewidth(const ConjunctiveQuery& q) {
+  const Digraph g = GraphOfQuery(q);
+  const int n = g.num_nodes();
+  if (n <= 2) return false;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!g.HasEdge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsPotentialStrongTreewidthApproximation(
+    const ConjunctiveQuery& q_prime) {
+  // G(Q') must have at most 2 nodes: count variables that co-occur with a
+  // distinct variable... simply count nodes of G(Q'), which equals the
+  // number of variables.
+  return q_prime.num_variables() <= 2;
+}
+
+bool IsStrongTreewidthApproximation(const ConjunctiveQuery& q_prime,
+                                    const ConjunctiveQuery& q) {
+  if (!HasMaximumTreewidth(q)) return false;
+  const auto tw1 = MakeTreewidthClass(1);
+  return VerifyApproximation(q_prime, q, *tw1).is_approximation;
+}
+
+}  // namespace cqa

@@ -1,0 +1,30 @@
+// Strong treewidth approximations (paper, Section 5.3): TW(1)-
+// approximations of queries whose graph G(Q) has the maximum possible
+// treewidth (number of variables minus one, i.e., G(Q) is a complete
+// graph). Over graphs these trivialize; over higher-arity vocabularies
+// they are plentiful (Propositions 5.13-5.15).
+
+#ifndef CQA_CORE_STRONG_TW_H_
+#define CQA_CORE_STRONG_TW_H_
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// True if G(Q) is complete on > 2 nodes, i.e., q has the maximum possible
+/// treewidth (n - 1 > 1) for its variable count.
+bool HasMaximumTreewidth(const ConjunctiveQuery& q);
+
+/// True if G(Q') has at most 2 nodes — the necessary shape of any strong
+/// treewidth approximation (a 3-node graph of a TW(1) query cannot sit
+/// under a complete query graph).
+bool IsPotentialStrongTreewidthApproximation(const ConjunctiveQuery& q_prime);
+
+/// Full check: q has maximum treewidth > 1 and q_prime is a
+/// TW(1)-approximation of q.
+bool IsStrongTreewidthApproximation(const ConjunctiveQuery& q_prime,
+                                    const ConjunctiveQuery& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_STRONG_TW_H_

@@ -1,0 +1,53 @@
+#include "core/structure.h"
+
+#include "base/check.h"
+#include "cq/properties.h"
+#include "cq/tableau.h"
+#include "graph/analysis.h"
+#include "graph/coloring.h"
+
+namespace cqa {
+namespace {
+
+Digraph TableauDigraph(const ConjunctiveQuery& q) {
+  CQA_CHECK(IsGraphQuery(q));
+  return Digraph::FromDatabase(ToTableau(q).db);
+}
+
+}  // namespace
+
+std::string ToString(TableauClass c) {
+  switch (c) {
+    case TableauClass::kNotBipartite:
+      return "not-bipartite";
+    case TableauClass::kBipartiteUnbalanced:
+      return "bipartite-unbalanced";
+    case TableauClass::kBipartiteBalanced:
+      return "bipartite-balanced";
+  }
+  return "?";
+}
+
+TableauClass ClassifyBooleanGraphTableau(const ConjunctiveQuery& q) {
+  CQA_CHECK(q.IsBoolean());
+  const Digraph t = TableauDigraph(q);
+  if (!IsBipartite(t)) return TableauClass::kNotBipartite;
+  if (!IsBalanced(t)) return TableauClass::kBipartiteUnbalanced;
+  return TableauClass::kBipartiteBalanced;
+}
+
+bool HasLoopFreeAcyclicApproximation(const ConjunctiveQuery& q) {
+  return IsBipartite(TableauDigraph(q));
+}
+
+bool HasLoopFreeTreewidthApproximation(const ConjunctiveQuery& q, int k) {
+  CQA_CHECK(k >= 1);
+  return IsKColorable(TableauDigraph(q), k + 1);
+}
+
+bool HasNontrivialTreewidthApproximation(const ConjunctiveQuery& q, int k) {
+  CQA_CHECK(q.IsBoolean());
+  return HasLoopFreeTreewidthApproximation(q, k);
+}
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+// Structural classification of approximations over graphs (paper,
+// Section 5): the Boolean trichotomy (Theorem 5.1), the loop dichotomy for
+// non-Boolean queries (Theorem 5.8), its treewidth-k generalization
+// (Theorem 5.10), and the nontriviality criterion (Corollary 5.11).
+
+#ifndef CQA_CORE_STRUCTURE_H_
+#define CQA_CORE_STRUCTURE_H_
+
+#include <string>
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// The three regimes of Theorem 5.1 for Boolean graph CQs.
+enum class TableauClass {
+  kNotBipartite,        ///< only the trivial approximation E(x,x)
+  kBipartiteUnbalanced, ///< only the trivial bipartite approximation K2<->
+  kBipartiteBalanced,   ///< nontrivial approximations, no E(x,y),E(y,x) pair
+};
+
+std::string ToString(TableauClass c);
+
+/// Classifies the tableau of a Boolean CQ over graphs (CHECK-fails
+/// otherwise). Both tests run in polynomial time (paper remark after
+/// Theorem 5.1).
+TableauClass ClassifyBooleanGraphTableau(const ConjunctiveQuery& q);
+
+/// Theorem 5.8 (non-Boolean dichotomy): true iff the tableau is bipartite,
+/// iff q has an acyclic approximation without an E(x,x) subgoal.
+bool HasLoopFreeAcyclicApproximation(const ConjunctiveQuery& q);
+
+/// Theorem 5.10: true iff the tableau is (k+1)-colorable, iff q has a
+/// TW(k)-approximation without an E(x,x) subgoal.
+bool HasLoopFreeTreewidthApproximation(const ConjunctiveQuery& q, int k);
+
+/// Corollary 5.11 (Boolean): true iff the tableau is (k+1)-colorable, iff
+/// q has a nontrivial TW(k)-approximation.
+bool HasNontrivialTreewidthApproximation(const ConjunctiveQuery& q, int k);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_STRUCTURE_H_

@@ -1,0 +1,58 @@
+#include "core/tight.h"
+
+#include "core/candidates.h"
+#include "core/verifier.h"
+#include "cq/containment.h"
+#include "cq/properties.h"
+#include "cq/tableau.h"
+#include "graph/standard.h"
+
+namespace cqa {
+
+TightnessResult CheckTightness(const ConjunctiveQuery& q_prime,
+                               const ConjunctiveQuery& q) {
+  TightnessResult result;
+  result.is_tight_candidate = true;
+  auto consider = [&](const ConjunctiveQuery& cand_query) {
+    if (IsStrictlyContainedIn(q_prime, cand_query) &&
+        IsStrictlyContainedIn(cand_query, q)) {
+      result.is_tight_candidate = false;
+      result.between = cand_query;
+      return false;
+    }
+    return true;
+  };
+  // Witness family 1: homomorphic images of (T_Q, x̄).
+  const PointedDatabase tableau = ToTableau(q);
+  ForEachQuotientCandidate(tableau, [&](const PointedDatabase& cand) {
+    return consider(FromTableau(cand));
+  });
+  if (!result.is_tight_candidate) return result;
+  // Witness family 2 (Boolean graph queries): the standard hom-lattice
+  // landmarks K_m<-> and directed cycles — these catch gaps the quotient
+  // space misses, e.g. K_4<-> strictly between E(x,x) and the triangle.
+  if (q.IsBoolean() && IsGraphQuery(q)) {
+    for (int m = 2; m <= 5; ++m) {
+      if (!consider(BooleanQueryFromStructure(
+              CompleteDigraph(m).ToDatabase()))) {
+        return result;
+      }
+    }
+    for (int m = 2; m <= 6; ++m) {
+      if (!consider(
+              BooleanQueryFromStructure(DirectedCycle(m).ToDatabase()))) {
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+bool IsTightApproximationCandidate(const ConjunctiveQuery& q_prime,
+                                   const ConjunctiveQuery& q,
+                                   const QueryClass& cls) {
+  if (!VerifyApproximation(q_prime, q, cls).is_approximation) return false;
+  return CheckTightness(q_prime, q).is_tight_candidate;
+}
+
+}  // namespace cqa

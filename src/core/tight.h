@@ -1,0 +1,39 @@
+// Tight approximations (paper, end of Section 5.1.1): a C-approximation Q'
+// of Q is *tight* if no CQ whatsoever (not just in C) sits strictly
+// between: there is no Q'' with Q' ⊂ Q'' ⊂ Q. Proposition 5.6 exhibits an
+// infinite family (tableaux G_k with tight approximation P_{k+1}), built in
+// gadgets/tight.h. The checker below searches the quotient candidate space
+// of Q for an intermediate query; by [36] (gap pairs in the hom lattice)
+// the check is exact whenever an intermediate witness exists among
+// homomorphic images of T_Q, and is reported as bounded otherwise.
+
+#ifndef CQA_CORE_TIGHT_H_
+#define CQA_CORE_TIGHT_H_
+
+#include <optional>
+
+#include "core/query_class.h"
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Verdict of a tightness check.
+struct TightnessResult {
+  bool is_tight_candidate = false;       ///< no witness found
+  std::optional<ConjunctiveQuery> between;  ///< a Q'' with Q' ⊂ Q'' ⊂ Q
+};
+
+/// Searches for a CQ strictly between q_prime and q among the homomorphic
+/// images of (T_Q, x̄). Returns the witness if found.
+TightnessResult CheckTightness(const ConjunctiveQuery& q_prime,
+                               const ConjunctiveQuery& q);
+
+/// Full tight-approximation test relative to cls: approximation (per the
+/// exhaustive verifier) + no intermediate witness in the candidate space.
+bool IsTightApproximationCandidate(const ConjunctiveQuery& q_prime,
+                                   const ConjunctiveQuery& q,
+                                   const QueryClass& cls);
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_TIGHT_H_

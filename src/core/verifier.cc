@@ -1,0 +1,58 @@
+#include "core/verifier.h"
+
+#include "cq/containment.h"
+#include "cq/tableau.h"
+
+namespace cqa {
+
+VerificationResult VerifyApproximation(const ConjunctiveQuery& q_prime,
+                                       const ConjunctiveQuery& q,
+                                       const QueryClass& cls,
+                                       const ApproximationOptions& options) {
+  VerificationResult result;
+  if (!cls.Contains(q_prime)) {
+    result.failed_class_membership = true;
+    return result;
+  }
+  if (!IsContainedIn(q_prime, q)) {
+    result.failed_containment = true;
+    return result;
+  }
+  // Search the candidate space for Q'' ∈ C with Q' ⊂ Q'' (⊆ Q holds for
+  // every candidate by construction).
+  const PointedDatabase tableau = ToTableau(q);
+  bool beaten = false;
+  std::optional<ConjunctiveQuery> witness;
+  auto check = [&](const PointedDatabase& cand) {
+    const ConjunctiveQuery cand_query = FromTableau(cand);
+    if (cls.Contains(cand_query) &&
+        IsStrictlyContainedIn(q_prime, cand_query)) {
+      beaten = true;
+      witness = cand_query;
+      return false;  // stop enumeration
+    }
+    return true;
+  };
+  ForEachQuotientCandidate(tableau, [&](const PointedDatabase& cand) {
+    if (!check(cand)) return false;
+    if (!cls.IsGraphBased() && options.candidates.augmentation_budget > 0 &&
+        !cls.Contains(FromTableau(cand))) {
+      bool keep_going = true;
+      ForEachAugmentation(cand, options.candidates.augmentation_budget,
+                          [&](const PointedDatabase& aug) {
+                            keep_going = check(aug);
+                            return keep_going;
+                          });
+      if (!keep_going) return false;
+    }
+    return true;
+  });
+  if (beaten) {
+    result.better_witness = std::move(witness);
+    return result;
+  }
+  result.is_approximation = true;
+  return result;
+}
+
+}  // namespace cqa

@@ -1,0 +1,39 @@
+// The identification problem (paper, Section 4.3): given Q and Q' ∈ C,
+// decide whether Q' is a C-approximation of Q. DP-complete in general
+// (Theorem 4.12); solved here by checking containment plus searching the
+// candidate space for a strictly better C-query.
+
+#ifndef CQA_CORE_VERIFIER_H_
+#define CQA_CORE_VERIFIER_H_
+
+#include <optional>
+
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Verdict of an approximation check.
+struct VerificationResult {
+  bool is_approximation = false;
+  /// When rejected because a strictly better C-query exists, a witness Q''
+  /// with Q' ⊂ Q'' ⊆ Q.
+  std::optional<ConjunctiveQuery> better_witness;
+  /// Rejection reasons for diagnostics.
+  bool failed_class_membership = false;
+  bool failed_containment = false;
+};
+
+/// Checks whether q_prime is a C-approximation of q. Exact for graph-based
+/// classes (the candidate space of Theorem 4.1 is complete); exact up to
+/// the augmentation budget for hypergraph-based classes.
+VerificationResult VerifyApproximation(const ConjunctiveQuery& q_prime,
+                                       const ConjunctiveQuery& q,
+                                       const QueryClass& cls,
+                                       const ApproximationOptions& options =
+                                           {});
+
+}  // namespace cqa
+
+#endif  // CQA_CORE_VERIFIER_H_

@@ -1,0 +1,28 @@
+#include "cq/containment.h"
+
+#include "base/check.h"
+#include "cq/tableau.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+
+bool IsContainedIn(const ConjunctiveQuery& q,
+                   const ConjunctiveQuery& q_prime) {
+  CQA_CHECK(*q.vocab() == *q_prime.vocab());
+  CQA_CHECK(q.free_variables().size() == q_prime.free_variables().size());
+  const PointedDatabase tq = ToTableau(q);
+  const PointedDatabase tq_prime = ToTableau(q_prime);
+  return ExistsHomomorphism(tq_prime, tq);
+}
+
+bool IsStrictlyContainedIn(const ConjunctiveQuery& q,
+                           const ConjunctiveQuery& q_prime) {
+  return IsContainedIn(q, q_prime) && !IsContainedIn(q_prime, q);
+}
+
+bool AreEquivalent(const ConjunctiveQuery& q,
+                   const ConjunctiveQuery& q_prime) {
+  return IsContainedIn(q, q_prime) && IsContainedIn(q_prime, q);
+}
+
+}  // namespace cqa

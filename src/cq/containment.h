@@ -1,0 +1,24 @@
+// Containment and equivalence of conjunctive queries via the Chandra-Merlin
+// theorem (paper, Section 2): Q ⊆ Q' iff (T_Q', x̄') -> (T_Q, x̄).
+
+#ifndef CQA_CQ_CONTAINMENT_H_
+#define CQA_CQ_CONTAINMENT_H_
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Q ⊆ Q': every answer of Q on every database is an answer of Q'.
+/// Requires equal vocabularies and equal free-tuple lengths.
+bool IsContainedIn(const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime);
+
+/// Q ⊂ Q': contained but not equivalent.
+bool IsStrictlyContainedIn(const ConjunctiveQuery& q,
+                           const ConjunctiveQuery& q_prime);
+
+/// Q ≡ Q'.
+bool AreEquivalent(const ConjunctiveQuery& q, const ConjunctiveQuery& q_prime);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_CONTAINMENT_H_

@@ -1,0 +1,84 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+
+ConjunctiveQuery::ConjunctiveQuery(VocabularyPtr vocab)
+    : vocab_(std::move(vocab)) {
+  CQA_CHECK(vocab_ != nullptr);
+}
+
+int ConjunctiveQuery::AddVariable(std::string name) {
+  var_names_.push_back(std::move(name));
+  return num_vars_++;
+}
+
+int ConjunctiveQuery::AddVariables(int k) {
+  CQA_CHECK(k >= 0);
+  const int first = num_vars_;
+  for (int i = 0; i < k; ++i) AddVariable();
+  return first;
+}
+
+void ConjunctiveQuery::AddAtom(RelationId rel, std::vector<int> vars) {
+  CQA_CHECK(rel >= 0 && rel < vocab_->num_relations());
+  CQA_CHECK(static_cast<int>(vars.size()) == vocab_->arity(rel));
+  for (const int v : vars) CQA_CHECK(v >= 0 && v < num_vars_);
+  Atom atom{rel, std::move(vars)};
+  if (std::find(atoms_.begin(), atoms_.end(), atom) != atoms_.end()) return;
+  atoms_.push_back(std::move(atom));
+}
+
+void ConjunctiveQuery::SetFreeVariables(std::vector<int> free_vars) {
+  for (const int v : free_vars) CQA_CHECK(v >= 0 && v < num_vars_);
+  free_vars_ = std::move(free_vars);
+}
+
+const std::string& ConjunctiveQuery::variable_name(int v) const {
+  CQA_CHECK(v >= 0 && v < num_vars_);
+  return var_names_[v];
+}
+
+void ConjunctiveQuery::SetVariableName(int v, std::string name) {
+  CQA_CHECK(v >= 0 && v < num_vars_);
+  var_names_[v] = std::move(name);
+}
+
+void ConjunctiveQuery::Validate() const {
+  CQA_CHECK(!atoms_.empty());
+  std::vector<bool> used(num_vars_, false);
+  for (const Atom& a : atoms_) {
+    for (const int v : a.vars) used[v] = true;
+  }
+  for (int v = 0; v < num_vars_; ++v) CQA_CHECK(used[v]);
+}
+
+std::string PrintQuery(const ConjunctiveQuery& q,
+                       const std::string& head_name) {
+  auto var_name = [&](int v) {
+    const std::string& name = q.variable_name(v);
+    return name.empty() ? "v" + std::to_string(v) : name;
+  };
+  std::string out = head_name + "(";
+  for (size_t i = 0; i < q.free_variables().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += var_name(q.free_variables()[i]);
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    if (i > 0) out += ", ";
+    const Atom& a = q.atoms()[i];
+    out += q.vocab()->name(a.rel) + "(";
+    for (size_t j = 0; j < a.vars.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += var_name(a.vars[j]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace cqa

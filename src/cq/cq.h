@@ -1,0 +1,74 @@
+// Conjunctive queries (paper, Section 2): existential-conjunctive formulas
+// in rule notation Q(x̄) :- R1(x̄1), ..., Rm(x̄m). Variables are dense ints;
+// the free tuple x̄ may repeat variables. The number of joins is m - 1.
+
+#ifndef CQA_CQ_CQ_H_
+#define CQA_CQ_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "data/vocabulary.h"
+
+namespace cqa {
+
+/// A single atom R(v_1, ..., v_k) of a CQ body.
+struct Atom {
+  RelationId rel;
+  std::vector<int> vars;
+
+  bool operator==(const Atom& other) const {
+    return rel == other.rel && vars == other.vars;
+  }
+};
+
+/// A conjunctive query. Build with AddVariable/AddAtom/SetFreeVariables,
+/// then call Validate() (CHECK-fails on malformed queries).
+class ConjunctiveQuery {
+ public:
+  explicit ConjunctiveQuery(VocabularyPtr vocab);
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Adds a variable with an optional display name; returns its id.
+  int AddVariable(std::string name = "");
+
+  /// Adds `k` variables, returns the first id.
+  int AddVariables(int k);
+
+  /// Adds atom rel(vars). Arity must match; duplicate atoms are ignored.
+  void AddAtom(RelationId rel, std::vector<int> vars);
+
+  /// Sets the free tuple x̄ (may repeat variables; may be empty = Boolean).
+  void SetFreeVariables(std::vector<int> free_vars);
+
+  int num_variables() const { return num_vars_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<int>& free_variables() const { return free_vars_; }
+  bool IsBoolean() const { return free_vars_.empty(); }
+
+  /// Number of joins: number of atoms minus one (paper convention).
+  int NumJoins() const { return static_cast<int>(atoms_.size()) - 1; }
+
+  const std::string& variable_name(int v) const;
+  void SetVariableName(int v, std::string name);
+
+  /// CHECK-fails unless: at least one atom, all vars in range, every
+  /// variable occurs in some atom.
+  void Validate() const;
+
+ private:
+  VocabularyPtr vocab_;
+  int num_vars_ = 0;
+  std::vector<Atom> atoms_;
+  std::vector<int> free_vars_;
+  std::vector<std::string> var_names_;
+};
+
+/// Renders the query in rule notation, e.g. "Q(x, y) :- E(x, y), E(y, z)".
+std::string PrintQuery(const ConjunctiveQuery& q,
+                       const std::string& head_name = "Q");
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_CQ_H_

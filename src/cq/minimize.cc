@@ -1,0 +1,17 @@
+#include "cq/minimize.h"
+
+#include "cq/tableau.h"
+#include "hom/core.h"
+
+namespace cqa {
+
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q) {
+  return FromTableau(ComputeCore(ToTableau(q)));
+}
+
+bool IsMinimal(const ConjunctiveQuery& q) {
+  const PointedDatabase tableau = ToTableau(q);
+  return IsCore(tableau.db, tableau.distinguished);
+}
+
+}  // namespace cqa

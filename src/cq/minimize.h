@@ -1,0 +1,20 @@
+// CQ minimization (paper, Section 4.2): every CQ has a unique (up to
+// variable renaming) equivalent minimal query, whose tableau is
+// core(T_Q, x̄). Free variables are frozen during core computation.
+
+#ifndef CQA_CQ_MINIMIZE_H_
+#define CQA_CQ_MINIMIZE_H_
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// The minimized equivalent of q (tableau = core of q's tableau).
+ConjunctiveQuery Minimize(const ConjunctiveQuery& q);
+
+/// True if q is already minimal (its tableau is a core).
+bool IsMinimal(const ConjunctiveQuery& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_MINIMIZE_H_

@@ -1,0 +1,29 @@
+// Parser for the rule notation used throughout the paper:
+//   Q(x, y) :- E(x, y), E(y, z), E(z, x)
+// Boolean queries have an empty head: "Q() :- ...". A trailing '.' is
+// accepted. Variable names are interned in order of first appearance.
+
+#ifndef CQA_CQ_PARSE_H_
+#define CQA_CQ_PARSE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Parses `text` over `vocab`. Returns nullopt (filling `error` if non-null)
+/// on malformed input, unknown relations, arity mismatches, or head
+/// variables that do not occur in the body.
+std::optional<ConjunctiveQuery> ParseQuery(VocabularyPtr vocab,
+                                           std::string_view text,
+                                           std::string* error = nullptr);
+
+/// CHECK-failing convenience for statically known query literals.
+ConjunctiveQuery MustParseQuery(VocabularyPtr vocab, std::string_view text);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_PARSE_H_

@@ -1,0 +1,45 @@
+#include "cq/properties.h"
+
+#include "cq/tableau.h"
+#include "decomp/treewidth.h"
+#include "hypergraph/acyclicity.h"
+
+namespace cqa {
+
+Digraph GraphOfQuery(const ConjunctiveQuery& q) {
+  return HypergraphOfQuery(q).PrimalGraph();
+}
+
+Hypergraph HypergraphOfQuery(const ConjunctiveQuery& q) {
+  Hypergraph h(q.num_variables());
+  for (const Atom& a : q.atoms()) {
+    h.AddEdge(a.vars);
+  }
+  return h;
+}
+
+int QueryTreewidth(const ConjunctiveQuery& q) {
+  return ExactTreewidth(GraphOfQuery(q));
+}
+
+bool IsTreewidthAtMost(const ConjunctiveQuery& q, int k) {
+  return TreewidthAtMost(GraphOfQuery(q), k);
+}
+
+bool IsAcyclicQuery(const ConjunctiveQuery& q) {
+  return IsAcyclic(HypergraphOfQuery(q));
+}
+
+bool IsHypertreeWidthAtMost(const ConjunctiveQuery& q, int k) {
+  return HypertreeWidthAtMost(HypergraphOfQuery(q), k);
+}
+
+bool IsGeneralizedHypertreeWidthAtMost(const ConjunctiveQuery& q, int k) {
+  return GeneralizedHypertreeWidthAtMost(HypergraphOfQuery(q), k);
+}
+
+bool IsGraphQuery(const ConjunctiveQuery& q) {
+  return q.vocab()->num_relations() == 1 && q.vocab()->arity(0) == 2;
+}
+
+}  // namespace cqa

@@ -1,0 +1,30 @@
+// Tableaux of conjunctive queries (paper, Section 2): the body of Q viewed
+// as a database, together with the free tuple x̄ as distinguished elements.
+// Variables and elements correspond one-to-one (variable id = element id).
+
+#ifndef CQA_CQ_TABLEAU_H_
+#define CQA_CQ_TABLEAU_H_
+
+#include "cq/cq.h"
+#include "data/database.h"
+
+namespace cqa {
+
+/// The tableau (T_Q, x̄) of q. Element i is variable i; facts are atoms.
+PointedDatabase ToTableau(const ConjunctiveQuery& q);
+
+/// Reconstructs a query from a tableau. Every element becomes a variable,
+/// every fact an atom, the distinguished tuple the free tuple. Elements not
+/// occurring in any fact are rejected unless they are distinguished... they
+/// cannot be expressed as a safe CQ, so this CHECK-fails (library queries
+/// always keep variables inside atoms).
+ConjunctiveQuery FromTableau(const PointedDatabase& tableau);
+
+/// Boolean shorthand: the tableau of a Boolean query, no distinguished
+/// elements.
+Database ToBooleanTableau(const ConjunctiveQuery& q);
+ConjunctiveQuery BooleanQueryFromStructure(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_TABLEAU_H_

@@ -1,0 +1,42 @@
+#include "cq/trivial.h"
+
+#include "base/check.h"
+#include "cq/containment.h"
+#include "cq/tableau.h"
+#include "graph/standard.h"
+
+namespace cqa {
+
+ConjunctiveQuery TrivialQuery(VocabularyPtr vocab, int num_free) {
+  CQA_CHECK(num_free >= 0);
+  CQA_CHECK(vocab->num_relations() > 0);
+  ConjunctiveQuery q(vocab);
+  const int x = q.AddVariable("x");
+  for (RelationId r = 0; r < vocab->num_relations(); ++r) {
+    q.AddAtom(r, std::vector<int>(vocab->arity(r), x));
+  }
+  q.SetFreeVariables(std::vector<int>(num_free, x));
+  q.Validate();
+  return q;
+}
+
+ConjunctiveQuery TrivialLoopQuery() {
+  return TrivialQuery(Vocabulary::Graph(), 0);
+}
+
+ConjunctiveQuery TrivialBipartiteQuery() {
+  return BooleanQueryFromStructure(BidirectionalEdge().ToDatabase());
+}
+
+ConjunctiveQuery TrivialCliqueQuery(int k_plus_1) {
+  CQA_CHECK(k_plus_1 >= 2);
+  return BooleanQueryFromStructure(CompleteDigraph(k_plus_1).ToDatabase());
+}
+
+bool IsTrivialQuery(const ConjunctiveQuery& q) {
+  return AreEquivalent(
+      q, TrivialQuery(q.vocab(),
+                      static_cast<int>(q.free_variables().size())));
+}
+
+}  // namespace cqa

@@ -1,0 +1,36 @@
+// The trivial queries of Sections 4 and 5: Q_trivial (single variable, all
+// atoms R(x,...,x)), the loop query Q_triv, the bidirectional-edge query
+// Q_triv2, and Q_triv_{k+1} with tableau K_{k+1}<->. Q_trivial is contained
+// in every CQ with a matching free tuple (via the constant homomorphism),
+// which seeds the existence results (Corollary 4.2).
+
+#ifndef CQA_CQ_TRIVIAL_H_
+#define CQA_CQ_TRIVIAL_H_
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Q_trivial over `vocab`: one variable x, atoms R(x,...,x) for every
+/// relation symbol, free tuple = (x, ..., x) of length `num_free`.
+ConjunctiveQuery TrivialQuery(VocabularyPtr vocab, int num_free = 0);
+
+/// Q_triv() :- E(x, x) over graphs (the only acyclic approximation of
+/// non-bipartite Boolean queries, Theorem 5.1).
+ConjunctiveQuery TrivialLoopQuery();
+
+/// Q_triv2() :- E(x, y), E(y, x) (tableau K_2<->): the unique acyclic
+/// approximation of bipartite-but-unbalanced Boolean queries.
+ConjunctiveQuery TrivialBipartiteQuery();
+
+/// Q_triv_{k+1}: Boolean query with tableau K_{k+1}<-> (Section 5.2).
+ConjunctiveQuery TrivialCliqueQuery(int k_plus_1);
+
+/// True if q is equivalent to TrivialQuery over its vocabulary with the
+/// same free-tuple length. For Boolean graph queries this is exactly
+/// "the tableau has a loop".
+bool IsTrivialQuery(const ConjunctiveQuery& q);
+
+}  // namespace cqa
+
+#endif  // CQA_CQ_TRIVIAL_H_

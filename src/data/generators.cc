@@ -1,0 +1,66 @@
+#include "data/generators.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+Database RandomDigraphDatabase(int n, double p, Rng* rng, bool allow_loops) {
+  CQA_CHECK(n >= 0);
+  Database db(Vocabulary::Graph(), n);
+  const RelationId e = 0;
+  for (Element u = 0; u < n; ++u) {
+    for (Element v = 0; v < n; ++v) {
+      if (u == v && !allow_loops) continue;
+      if (rng->Bernoulli(p)) db.AddFact(e, {u, v});
+    }
+  }
+  return db;
+}
+
+Database RandomDatabase(VocabularyPtr vocab, int n, int facts_per_relation,
+                        Rng* rng) {
+  CQA_CHECK(n > 0);
+  Database db(vocab, n);
+  for (RelationId r = 0; r < vocab->num_relations(); ++r) {
+    const int arity = vocab->arity(r);
+    for (int i = 0; i < facts_per_relation; ++i) {
+      Tuple t(arity);
+      for (int j = 0; j < arity; ++j) {
+        t[j] = static_cast<Element>(rng->UniformInt(n));
+      }
+      db.AddFact(r, std::move(t));
+    }
+  }
+  return db;
+}
+
+Database RandomCycleChordDatabase(int n, int extra_edges, Rng* rng) {
+  CQA_CHECK(n >= 1);
+  Database db(Vocabulary::Graph(), n);
+  const RelationId e = 0;
+  for (Element u = 0; u < n; ++u) db.AddFact(e, {u, (u + 1) % n});
+  for (int i = 0; i < extra_edges; ++i) {
+    const Element u = static_cast<Element>(rng->UniformInt(n));
+    const Element v = static_cast<Element>(rng->UniformInt(n));
+    if (u != v) db.AddFact(e, {u, v});
+  }
+  return db;
+}
+
+Database LayeredDigraphDatabase(int layers, int width, double p, Rng* rng) {
+  CQA_CHECK(layers >= 1 && width >= 1);
+  Database db(Vocabulary::Graph(), layers * width);
+  const RelationId e = 0;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      for (int j = 0; j < width; ++j) {
+        if (rng->Bernoulli(p)) {
+          db.AddFact(e, {l * width + i, (l + 1) * width + j});
+        }
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,39 @@
+// Synthetic database generators. The paper's motivating experiment compares
+// evaluating a CQ on "very large databases" against evaluating its tractable
+// approximation; these generators produce the scalable substrates for that
+// comparison and for randomized property tests (DESIGN.md, Section 5).
+
+#ifndef CQA_DATA_GENERATORS_H_
+#define CQA_DATA_GENERATORS_H_
+
+#include "base/rng.h"
+#include "data/database.h"
+
+namespace cqa {
+
+/// Erdős–Rényi digraph database over the graph vocabulary: `n` elements,
+/// each ordered pair (u, v), u != v, is an edge with probability `p`.
+/// With `allow_loops`, loops (u, u) are sampled with probability `p` too.
+Database RandomDigraphDatabase(int n, double p, Rng* rng,
+                               bool allow_loops = false);
+
+/// Random database over an arbitrary vocabulary: `n` elements and, per
+/// relation, `facts_per_relation` facts sampled uniformly (with rejection of
+/// duplicates, so the result may have slightly fewer).
+Database RandomDatabase(VocabularyPtr vocab, int n, int facts_per_relation,
+                        Rng* rng);
+
+/// A database over the graph vocabulary holding a directed cycle of length
+/// `n` plus `extra_edges` random chords; a standard source of both matches
+/// and near-misses for cyclic patterns.
+Database RandomCycleChordDatabase(int n, int extra_edges, Rng* rng);
+
+/// A layered digraph database: `layers` layers of `width` elements, edges
+/// sampled forward between consecutive layers with probability `p`. Balanced
+/// by construction, so cyclic path-shaped patterns have matches only via
+/// their approximations.
+Database LayeredDigraphDatabase(int layers, int width, double p, Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_GENERATORS_H_

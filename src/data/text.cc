@@ -1,0 +1,72 @@
+#include "data/text.h"
+
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace cqa {
+
+std::string PrintDatabase(const Database& db) {
+  std::string out;
+  for (RelationId r = 0; r < db.vocab()->num_relations(); ++r) {
+    for (const Tuple& t : db.facts(r)) {
+      out += db.vocab()->name(r);
+      out += '(';
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += db.ElementName(t[i]);
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+std::optional<Database> ParseDatabase(VocabularyPtr vocab,
+                                      std::string_view text,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Database> {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+  Database db(vocab);
+  std::unordered_map<std::string, Element> interned;
+  auto intern = [&](std::string_view name) -> Element {
+    const auto it = interned.find(std::string(name));
+    if (it != interned.end()) return it->second;
+    const Element e = db.AddElement();
+    db.SetElementName(e, std::string(name));
+    interned.emplace(std::string(name), e);
+    return e;
+  };
+  for (const std::string& raw_line : Split(text, '\n')) {
+    const std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t open = line.find('(');
+    if (open == std::string_view::npos || line.back() != ')') {
+      return fail("malformed fact: " + std::string(line));
+    }
+    const std::string_view rel_name = Trim(line.substr(0, open));
+    const auto rel = vocab->FindRelation(rel_name);
+    if (!rel.has_value()) {
+      return fail("unknown relation: " + std::string(rel_name));
+    }
+    const std::string_view args =
+        line.substr(open + 1, line.size() - open - 2);
+    Tuple tuple;
+    for (const std::string& field : Split(args, ',')) {
+      const std::string_view name = Trim(field);
+      if (!IsIdentifier(name)) {
+        return fail("malformed element name: " + std::string(name));
+      }
+      tuple.push_back(intern(name));
+    }
+    if (static_cast<int>(tuple.size()) != vocab->arity(*rel)) {
+      return fail("arity mismatch for " + std::string(rel_name));
+    }
+    db.AddFact(*rel, std::move(tuple));
+  }
+  return db;
+}
+
+}  // namespace cqa

@@ -1,0 +1,29 @@
+// Text serialization of databases: one fact per line, `R(a, b, c)` syntax.
+// Useful for debugging, examples, and golden tests.
+
+#ifndef CQA_DATA_TEXT_H_
+#define CQA_DATA_TEXT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/database.h"
+
+namespace cqa {
+
+/// Prints all facts of `db`, one per line, sorted by relation then insertion
+/// order, using element names.
+std::string PrintDatabase(const Database& db);
+
+/// Parses the output format of PrintDatabase back into a database over
+/// `vocab`. Element names are arbitrary identifiers; they are interned in
+/// order of first appearance. Returns nullopt (and fills `error` if non-null)
+/// on malformed input.
+std::optional<Database> ParseDatabase(VocabularyPtr vocab,
+                                      std::string_view text,
+                                      std::string* error);
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_TEXT_H_

@@ -1,0 +1,61 @@
+#include "data/vocabulary.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace cqa {
+
+RelationId Vocabulary::AddRelation(std::string name, int arity) {
+  CQA_CHECK(arity > 0);
+  CQA_CHECK(IsIdentifier(name));
+  CQA_CHECK(by_name_.find(name) == by_name_.end());
+  const RelationId id = num_relations();
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  arities_.push_back(arity);
+  return id;
+}
+
+std::optional<RelationId> Vocabulary::FindRelation(
+    std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Vocabulary::arity(RelationId id) const {
+  CQA_CHECK(id >= 0 && id < num_relations());
+  return arities_[id];
+}
+
+const std::string& Vocabulary::name(RelationId id) const {
+  CQA_CHECK(id >= 0 && id < num_relations());
+  return names_[id];
+}
+
+int Vocabulary::max_arity() const {
+  int m = 0;
+  for (const int a : arities_) m = std::max(m, a);
+  return m;
+}
+
+bool Vocabulary::operator==(const Vocabulary& other) const {
+  return names_ == other.names_ && arities_ == other.arities_;
+}
+
+std::shared_ptr<const Vocabulary> Vocabulary::Graph() {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation("E", 2);
+  return v;
+}
+
+std::shared_ptr<const Vocabulary> Vocabulary::Single(std::string name,
+                                                     int arity) {
+  auto v = std::make_shared<Vocabulary>();
+  v->AddRelation(std::move(name), arity);
+  return v;
+}
+
+}  // namespace cqa

@@ -1,0 +1,440 @@
+#include "decomp/hypertree.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/union_find.h"
+
+namespace cqa {
+
+int HypertreeDecomposition::Width() const {
+  int w = 0;
+  for (const auto& l : lambda) w = std::max(w, static_cast<int>(l.size()));
+  return w;
+}
+
+namespace {
+
+std::vector<int> SortedUnion(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<int> SortedIntersection(const std::vector<int>& a,
+                                    const std::vector<int>& b) {
+  std::vector<int> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<int> NodesOfEdgeSet(const Hypergraph& h,
+                                const std::vector<int>& edge_indices) {
+  std::vector<int> nodes;
+  for (const int e : edge_indices) {
+    nodes.insert(nodes.end(), h.edge(e).begin(), h.edge(e).end());
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+bool IsSubset(const std::vector<int>& small, const std::vector<int>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+// ---------------------------------------------------------------------------
+// Validators
+// ---------------------------------------------------------------------------
+
+bool ValidateCommonHTD(const Hypergraph& h, const HypertreeDecomposition& hd,
+                       bool check_special) {
+  const int t = hd.num_nodes();
+  if (static_cast<int>(hd.chi.size()) != t ||
+      static_cast<int>(hd.lambda.size()) != t) {
+    return false;
+  }
+  // Forest structure.
+  UnionFind uf(std::max(t, 1));
+  for (int u = 0; u < t; ++u) {
+    const int p = hd.parent[u];
+    if (p < -1 || p >= t || p == u) return false;
+    if (p >= 0 && !uf.Union(u, p)) return false;
+  }
+  // chi(u) ⊆ nodes(lambda(u)).
+  for (int u = 0; u < t; ++u) {
+    if (!std::is_sorted(hd.chi[u].begin(), hd.chi[u].end())) return false;
+    const std::vector<int> guard_nodes = NodesOfEdgeSet(h, hd.lambda[u]);
+    if (!IsSubset(hd.chi[u], guard_nodes)) return false;
+  }
+  // (tree, chi) must be a tree decomposition of h: every hyperedge inside a
+  // bag; every node's bags connected; every node in some bag.
+  for (const auto& e : h.edges()) {
+    bool covered = false;
+    for (int u = 0; u < t; ++u) {
+      if (IsSubset(e, hd.chi[u])) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  std::vector<bool> seen(h.num_nodes(), false);
+  for (int u = 0; u < t; ++u) {
+    for (const int v : hd.chi[u]) {
+      if (v < 0 || v >= h.num_nodes()) return false;
+      seen[v] = true;
+    }
+  }
+  for (int v = 0; v < h.num_nodes(); ++v) {
+    if (!seen[v] && !h.edges_of(v).empty()) return false;
+  }
+  for (int v = 0; v < h.num_nodes(); ++v) {
+    UnionFind local(std::max(t, 1));
+    auto contains = [&](int u) {
+      return std::binary_search(hd.chi[u].begin(), hd.chi[u].end(), v);
+    };
+    for (int u = 0; u < t; ++u) {
+      if (hd.parent[u] >= 0 && contains(u) && contains(hd.parent[u])) {
+        local.Union(u, hd.parent[u]);
+      }
+    }
+    int root = -1;
+    for (int u = 0; u < t; ++u) {
+      if (!contains(u)) continue;
+      if (root < 0) {
+        root = local.Find(u);
+      } else if (local.Find(u) != root) {
+        return false;
+      }
+    }
+  }
+  if (check_special) {
+    // nodes(lambda(u)) ∩ chi(T_u) ⊆ chi(u), where T_u is u's subtree.
+    // Compute subtree chi unions bottom-up over the forest.
+    std::vector<std::vector<int>> subtree_chi(t);
+    // Topological processing: children before parents.
+    std::vector<std::vector<int>> children(t);
+    std::vector<int> order;
+    for (int u = 0; u < t; ++u) {
+      if (hd.parent[u] >= 0) children[hd.parent[u]].push_back(u);
+    }
+    std::vector<int> stack;
+    for (int u = 0; u < t; ++u) {
+      if (hd.parent[u] < 0) stack.push_back(u);
+    }
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const int c : children[u]) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+    for (const int u : order) {
+      subtree_chi[u] = hd.chi[u];
+      for (const int c : children[u]) {
+        subtree_chi[u] = SortedUnion(subtree_chi[u], subtree_chi[c]);
+      }
+      const std::vector<int> guard_nodes = NodesOfEdgeSet(h, hd.lambda[u]);
+      const std::vector<int> violating =
+          SortedIntersection(guard_nodes, subtree_chi[u]);
+      if (!IsSubset(violating, hd.chi[u])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateGeneralizedHypertree(const Hypergraph& h,
+                                  const HypertreeDecomposition& hd) {
+  return ValidateCommonHTD(h, hd, /*check_special=*/false);
+}
+
+bool ValidateHypertree(const Hypergraph& h,
+                       const HypertreeDecomposition& hd) {
+  return ValidateCommonHTD(h, hd, /*check_special=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// det-k-decomp-style search for hypertree width <= k
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct HtwSearch {
+  const Hypergraph* h;
+  int k;
+  // Memoized verdicts per (component, connector); on success, remembers the
+  // chosen separator so the decomposition can be reconstructed.
+  struct Key {
+    std::vector<int> comp;
+    std::vector<int> conn;
+    bool operator==(const Key& o) const {
+      return comp == o.comp && conn == o.conn;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashCombine(HashVector(k.comp), HashVector(k.conn));
+    }
+  };
+  std::unordered_map<Key, std::optional<std::vector<int>>, KeyHash> memo;
+
+  // Splits `comp` (edge indices) against bag `chi` into sub-components.
+  // Each sub-component is a set of edges; edges fully inside chi are covered
+  // and belong to no sub-component. Also returns each sub-component's
+  // connector nodes(C_i) ∩ chi.
+  void SplitComponents(const std::vector<int>& comp,
+                       const std::vector<int>& chi,
+                       std::vector<std::vector<int>>* comps,
+                       std::vector<std::vector<int>>* conns) const {
+    comps->clear();
+    conns->clear();
+    const int n = h->num_nodes();
+    UnionFind uf(n);
+    std::vector<bool> in_chi(n, false);
+    for (const int v : chi) in_chi[v] = true;
+    for (const int e : comp) {
+      const auto& nodes = h->edge(e);
+      int prev = -1;
+      for (const int v : nodes) {
+        if (in_chi[v]) continue;
+        if (prev >= 0) uf.Union(prev, v);
+        prev = v;
+      }
+    }
+    std::map<int, int> root_to_comp;
+    for (const int e : comp) {
+      int root = -1;
+      for (const int v : h->edge(e)) {
+        if (!in_chi[v]) {
+          root = uf.Find(v);
+          break;
+        }
+      }
+      if (root < 0) continue;  // covered by chi
+      const auto [it, inserted] =
+          root_to_comp.emplace(root, static_cast<int>(comps->size()));
+      if (inserted) {
+        comps->emplace_back();
+        conns->emplace_back();
+      }
+      (*comps)[it->second].push_back(e);
+    }
+    for (size_t i = 0; i < comps->size(); ++i) {
+      std::sort((*comps)[i].begin(), (*comps)[i].end());
+      (*conns)[i] =
+          SortedIntersection(NodesOfEdgeSet(*h, (*comps)[i]), chi);
+    }
+  }
+
+  bool Decompose(const std::vector<int>& comp, const std::vector<int>& conn) {
+    if (comp.empty()) return true;
+    Key key{comp, conn};
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second.has_value();
+    memo.emplace(key, std::nullopt);  // guard against re-entry
+
+    const int m = h->num_edges();
+    std::vector<int> sep;
+    bool found = false;
+    std::vector<int> comp_nodes = NodesOfEdgeSet(*h, comp);
+    std::vector<int> scope = SortedUnion(comp_nodes, conn);
+
+    // Enumerate separators: subsets of all hyperedges of size 1..k.
+    std::vector<int> indices;
+    std::function<void(int, int)> enumerate = [&](int start, int remaining) {
+      if (found) return;
+      if (!sep.empty()) {
+        // Check: conn ⊆ nodes(sep)?
+        const std::vector<int> sep_nodes = NodesOfEdgeSet(*h, sep);
+        if (IsSubset(conn, sep_nodes)) {
+          const std::vector<int> chi = SortedIntersection(sep_nodes, scope);
+          std::vector<std::vector<int>> comps, conns;
+          SplitComponents(comp, chi, &comps, &conns);
+          bool progress = true;
+          for (size_t i = 0; i < comps.size(); ++i) {
+            if (comps[i] == comp && conns[i] == conn) {
+              progress = false;
+              break;
+            }
+          }
+          if (progress) {
+            bool all = true;
+            for (size_t i = 0; i < comps.size() && all; ++i) {
+              all = Decompose(comps[i], conns[i]);
+            }
+            if (all) {
+              memo[key] = sep;
+              found = true;
+              return;
+            }
+          }
+        }
+      }
+      if (remaining == 0) return;
+      for (int e = start; e < m && !found; ++e) {
+        sep.push_back(e);
+        enumerate(e + 1, remaining - 1);
+        sep.pop_back();
+      }
+    };
+    enumerate(0, k);
+    if (!found) memo[key] = std::nullopt;
+    return found;
+  }
+
+  // Reconstructs the decomposition for a solved (comp, conn) state,
+  // appending nodes to `out`. Returns the created root index.
+  int Build(const std::vector<int>& comp, const std::vector<int>& conn,
+            int parent, HypertreeDecomposition* out) {
+    Key key{comp, conn};
+    const auto it = memo.find(key);
+    CQA_CHECK(it != memo.end() && it->second.has_value());
+    const std::vector<int>& sep = *it->second;
+    const std::vector<int> sep_nodes = NodesOfEdgeSet(*h, sep);
+    const std::vector<int> scope =
+        SortedUnion(NodesOfEdgeSet(*h, comp), conn);
+    const std::vector<int> chi = SortedIntersection(sep_nodes, scope);
+    const int u = out->num_nodes();
+    out->parent.push_back(parent);
+    out->chi.push_back(chi);
+    out->lambda.push_back(sep);
+    std::vector<std::vector<int>> comps, conns;
+    SplitComponents(comp, chi, &comps, &conns);
+    for (size_t i = 0; i < comps.size(); ++i) {
+      Build(comps[i], conns[i], u, out);
+    }
+    return u;
+  }
+};
+
+}  // namespace
+
+std::optional<HypertreeDecomposition> FindHypertreeDecomposition(
+    const Hypergraph& h, int k) {
+  CQA_CHECK(k >= 1);
+  HtwSearch search;
+  search.h = &h;
+  search.k = k;
+  std::vector<int> all_edges(h.num_edges());
+  for (int i = 0; i < h.num_edges(); ++i) all_edges[i] = i;
+  if (!search.Decompose(all_edges, {})) return std::nullopt;
+  HypertreeDecomposition hd;
+  if (h.num_edges() > 0) search.Build(all_edges, {}, -1, &hd);
+  return hd;
+}
+
+bool HypertreeWidthAtMost(const Hypergraph& h, int k) {
+  return FindHypertreeDecomposition(h, k).has_value();
+}
+
+int HypertreeWidth(const Hypergraph& h) {
+  if (h.num_edges() == 0) return 0;
+  for (int k = 1; k <= h.num_edges(); ++k) {
+    if (HypertreeWidthAtMost(h, k)) return k;
+  }
+  return h.num_edges();  // unreachable: all edges in one bag always works
+}
+
+// ---------------------------------------------------------------------------
+// Generalized hypertree width via coverage-constrained elimination search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Can `target` (bitmask of nodes) be covered by at most k hyperedges?
+bool CoverableByK(const std::vector<uint64_t>& edge_masks, uint64_t target,
+                  int k) {
+  if (target == 0) return true;
+  if (k == 0) return false;
+  const int v = __builtin_ctzll(target);
+  for (const uint64_t em : edge_masks) {
+    if ((em >> v) & 1) {
+      if (CoverableByK(edge_masks, target & ~em, k - 1)) return true;
+    }
+  }
+  return false;
+}
+
+struct GhwSearch {
+  std::vector<uint64_t> adj;
+  std::vector<uint64_t> edge_masks;
+  int n;
+  int k;
+  std::unordered_map<uint64_t, bool> memo;
+
+  uint64_t Reach(int v, uint64_t eliminated) const {
+    uint64_t frontier = adj[v] & eliminated;
+    uint64_t visited = frontier | (uint64_t{1} << v);
+    uint64_t result = adj[v] & ~eliminated;
+    while (frontier != 0) {
+      const int u = __builtin_ctzll(frontier);
+      frontier &= frontier - 1;
+      const uint64_t nbrs = adj[u];
+      result |= nbrs & ~eliminated;
+      const uint64_t fresh = nbrs & eliminated & ~visited;
+      visited |= fresh;
+      frontier |= fresh;
+    }
+    return result & ~(uint64_t{1} << v);
+  }
+
+  bool Search(uint64_t eliminated, int remaining) {
+    if (remaining == 0) return true;
+    const auto it = memo.find(eliminated);
+    if (it != memo.end()) return it->second;
+    bool ok = false;
+    for (int v = 0; v < n && !ok; ++v) {
+      if (eliminated & (uint64_t{1} << v)) continue;
+      const uint64_t bag = Reach(v, eliminated) | (uint64_t{1} << v);
+      if (!CoverableByK(edge_masks, bag, k)) continue;
+      ok = Search(eliminated | (uint64_t{1} << v), remaining - 1);
+    }
+    memo.emplace(eliminated, ok);
+    return ok;
+  }
+};
+
+}  // namespace
+
+bool GeneralizedHypertreeWidthAtMost(const Hypergraph& h, int k) {
+  CQA_CHECK(k >= 1);
+  CQA_CHECK(h.num_nodes() <= 64);
+  for (int v = 0; v < h.num_nodes(); ++v) {
+    if (h.edges_of(v).empty()) return false;  // uncoverable node
+  }
+  GhwSearch search;
+  search.n = h.num_nodes();
+  search.k = k;
+  search.adj.assign(search.n, 0);
+  const Digraph primal = h.PrimalGraph();
+  for (const auto& [u, v] : primal.edges()) {
+    if (u != v) search.adj[u] |= uint64_t{1} << v;
+  }
+  for (const auto& e : h.edges()) {
+    uint64_t mask = 0;
+    for (const int v : e) mask |= uint64_t{1} << v;
+    search.edge_masks.push_back(mask);
+  }
+  return search.Search(0, search.n);
+}
+
+int GeneralizedHypertreeWidth(const Hypergraph& h) {
+  if (h.num_edges() == 0) return 0;
+  for (int k = 1; k <= h.num_edges(); ++k) {
+    if (GeneralizedHypertreeWidthAtMost(h, k)) return k;
+  }
+  return h.num_edges();
+}
+
+}  // namespace cqa

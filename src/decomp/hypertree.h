@@ -1,0 +1,60 @@
+// Hypertree decompositions (paper, Section 6; Gottlob–Leone–Scarcello).
+// HTW(k) membership is decided by a det-k-decomp-style search; GHTW(k) by a
+// bag-coverage-constrained elimination search over the primal graph.
+// AC = HTW(1) (the paper's Section 6).
+
+#ifndef CQA_DECOMP_HYPERTREE_H_
+#define CQA_DECOMP_HYPERTREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace cqa {
+
+/// A (generalized) hypertree decomposition: a rooted forest whose nodes
+/// carry a bag chi(u) of hypergraph nodes and a guard lambda(u) of
+/// hyperedge indices.
+struct HypertreeDecomposition {
+  std::vector<int> parent;               ///< -1 for roots
+  std::vector<std::vector<int>> chi;     ///< sorted node sets
+  std::vector<std::vector<int>> lambda;  ///< sorted hyperedge-index sets
+
+  int num_nodes() const { return static_cast<int>(parent.size()); }
+
+  /// max |lambda(u)|; 0 if empty.
+  int Width() const;
+};
+
+/// Validates the generalized hypertree decomposition conditions: (a)
+/// (tree, chi) is a tree decomposition of h; (b) chi(u) ⊆ nodes(lambda(u)).
+bool ValidateGeneralizedHypertree(const Hypergraph& h,
+                                  const HypertreeDecomposition& hd);
+
+/// Validates a full hypertree decomposition: the generalized conditions
+/// plus the special condition nodes(lambda(u)) ∩ chi(T_u) ⊆ chi(u).
+bool ValidateHypertree(const Hypergraph& h, const HypertreeDecomposition& hd);
+
+/// Decides hypertree width <= k and, on success, returns a witness
+/// decomposition of width <= k (det-k-decomp).
+std::optional<HypertreeDecomposition> FindHypertreeDecomposition(
+    const Hypergraph& h, int k);
+
+/// Decision form of FindHypertreeDecomposition.
+bool HypertreeWidthAtMost(const Hypergraph& h, int k);
+
+/// Exact hypertree width (0 for edgeless hypergraphs).
+int HypertreeWidth(const Hypergraph& h);
+
+/// Decides generalized hypertree width <= k via an exact elimination-order
+/// search over the primal graph with per-bag coverage constraints.
+/// Requires <= 64 nodes and every node incident to some hyperedge.
+bool GeneralizedHypertreeWidthAtMost(const Hypergraph& h, int k);
+
+/// Exact generalized hypertree width.
+int GeneralizedHypertreeWidth(const Hypergraph& h);
+
+}  // namespace cqa
+
+#endif  // CQA_DECOMP_HYPERTREE_H_

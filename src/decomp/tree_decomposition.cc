@@ -1,0 +1,104 @@
+#include "decomp/tree_decomposition.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/union_find.h"
+
+namespace cqa {
+
+int TreeDecomposition::Width() const {
+  int w = -1;
+  for (const auto& bag : bags) {
+    w = std::max(w, static_cast<int>(bag.size()) - 1);
+  }
+  return w;
+}
+
+namespace {
+
+bool BagContains(const std::vector<int>& bag, int v) {
+  return std::binary_search(bag.begin(), bag.end(), v);
+}
+
+bool ValidateCommon(const TreeDecomposition& td, int num_nodes) {
+  const int b = static_cast<int>(td.bags.size());
+  // Bags sorted/unique and in range.
+  for (const auto& bag : td.bags) {
+    if (!std::is_sorted(bag.begin(), bag.end())) return false;
+    if (std::adjacent_find(bag.begin(), bag.end()) != bag.end()) return false;
+    for (const int v : bag) {
+      if (v < 0 || v >= num_nodes) return false;
+    }
+  }
+  // Tree edges form a forest over bags.
+  UnionFind uf(std::max(b, 1));
+  for (const auto& [x, y] : td.tree_edges) {
+    if (x < 0 || x >= b || y < 0 || y >= b) return false;
+    if (!uf.Union(x, y)) return false;  // cycle
+  }
+  // Every node appears in some bag.
+  std::vector<bool> seen(num_nodes, false);
+  for (const auto& bag : td.bags) {
+    for (const int v : bag) seen[v] = true;
+  }
+  for (int v = 0; v < num_nodes; ++v) {
+    if (!seen[v]) return false;
+  }
+  // Connectedness: for each node, bags containing it are connected via tree
+  // edges whose both endpoints contain it.
+  for (int v = 0; v < num_nodes; ++v) {
+    UnionFind local(std::max(b, 1));
+    for (const auto& [x, y] : td.tree_edges) {
+      if (BagContains(td.bags[x], v) && BagContains(td.bags[y], v)) {
+        local.Union(x, y);
+      }
+    }
+    int root = -1;
+    for (int i = 0; i < b; ++i) {
+      if (!BagContains(td.bags[i], v)) continue;
+      if (root < 0) {
+        root = local.Find(i);
+      } else if (local.Find(i) != root) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidateTreeDecomposition(const TreeDecomposition& td, const Digraph& g) {
+  if (!ValidateCommon(td, g.num_nodes())) return false;
+  for (const auto& [u, v] : g.edges()) {
+    if (u == v) continue;
+    bool covered = false;
+    for (const auto& bag : td.bags) {
+      if (BagContains(bag, u) && BagContains(bag, v)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool ValidateTreeDecomposition(const TreeDecomposition& td,
+                               const Hypergraph& h) {
+  if (!ValidateCommon(td, h.num_nodes())) return false;
+  for (const auto& e : h.edges()) {
+    bool covered = false;
+    for (const auto& bag : td.bags) {
+      if (std::includes(bag.begin(), bag.end(), e.begin(), e.end())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace cqa

@@ -1,0 +1,39 @@
+// Tree decompositions of graphs/hypergraphs (paper, Section 3). Bounded
+// treewidth of the query graph G(Q) characterizes tractable graph-based CQ
+// classes [23]; decompositions also drive the O(|D|^{k+1}) evaluation engine.
+
+#ifndef CQA_DECOMP_TREE_DECOMPOSITION_H_
+#define CQA_DECOMP_TREE_DECOMPOSITION_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "hypergraph/hypergraph.h"
+
+namespace cqa {
+
+/// A tree decomposition: bags of nodes connected by tree edges. A forest is
+/// allowed (one tree per connected component).
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;           ///< each sorted, unique
+  std::vector<std::pair<int, int>> tree_edges;  ///< over bag indices
+
+  /// max |bag| - 1, or -1 if there are no bags.
+  int Width() const;
+};
+
+/// Checks the two decomposition conditions against an undirected graph
+/// (given as a symmetric digraph): every edge {u,v} (u != v) inside some
+/// bag, every node's bags form a connected subtree, every node in a bag,
+/// and the bag graph is a forest.
+bool ValidateTreeDecomposition(const TreeDecomposition& td, const Digraph& g);
+
+/// Checks a decomposition against a hypergraph: every hyperedge inside some
+/// bag plus the conditions above on the primal graph.
+bool ValidateTreeDecomposition(const TreeDecomposition& td,
+                               const Hypergraph& h);
+
+}  // namespace cqa
+
+#endif  // CQA_DECOMP_TREE_DECOMPOSITION_H_

@@ -1,0 +1,31 @@
+#include "eval/answer_set.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+AnswerSet::AnswerSet(int arity) : arity_(arity) { CQA_CHECK(arity >= 0); }
+
+bool AnswerSet::Insert(Tuple t) {
+  CQA_CHECK(static_cast<int>(t.size()) == arity_);
+  return tuples_.insert(std::move(t)).second;
+}
+
+bool AnswerSet::Contains(const Tuple& t) const {
+  return tuples_.count(t) > 0;
+}
+
+bool AnswerSet::IsSubsetOf(const AnswerSet& other) const {
+  if (arity_ != other.arity_) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+bool AnswerSet::operator==(const AnswerSet& other) const {
+  return arity_ == other.arity_ && size() == other.size() &&
+         IsSubsetOf(other);
+}
+
+}  // namespace cqa

@@ -1,0 +1,47 @@
+// Answer sets of conjunctive queries: finite sets of tuples over database
+// elements. Boolean queries use arity-0 tuples (nonempty set = true).
+
+#ifndef CQA_EVAL_ANSWER_SET_H_
+#define CQA_EVAL_ANSWER_SET_H_
+
+#include <unordered_set>
+
+#include "data/database.h"
+
+namespace cqa {
+
+/// A deduplicated set of answer tuples of a fixed arity.
+class AnswerSet {
+ public:
+  explicit AnswerSet(int arity);
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple; returns true if new.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// Boolean reading: a Boolean query is true iff the (arity-0) answer set
+  /// contains the empty tuple, i.e., is nonempty.
+  bool AsBoolean() const { return !tuples_.empty(); }
+
+  /// Set containment/equality — used to verify soundness of approximations
+  /// (Q' ⊆ Q must give Q'(D) ⊆ Q(D) on every D).
+  bool IsSubsetOf(const AnswerSet& other) const;
+  bool operator==(const AnswerSet& other) const;
+
+  const std::unordered_set<Tuple, VectorHash>& tuples() const {
+    return tuples_;
+  }
+
+ private:
+  int arity_;
+  std::unordered_set<Tuple, VectorHash> tuples_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_ANSWER_SET_H_

@@ -1,0 +1,142 @@
+#include "eval/naive.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+struct NaiveContext {
+  const ConjunctiveQuery* q;
+  const Database* db;
+  std::vector<int> atom_order;
+  std::vector<Element> assignment;  // -1 = unbound
+  AnswerSet* answers;
+  NaiveStats* stats;
+  bool boolean_early_exit = false;
+  bool found = false;
+};
+
+// Greedy connected atom order: start from the atom with most free variables,
+// then repeatedly take an atom sharing a variable with the bound set.
+std::vector<int> OrderAtoms(const ConjunctiveQuery& q) {
+  const int m = static_cast<int>(q.atoms().size());
+  std::vector<bool> used(m, false);
+  std::vector<bool> bound(q.num_variables(), false);
+  std::vector<int> order;
+  order.reserve(m);
+  for (int step = 0; step < m; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const int v : q.atoms()[i].vars) {
+        if (bound[v]) score += 2;
+      }
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const int v : q.atoms()[best].vars) bound[v] = true;
+  }
+  return order;
+}
+
+void Backtrack(NaiveContext* ctx, size_t depth) {
+  if (ctx->stats != nullptr) ++ctx->stats->nodes;
+  if (ctx->found && ctx->boolean_early_exit) return;
+  if (depth == ctx->atom_order.size()) {
+    const auto& free_tuple = ctx->q->free_variables();
+    Tuple answer(free_tuple.size());
+    for (size_t i = 0; i < free_tuple.size(); ++i) {
+      answer[i] = ctx->assignment[free_tuple[i]];
+      CQA_CHECK(answer[i] >= 0);
+    }
+    if (ctx->answers != nullptr) ctx->answers->Insert(std::move(answer));
+    ctx->found = true;
+    return;
+  }
+  const Atom& atom = ctx->q->atoms()[ctx->atom_order[depth]];
+  for (const Tuple& fact : ctx->db->facts(atom.rel)) {
+    // Try to unify the atom with this fact.
+    std::vector<int> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const int v = atom.vars[i];
+      if (ctx->assignment[v] < 0) {
+        ctx->assignment[v] = fact[i];
+        newly_bound.push_back(v);
+      } else if (ctx->assignment[v] != fact[i]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      Backtrack(ctx, depth + 1);
+    }
+    for (const int v : newly_bound) ctx->assignment[v] = -1;
+    if (ctx->found && ctx->boolean_early_exit) return;
+  }
+}
+
+}  // namespace
+
+AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
+                        NaiveStats* stats) {
+  q.Validate();
+  AnswerSet answers(static_cast<int>(q.free_variables().size()));
+  NaiveContext ctx;
+  ctx.q = &q;
+  ctx.db = &db;
+  ctx.atom_order = OrderAtoms(q);
+  ctx.assignment.assign(q.num_variables(), -1);
+  ctx.answers = &answers;
+  ctx.stats = stats;
+  Backtrack(&ctx, 0);
+  return answers;
+}
+
+bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
+                          NaiveStats* stats) {
+  q.Validate();
+  NaiveContext ctx;
+  ctx.q = &q;
+  ctx.db = &db;
+  ctx.atom_order = OrderAtoms(q);
+  ctx.assignment.assign(q.num_variables(), -1);
+  ctx.answers = nullptr;
+  ctx.stats = stats;
+  ctx.boolean_early_exit = true;
+  Backtrack(&ctx, 0);
+  return ctx.found;
+}
+
+bool AnswerContains(const ConjunctiveQuery& q, const Database& db,
+                    const Tuple& answer) {
+  CQA_CHECK(answer.size() == q.free_variables().size());
+  // Bind the free tuple, then run Boolean early-exit search.
+  NaiveContext ctx;
+  ctx.q = &q;
+  ctx.db = &db;
+  ctx.atom_order = OrderAtoms(q);
+  ctx.assignment.assign(q.num_variables(), -1);
+  for (size_t i = 0; i < answer.size(); ++i) {
+    const int v = q.free_variables()[i];
+    if (ctx.assignment[v] >= 0 && ctx.assignment[v] != answer[i]) {
+      return false;
+    }
+    ctx.assignment[v] = answer[i];
+  }
+  ctx.answers = nullptr;
+  ctx.stats = nullptr;
+  ctx.boolean_early_exit = true;
+  Backtrack(&ctx, 0);
+  return ctx.found;
+}
+
+}  // namespace cqa

@@ -1,0 +1,35 @@
+// The baseline evaluation engine: backtracking join with combined
+// complexity |D|^O(|Q|) (paper, Introduction). This is the comparator the
+// approximations are designed to beat; it is intentionally generic and
+// index-light.
+
+#ifndef CQA_EVAL_NAIVE_H_
+#define CQA_EVAL_NAIVE_H_
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/answer_set.h"
+
+namespace cqa {
+
+/// Statistics of a naive evaluation run.
+struct NaiveStats {
+  long long nodes = 0;  ///< search-tree nodes explored
+};
+
+/// Computes Q(D) by backtracking over atoms (connected order, scan-based
+/// matching). Exact but exponential in |Q|.
+AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
+                        NaiveStats* stats = nullptr);
+
+/// Boolean early-exit variant: stops at the first witness.
+bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
+                          NaiveStats* stats = nullptr);
+
+/// Membership test: is `answer` in Q(D)?
+bool AnswerContains(const ConjunctiveQuery& q, const Database& db,
+                    const Tuple& answer);
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_NAIVE_H_

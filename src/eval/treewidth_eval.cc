@@ -1,0 +1,144 @@
+#include "eval/treewidth_eval.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+#include "base/union_find.h"
+#include "cq/properties.h"
+#include "decomp/treewidth.h"
+#include "eval/var_table.h"
+
+namespace cqa {
+namespace {
+
+// Candidate values per variable: elements occurring at the variable's
+// positions in its atoms' relations (intersection across occurrences).
+std::vector<std::vector<Element>> VariableCandidates(
+    const ConjunctiveQuery& q, const Database& db) {
+  const int n = q.num_variables();
+  std::vector<std::vector<Element>> candidates(n);
+  std::vector<bool> seeded(n, false);
+  for (const Atom& atom : q.atoms()) {
+    const auto& facts = db.facts(atom.rel);
+    for (size_t pos = 0; pos < atom.vars.size(); ++pos) {
+      const int v = atom.vars[pos];
+      std::vector<Element> values;
+      for (const Tuple& t : facts) values.push_back(t[pos]);
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (!seeded[v]) {
+        candidates[v] = std::move(values);
+        seeded[v] = true;
+      } else {
+        std::vector<Element> merged;
+        std::set_intersection(candidates[v].begin(), candidates[v].end(),
+                              values.begin(), values.end(),
+                              std::back_inserter(merged));
+        candidates[v] = std::move(merged);
+      }
+    }
+  }
+  return candidates;
+}
+
+// Materializes the table of one bag: all assignments of the bag's variables
+// (from per-variable candidates) satisfying every atom fully contained in
+// the bag. O(prod |candidates|) = O(|D|^{k+1}).
+VarTable BagTable(const std::vector<int>& bag,
+                  const std::vector<const Atom*>& bag_atoms,
+                  const std::vector<std::vector<Element>>& candidates,
+                  const Database& db) {
+  VarTable out;
+  out.vars = bag;
+  Tuple row(bag.size());
+  std::function<void(size_t)> enumerate = [&](size_t i) {
+    if (i == bag.size()) {
+      for (const Atom* atom : bag_atoms) {
+        Tuple fact(atom->vars.size());
+        for (size_t j = 0; j < atom->vars.size(); ++j) {
+          const auto it =
+              std::lower_bound(bag.begin(), bag.end(), atom->vars[j]);
+          fact[j] = row[it - bag.begin()];
+        }
+        if (!db.HasFact(atom->rel, fact)) return;
+      }
+      out.rows.push_back(row);
+      return;
+    }
+    for (const Element e : candidates[bag[i]]) {
+      row[i] = e;
+      enumerate(i + 1);
+    }
+  };
+  enumerate(0);
+  return out;
+}
+
+}  // namespace
+
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
+                            const TreeDecomposition& td) {
+  q.Validate();
+  CQA_CHECK(ValidateTreeDecomposition(td, GraphOfQuery(q)));
+  const int b = static_cast<int>(td.bags.size());
+  CQA_CHECK(b > 0);
+
+  // Assign each atom to a bag containing all its variables (exists by the
+  // clique-containment property of tree decompositions).
+  std::vector<std::vector<const Atom*>> atoms_of_bag(b);
+  for (const Atom& atom : q.atoms()) {
+    std::vector<int> scope = atom.vars;
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+    int chosen = -1;
+    for (int i = 0; i < b && chosen < 0; ++i) {
+      if (std::includes(td.bags[i].begin(), td.bags[i].end(), scope.begin(),
+                        scope.end())) {
+        chosen = i;
+      }
+    }
+    CQA_CHECK(chosen >= 0);
+    atoms_of_bag[chosen].push_back(&atom);
+  }
+
+  const auto candidates = VariableCandidates(q, db);
+  std::vector<VarTable> tables(b);
+  for (int i = 0; i < b; ++i) {
+    tables[i] = BagTable(td.bags[i], atoms_of_bag[i], candidates, db);
+  }
+
+  // Orient the decomposition forest.
+  std::vector<int> parent(b, -1);
+  {
+    std::vector<std::vector<int>> adj(b);
+    for (const auto& [x, y] : td.tree_edges) {
+      adj[x].push_back(y);
+      adj[y].push_back(x);
+    }
+    std::vector<bool> visited(b, false);
+    for (int r = 0; r < b; ++r) {
+      if (visited[r]) continue;
+      visited[r] = true;
+      std::vector<int> stack = {r};
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const int v : adj[u]) {
+          if (!visited[v]) {
+            visited[v] = true;
+            parent[v] = u;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return EvaluateJoinForest(std::move(tables), parent, q.free_variables());
+}
+
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db) {
+  return EvaluateTreewidth(q, db, MinFillDecomposition(GraphOfQuery(q)));
+}
+
+}  // namespace cqa

@@ -1,0 +1,26 @@
+// Bounded-treewidth CQ evaluation (paper, Introduction; [11, 16, 30]):
+// materialize a table per bag of a tree decomposition of G(Q)
+// (O(|D|^{k+1}) work for width k), then run the acyclic join-forest DP over
+// the decomposition tree.
+
+#ifndef CQA_EVAL_TREEWIDTH_EVAL_H_
+#define CQA_EVAL_TREEWIDTH_EVAL_H_
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "decomp/tree_decomposition.h"
+#include "eval/answer_set.h"
+
+namespace cqa {
+
+/// Computes Q(D) using the given tree decomposition of G(Q) (must be
+/// valid; width governs the cost).
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
+                            const TreeDecomposition& td);
+
+/// Convenience: builds a min-fill decomposition internally.
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_TREEWIDTH_EVAL_H_

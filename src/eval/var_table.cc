@@ -1,0 +1,291 @@
+#include "eval/var_table.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace cqa {
+namespace {
+
+// Positions of `wanted` variables inside `vars` (both sorted).
+std::vector<int> PositionsOf(const std::vector<int>& wanted,
+                             const std::vector<int>& vars) {
+  std::vector<int> pos;
+  pos.reserve(wanted.size());
+  for (const int w : wanted) {
+    const auto it = std::lower_bound(vars.begin(), vars.end(), w);
+    CQA_CHECK(it != vars.end() && *it == w);
+    pos.push_back(static_cast<int>(it - vars.begin()));
+  }
+  return pos;
+}
+
+std::vector<int> SharedVars(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  std::vector<int> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  return shared;
+}
+
+Tuple Select(const Tuple& row, const std::vector<int>& positions) {
+  Tuple out(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) out[i] = row[positions[i]];
+  return out;
+}
+
+void DedupRows(VarTable* t) {
+  std::unordered_set<Tuple, VectorHash> seen;
+  std::vector<Tuple> unique;
+  unique.reserve(t->rows.size());
+  for (Tuple& row : t->rows) {
+    if (seen.insert(row).second) unique.push_back(std::move(row));
+  }
+  t->rows = std::move(unique);
+}
+
+}  // namespace
+
+VarTable AtomMatches(const Atom& atom, const Database& db) {
+  VarTable out;
+  out.vars = atom.vars;
+  std::sort(out.vars.begin(), out.vars.end());
+  out.vars.erase(std::unique(out.vars.begin(), out.vars.end()),
+                 out.vars.end());
+  const std::vector<int> pos_of_var = [&] {
+    std::vector<int> map;
+    for (const int v : atom.vars) {
+      const auto it = std::lower_bound(out.vars.begin(), out.vars.end(), v);
+      map.push_back(static_cast<int>(it - out.vars.begin()));
+    }
+    return map;
+  }();
+  for (const Tuple& fact : db.facts(atom.rel)) {
+    // Repeated-variable consistency, then project to distinct vars.
+    Tuple row(out.vars.size(), -1);
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const int slot = pos_of_var[i];
+      if (row[slot] >= 0 && row[slot] != fact[i]) {
+        ok = false;
+        break;
+      }
+      row[slot] = fact[i];
+    }
+    if (ok) out.rows.push_back(std::move(row));
+  }
+  DedupRows(&out);
+  return out;
+}
+
+VarTable IntersectSameVars(const VarTable& a, const VarTable& b) {
+  CQA_CHECK(a.vars == b.vars);
+  std::unordered_set<Tuple, VectorHash> in_b(b.rows.begin(), b.rows.end());
+  VarTable out;
+  out.vars = a.vars;
+  for (const Tuple& row : a.rows) {
+    if (in_b.count(row) > 0) out.rows.push_back(row);
+  }
+  return out;
+}
+
+bool SemijoinInPlace(VarTable* a, const VarTable& b) {
+  const std::vector<int> shared = SharedVars(a->vars, b.vars);
+  if (shared.empty()) {
+    // Degenerate semijoin: keep a iff b nonempty.
+    if (!b.rows.empty()) return false;
+    const bool removed = !a->rows.empty();
+    a->rows.clear();
+    return removed;
+  }
+  const std::vector<int> pos_a = PositionsOf(shared, a->vars);
+  const std::vector<int> pos_b = PositionsOf(shared, b.vars);
+  std::unordered_set<Tuple, VectorHash> keys;
+  for (const Tuple& row : b.rows) keys.insert(Select(row, pos_b));
+  std::vector<Tuple> kept;
+  kept.reserve(a->rows.size());
+  for (Tuple& row : a->rows) {
+    if (keys.count(Select(row, pos_a)) > 0) kept.push_back(std::move(row));
+  }
+  const bool removed = kept.size() != a->rows.size();
+  a->rows = std::move(kept);
+  return removed;
+}
+
+VarTable JoinProject(const VarTable& a, const VarTable& b,
+                     const std::vector<int>& keep_vars) {
+  std::vector<int> all_vars;
+  std::set_union(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
+                 std::back_inserter(all_vars));
+  const std::vector<int> shared = SharedVars(a.vars, b.vars);
+  const std::vector<int> pos_a = PositionsOf(shared, a.vars);
+  const std::vector<int> pos_b = PositionsOf(shared, b.vars);
+  // Hash b by its shared-variable key.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, VectorHash> index;
+  for (const Tuple& row : b.rows) {
+    index[Select(row, pos_b)].push_back(&row);
+  }
+  // For composing output rows.
+  const std::vector<int> a_in_all = PositionsOf(a.vars, all_vars);
+  const std::vector<int> b_in_all = PositionsOf(b.vars, all_vars);
+  const std::vector<int> keep_in_all = PositionsOf(keep_vars, all_vars);
+  VarTable out;
+  out.vars = keep_vars;
+  Tuple combined(all_vars.size());
+  for (const Tuple& row_a : a.rows) {
+    const auto it = index.find(Select(row_a, pos_a));
+    if (it == index.end()) continue;
+    for (const Tuple* row_b : it->second) {
+      for (size_t i = 0; i < a.vars.size(); ++i) {
+        combined[a_in_all[i]] = row_a[i];
+      }
+      for (size_t i = 0; i < b.vars.size(); ++i) {
+        combined[b_in_all[i]] = (*row_b)[i];
+      }
+      out.rows.push_back(Select(combined, keep_in_all));
+    }
+  }
+  DedupRows(&out);
+  return out;
+}
+
+VarTable Project(const VarTable& a, const std::vector<int>& keep_vars) {
+  const std::vector<int> pos = PositionsOf(keep_vars, a.vars);
+  VarTable out;
+  out.vars = keep_vars;
+  out.rows.reserve(a.rows.size());
+  for (const Tuple& row : a.rows) out.rows.push_back(Select(row, pos));
+  DedupRows(&out);
+  return out;
+}
+
+AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
+                             const std::vector<int>& parent,
+                             const std::vector<int>& free_tuple) {
+  const int n = static_cast<int>(tables.size());
+  CQA_CHECK(static_cast<int>(parent.size()) == n);
+  AnswerSet answers(static_cast<int>(free_tuple.size()));
+
+  // Distinct free variables, sorted.
+  std::vector<int> free_vars = free_tuple;
+  std::sort(free_vars.begin(), free_vars.end());
+  free_vars.erase(std::unique(free_vars.begin(), free_vars.end()),
+                  free_vars.end());
+
+  // Children lists and a bottom-up order.
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    if (parent[i] >= 0) {
+      children[parent[i]].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::vector<int> order;  // parents before children
+  {
+    std::vector<int> stack = roots;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const int c : children[u]) stack.push_back(c);
+    }
+  }
+  CQA_CHECK(static_cast<int>(order.size()) == n);
+
+  // Full reduction: upward pass (children into parents, bottom-up), then
+  // downward pass.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    if (parent[u] >= 0) SemijoinInPlace(&tables[parent[u]], tables[u]);
+  }
+  for (const int u : order) {
+    for (const int c : children[u]) SemijoinInPlace(&tables[c], tables[u]);
+  }
+  for (const int r : roots) {
+    if (tables[r].rows.empty()) return answers;  // no matches at all
+  }
+
+  // Bottom-up join-project: at node u keep (free vars in u's subtree) ∪
+  // (vars shared with the parent).
+  std::vector<std::vector<int>> subtree_vars(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    subtree_vars[u] = tables[u].vars;
+    for (const int c : children[u]) {
+      std::vector<int> merged;
+      std::set_union(subtree_vars[u].begin(), subtree_vars[u].end(),
+                     subtree_vars[c].begin(), subtree_vars[c].end(),
+                     std::back_inserter(merged));
+      subtree_vars[u] = std::move(merged);
+    }
+  }
+  std::vector<VarTable> solved(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    // Keep: free vars within subtree(u), plus vars shared with parent.
+    std::vector<int> keep;
+    std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                          free_vars.begin(), free_vars.end(),
+                          std::back_inserter(keep));
+    if (parent[u] >= 0) {
+      std::vector<int> with_parent;
+      std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                            tables[parent[u]].vars.begin(),
+                            tables[parent[u]].vars.end(),
+                            std::back_inserter(with_parent));
+      std::vector<int> merged;
+      std::set_union(keep.begin(), keep.end(), with_parent.begin(),
+                     with_parent.end(), std::back_inserter(merged));
+      keep = std::move(merged);
+    }
+    VarTable acc = tables[u];
+    for (const int c : children[u]) {
+      std::vector<int> step_keep;
+      std::set_union(keep.begin(), keep.end(), acc.vars.begin(),
+                     acc.vars.end(), std::back_inserter(step_keep));
+      // Narrow: only vars still needed (keep ∪ vars of remaining joins is
+      // conservative; use keep ∪ acc.vars ∩ ... keep it simple and correct).
+      acc = JoinProject(acc, solved[c], step_keep);
+    }
+    solved[u] = Project(acc, keep);
+  }
+
+  // Cross product across roots, projected to free variables.
+  VarTable result;
+  result.vars = {};
+  result.rows = {Tuple{}};
+  for (const int r : roots) {
+    std::vector<int> keep;
+    std::set_union(result.vars.begin(), result.vars.end(),
+                   solved[r].vars.begin(), solved[r].vars.end(),
+                   std::back_inserter(keep));
+    std::vector<int> restricted;
+    std::set_intersection(keep.begin(), keep.end(), free_vars.begin(),
+                          free_vars.end(), std::back_inserter(restricted));
+    result = JoinProject(result, solved[r], restricted);
+  }
+  CQA_CHECK(result.vars == free_vars);
+
+  // Expand to the (possibly repeating) free tuple.
+  std::vector<int> tuple_pos;
+  tuple_pos.reserve(free_tuple.size());
+  for (const int v : free_tuple) {
+    const auto it = std::lower_bound(free_vars.begin(), free_vars.end(), v);
+    tuple_pos.push_back(static_cast<int>(it - free_vars.begin()));
+  }
+  for (const Tuple& row : result.rows) {
+    Tuple answer(free_tuple.size());
+    for (size_t i = 0; i < tuple_pos.size(); ++i) {
+      answer[i] = row[tuple_pos[i]];
+    }
+    answers.Insert(std::move(answer));
+  }
+  return answers;
+}
+
+}  // namespace cqa

@@ -1,0 +1,56 @@
+// Variable-indexed materialized tables and the join-tree dynamic program
+// shared by the Yannakakis engine (acyclic queries) and the bounded-
+// treewidth engine: semijoin full reduction followed by bottom-up
+// join-project.
+
+#ifndef CQA_EVAL_VAR_TABLE_H_
+#define CQA_EVAL_VAR_TABLE_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/answer_set.h"
+
+namespace cqa {
+
+/// A relation over a sorted list of distinct query variables.
+struct VarTable {
+  std::vector<int> vars;    ///< sorted, distinct
+  std::vector<Tuple> rows;  ///< aligned with `vars`, deduplicated
+};
+
+/// The matches of a single atom in `db` as a table over the atom's distinct
+/// variables (repeated variables filter, e.g. E(x, x) keeps loops only).
+VarTable AtomMatches(const Atom& atom, const Database& db);
+
+/// Natural-join intersection of two tables over the *same* variable list.
+VarTable IntersectSameVars(const VarTable& a, const VarTable& b);
+
+/// Semijoin a ⋉ b: keeps rows of `a` that agree with some row of `b` on the
+/// shared variables. Returns true if rows were removed.
+bool SemijoinInPlace(VarTable* a, const VarTable& b);
+
+/// Natural join followed by projection onto `keep_vars` (sorted, must be a
+/// subset of the union of the inputs' variables). Rows deduplicated.
+VarTable JoinProject(const VarTable& a, const VarTable& b,
+                     const std::vector<int>& keep_vars);
+
+/// Projection of a single table onto `keep_vars` ⊆ a.vars.
+VarTable Project(const VarTable& a, const std::vector<int>& keep_vars);
+
+/// Evaluates a join tree of materialized tables:
+///  - `tables[i]` is the table of node i; `parent[i]` (or -1) the tree.
+///  - Runs the two semijoin passes (full reduction), then the bottom-up
+///    join-project DP keeping free + connector variables, and finally the
+///    cross product across tree roots projected onto `free_tuple` (which
+///    may repeat variables).
+/// Complexity: O(|D|·|Q|) up to output size for acyclic inputs — the
+/// Yannakakis bound the paper's approximations are designed to exploit.
+AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
+                             const std::vector<int>& parent,
+                             const std::vector<int>& free_tuple);
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_VAR_TABLE_H_

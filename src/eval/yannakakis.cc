@@ -1,0 +1,63 @@
+#include "eval/yannakakis.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "cq/properties.h"
+#include "eval/var_table.h"
+#include "hypergraph/acyclicity.h"
+
+namespace cqa {
+namespace {
+
+// Builds per-hyperedge tables: each join-tree node is a hyperedge of H(Q);
+// its table is the intersection of the match tables of all atoms with that
+// variable scope.
+std::vector<VarTable> HyperedgeTables(const ConjunctiveQuery& q,
+                                      const Hypergraph& h,
+                                      const Database& db) {
+  std::vector<VarTable> tables(h.num_edges());
+  std::vector<bool> initialized(h.num_edges(), false);
+  for (const Atom& atom : q.atoms()) {
+    // Locate the hyperedge equal to this atom's scope.
+    std::vector<int> scope = atom.vars;
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+    int edge = -1;
+    for (int i = 0; i < h.num_edges(); ++i) {
+      if (h.edge(i) == scope) {
+        edge = i;
+        break;
+      }
+    }
+    CQA_CHECK(edge >= 0);
+    VarTable matches = AtomMatches(atom, db);
+    if (!initialized[edge]) {
+      tables[edge] = std::move(matches);
+      initialized[edge] = true;
+    } else {
+      tables[edge] = IntersectSameVars(tables[edge], matches);
+    }
+  }
+  for (int i = 0; i < h.num_edges(); ++i) CQA_CHECK(initialized[i]);
+  return tables;
+}
+
+}  // namespace
+
+AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db) {
+  q.Validate();
+  const Hypergraph h = HypergraphOfQuery(q);
+  const auto jt = BuildJoinTree(h);
+  CQA_CHECK(jt.has_value());  // caller must pass an acyclic query
+  std::vector<VarTable> tables = HyperedgeTables(q, h, db);
+  return EvaluateJoinForest(std::move(tables), jt->parent,
+                            q.free_variables());
+}
+
+bool EvaluateYannakakisBoolean(const ConjunctiveQuery& q, const Database& db) {
+  CQA_CHECK(q.IsBoolean());
+  return EvaluateYannakakis(q, db).AsBoolean();
+}
+
+}  // namespace cqa

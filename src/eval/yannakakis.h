@@ -1,0 +1,24 @@
+// Yannakakis' algorithm for acyclic conjunctive queries [43]: semijoin full
+// reduction over a join tree followed by bottom-up join-project. Combined
+// complexity O(|D| · |Q|) up to output size — the bound that makes acyclic
+// approximations worth computing (paper, Introduction).
+
+#ifndef CQA_EVAL_YANNAKAKIS_H_
+#define CQA_EVAL_YANNAKAKIS_H_
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/answer_set.h"
+
+namespace cqa {
+
+/// Computes Q(D) for an acyclic q (CHECK-fails on cyclic queries; test with
+/// IsAcyclicQuery first).
+AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db);
+
+/// Boolean variant (full reduction only; no output enumeration).
+bool EvaluateYannakakisBoolean(const ConjunctiveQuery& q, const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_YANNAKAKIS_H_

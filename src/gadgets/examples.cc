@@ -1,0 +1,59 @@
+#include "gadgets/examples.h"
+
+#include "base/check.h"
+#include "cq/parse.h"
+#include "cq/tableau.h"
+#include "graph/standard.h"
+
+namespace cqa {
+namespace {
+
+VocabularyPtr Ternary() { return Vocabulary::Single("R", 3); }
+
+}  // namespace
+
+ConjunctiveQuery Example66Query() {
+  return MustParseQuery(Ternary(),
+                        "Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1)");
+}
+
+ConjunctiveQuery Example66Approx1() {
+  return MustParseQuery(Ternary(), "Q() :- R(x,y,x)");
+}
+
+ConjunctiveQuery Example66Approx2() {
+  return MustParseQuery(Ternary(),
+                        "Q() :- R(x1,x2,x3), R(x3,x4,x2), R(x2,x6,x1)");
+}
+
+ConjunctiveQuery Example66Approx3() {
+  return MustParseQuery(
+      Ternary(),
+      "Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5)");
+}
+
+ConjunctiveQuery TernaryCycleQuery(int m) {
+  CQA_CHECK(m >= 2);
+  ConjunctiveQuery q(Ternary());
+  const int n = 2 * m;
+  q.AddVariables(n);
+  for (int v = 0; v < n; ++v) {
+    q.SetVariableName(v, "x" + std::to_string(v + 1));
+  }
+  for (int i = 0; i < m; ++i) {
+    const int first = 2 * i;
+    q.AddAtom(0, {first, first + 1, (first + 2) % n});
+  }
+  q.SetFreeVariables({});
+  q.Validate();
+  return q;
+}
+
+ConjunctiveQuery Prop512Query(const Digraph& g, int k) {
+  CQA_CHECK(k >= 1);
+  Digraph tableau = Bidirect(g);
+  tableau.AbsorbDisjoint(CompleteDigraph(k + 1));
+  return BooleanQueryFromStructure(tableau.ToDatabase());
+}
+
+}  // namespace cqa

@@ -1,0 +1,40 @@
+// Example 6.6 (Section 6): the ternary 3-cycle query and its three
+// non-equivalent acyclic approximations (fewer, equal, and more joins than
+// the original), plus the scalable generalization used by the evaluation
+// benchmarks.
+
+#ifndef CQA_GADGETS_EXAMPLES_H_
+#define CQA_GADGETS_EXAMPLES_H_
+
+#include "cq/cq.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Q() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1).
+ConjunctiveQuery Example66Query();
+
+/// Q1'() :- R(x,y,x) — fewer joins than Q.
+ConjunctiveQuery Example66Approx1();
+
+/// Q2'() :- R(x1,x2,x3), R(x3,x4,x2), R(x2,x6,x1) — as many joins as Q.
+ConjunctiveQuery Example66Approx2();
+
+/// Q3'() :- R(x1,x2,x3), R(x3,x4,x5), R(x5,x6,x1), R(x1,x3,x5) — more
+/// joins than Q (the covering-atom augmentation).
+ConjunctiveQuery Example66Approx3();
+
+/// The m-atom generalization of Example 6.6: a ternary cycle
+/// R(x1,x2,x3), R(x3,x4,x5), ..., R(x_{2m-1}, x_{2m}, x1). m >= 2.
+ConjunctiveQuery TernaryCycleQuery(int m);
+
+/// Proposition 5.12's reduction: the Boolean CQ whose tableau is
+/// G<-> + K_{k+1}<-> (disjoint union), where G<-> replaces each edge of
+/// the *undirected* graph `g` (given as a digraph whose edges are read as
+/// undirected) by both orientations. G is (k+1)-colorable iff
+/// Q_triv_{k+1} is a TW(k)-approximation of the result.
+ConjunctiveQuery Prop512Query(const Digraph& g, int k);
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_EXAMPLES_H_

@@ -1,0 +1,349 @@
+#include "gadgets/hardness.h"
+
+#include <deque>
+
+#include "base/check.h"
+#include "graph/oriented_path.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+
+std::string HardnessPi(int i) {
+  CQA_CHECK(i >= 1 && i <= 9);
+  return Zeros(i + 1) + "1" + Zeros(11 - i);
+}
+
+std::string HardnessPij(int i, int j) {
+  CQA_CHECK(i >= 1 && i < j && j <= 9);
+  return Zeros(i + 1) + "10" + Zeros(j - i) + "1" + Zeros(11 - j);
+}
+
+std::string HardnessPijk(int i, int j, int k) {
+  CQA_CHECK(i >= 1 && i < j && j < k && k <= 9);
+  return Zeros(i + 1) + "10" + Zeros(j - i) + "10" + Zeros(k - j) + "1" +
+         Zeros(11 - k);
+}
+
+QStarGadget BuildQStar() {
+  QStarGadget out;
+  out.g = Digraph(8);
+  for (int i = 1; i <= 8; ++i) out.a[i] = i - 1;
+  // The balanced cycle 01010101 over (a1, ..., a8, a1): odd hubs are
+  // sources, even hubs are sinks.
+  const std::string cycle = "01010101";
+  for (int i = 0; i < 8; ++i) {
+    const int from = out.a[i + 1];
+    const int to = out.a[(i + 1) % 8 + 1];
+    if (cycle[i] == '0') {
+      out.g.AddEdge(from, to);
+    } else {
+      out.g.AddEdge(to, from);
+    }
+  }
+  // Attach P_i to a_i: odd i identifies a_i with P_i's terminal node,
+  // even i with its initial node.
+  int p1_start = -1, p8_end = -1;
+  for (int i = 1; i <= 8; ++i) {
+    const int fresh = out.g.AddNode();
+    if (i % 2 == 1) {
+      AttachOrientedPath(&out.g, HardnessPi(i), fresh, out.a[i]);
+      if (i == 1) p1_start = fresh;
+    } else {
+      AttachOrientedPath(&out.g, HardnessPi(i), out.a[i], fresh);
+      if (i == 8) p8_end = fresh;
+    }
+  }
+  // x -> initial of the P1 copy; terminal of the P8 copy -> y.
+  out.x = out.g.AddNode();
+  out.g.AddEdge(out.x, p1_start);
+  out.y = out.g.AddNode();
+  out.g.AddEdge(p8_end, out.y);
+  return out;
+}
+
+namespace {
+
+// Tracks node ids across IdentifyNodes relabelings during gadget assembly.
+// Tracked ids live in stable slots owned by the assembler (a deque, so
+// pointers never dangle while the assembler is alive).
+class Assembler {
+ public:
+  Digraph g;
+
+  int Absorb(const Digraph& other) { return g.AbsorbDisjoint(other); }
+
+  /// Registers a node id; returns a stable handle whose value is kept
+  /// up to date across Identify calls.
+  int* Slot(int id) {
+    slots_.push_back(id);
+    return &slots_.back();
+  }
+
+  void Identify(int keep, int merge) {
+    const std::vector<int> relabel = IdentifyNodes(&g, keep, merge);
+    for (int& id : slots_) id = relabel[id];
+  }
+
+ private:
+  std::deque<int> slots_;
+};
+
+}  // namespace
+
+PathGadget BuildTi(int i) {
+  CQA_CHECK(i >= 1 && i <= 4);
+  QStarGadget qs = BuildQStar();
+  // Folding patterns (paper, page before Figure 9): pairs identified per i.
+  static constexpr int kFolds[5][3][2] = {
+      {},                            // unused
+      {{1, 7}, {2, 6}, {3, 5}},      // T1
+      {{8, 6}, {1, 5}, {2, 4}},      // T2
+      {{7, 5}, {8, 4}, {1, 3}},      // T3
+      {{6, 4}, {7, 3}, {8, 2}},      // T4
+  };
+  Assembler assembler;
+  assembler.g = std::move(qs.g);
+  int* x = assembler.Slot(qs.x);
+  int* y = assembler.Slot(qs.y);
+  std::array<int*, 9> a{};
+  for (int h = 1; h <= 8; ++h) a[h] = assembler.Slot(qs.a[h]);
+  for (const auto& fold : kFolds[i]) {
+    assembler.Identify(*a[fold[0]], *a[fold[1]]);
+  }
+  PathGadget out;
+  out.x = *x;
+  out.y = *y;
+  out.g = std::move(assembler.g);
+  return out;
+}
+
+PathGadget BuildT5() {
+  PathGadget out;
+  Digraph& g = out.g;
+  out.x = g.AddNode();
+  out.y = g.AddNode();
+  const int p1_start = g.AddNode();   // initial of the P1 copy
+  const int p1_end = g.AddNode();     // terminal of the P1 copy
+  const int p8_start = g.AddNode();   // initial of the P8 copy
+  const int p8_end = g.AddNode();     // terminal of the P8 copy
+  g.AddEdge(out.x, p1_start);
+  AttachOrientedPath(&g, HardnessPi(1), p1_start, p1_end);
+  g.AddEdge(p1_end, p8_start);
+  AttachOrientedPath(&g, HardnessPi(8), p8_start, p8_end);
+  g.AddEdge(p8_end, out.y);
+  // Two P9 decorations: one ending at P1's terminal, one starting at P8's
+  // initial.
+  const int dec1 = g.AddNode();
+  AttachOrientedPath(&g, HardnessPi(9), dec1, p1_end);
+  const int dec2 = g.AddNode();
+  AttachOrientedPath(&g, HardnessPi(9), p8_start, dec2);
+  return out;
+}
+
+TGadget BuildT() {
+  TGadget out;
+  Assembler assembler;
+  int* v = assembler.Slot(assembler.g.AddNode());
+  std::array<int*, 5> t{};
+  std::array<int*, 5> u{};
+  for (int i = 1; i <= 4; ++i) {
+    const PathGadget ti = BuildTi(i);
+    const int shift_i = assembler.Absorb(ti.g);
+    int* ti_x = assembler.Slot(ti.x + shift_i);
+    t[i] = assembler.Slot(ti.y + shift_i);
+    assembler.Identify(*v, *ti_x);
+    const PathGadget t5 = BuildT5();
+    const int shift_5 = assembler.Absorb(t5.g);
+    u[i] = assembler.Slot(t5.x + shift_5);
+    int* t5_y = assembler.Slot(t5.y + shift_5);
+    assembler.Identify(*t[i], *t5_y);
+  }
+  out.v = *v;
+  for (int i = 1; i <= 4; ++i) {
+    out.t[i] = *t[i];
+    out.u[i] = *u[i];
+  }
+  out.g = std::move(assembler.g);
+  return out;
+}
+
+namespace {
+
+// The common spine of the T_ij / T_ijk blocks: p1 -e- P1 -e- P8 -e- p2.
+struct Spine {
+  int p1, p2;
+  int p1_terminal;  // terminal node of the P1 copy
+  int p8_initial;   // initial node of the P8 copy
+};
+
+Spine BuildSpine(Digraph* g) {
+  Spine s;
+  s.p1 = g->AddNode();
+  s.p2 = g->AddNode();
+  const int p1_start = g->AddNode();
+  s.p1_terminal = g->AddNode();
+  s.p8_initial = g->AddNode();
+  const int p8_end = g->AddNode();
+  g->AddEdge(s.p1, p1_start);
+  AttachOrientedPath(g, HardnessPi(1), p1_start, s.p1_terminal);
+  g->AddEdge(s.p1_terminal, s.p8_initial);
+  AttachOrientedPath(g, HardnessPi(8), s.p8_initial, p8_end);
+  g->AddEdge(p8_end, s.p2);
+  return s;
+}
+
+}  // namespace
+
+PointedDigraph BuildHardnessTij(int i, int j) {
+  // X_ij branch patterns (proof of Claim 8.5).
+  std::string x_pattern;
+  if (i == 1 && j == 5) {
+    x_pattern = HardnessPij(7, 9);
+  } else if (i == 2 && j == 5) {
+    x_pattern = HardnessPij(5, 9);
+  } else if (i == 3 && j == 5) {
+    x_pattern = HardnessPij(3, 9);
+  } else if (i == 1 && j == 2) {
+    x_pattern = HardnessPij(5, 7);
+  } else if (i == 1 && j == 3) {
+    x_pattern = HardnessPij(3, 7);
+  } else if (i == 2 && j == 3) {
+    x_pattern = HardnessPij(3, 5);
+  } else {
+    CQA_CHECK(false);
+  }
+  PointedDigraph out;
+  const Spine s = BuildSpine(&out.g);
+  out.initial = s.p1;
+  out.terminal = s.p2;
+  const int branch_start = out.g.AddNode();
+  AttachOrientedPath(&out.g, x_pattern, branch_start, s.p1_terminal);
+  return out;
+}
+
+PointedDigraph BuildHardnessTijk(int i, int j, int k) {
+  PointedDigraph out;
+  const Spine s = BuildSpine(&out.g);
+  out.initial = s.p1;
+  out.terminal = s.p2;
+  if (i == 1 && j == 2 && k == 5) {
+    // T125: P579 with its terminal at P1's terminal.
+    const int branch_start = out.g.AddNode();
+    AttachOrientedPath(&out.g, HardnessPijk(5, 7, 9), branch_start,
+                       s.p1_terminal);
+  } else if (i == 2 && j == 4 && k == 5) {
+    // T245: X = P269 with its initial at P8's initial.
+    const int branch_end = out.g.AddNode();
+    AttachOrientedPath(&out.g, HardnessPijk(2, 6, 9), s.p8_initial,
+                       branch_end);
+  } else if (i == 3 && j == 4 && k == 5) {
+    // T345: X = P249 with its initial at P8's initial.
+    const int branch_end = out.g.AddNode();
+    AttachOrientedPath(&out.g, HardnessPijk(2, 4, 9), s.p8_initial,
+                       branch_end);
+  } else {
+    CQA_CHECK(false);
+  }
+  return out;
+}
+
+namespace {
+
+// Builds a chooser as a chain of blocks alternating upward (used as-is)
+// and downward (inverted). The chain starts at the first block's initial
+// node; `a` is the junction after the first block; `b` is the final
+// junction.
+ChooserGadget BuildChain(const std::vector<PointedDigraph>& blocks) {
+  CQA_CHECK(!blocks.empty());
+  Assembler assembler;
+  // First block (upward).
+  const int shift0 = assembler.Absorb(blocks[0].g);
+  int* start = assembler.Slot(blocks[0].initial + shift0);
+  int* a = assembler.Slot(blocks[0].terminal + shift0);
+  int* current = a;  // current junction
+  for (size_t idx = 1; idx < blocks.size(); ++idx) {
+    const bool inverted = (idx % 2 == 1);  // blocks alternate up/down
+    const int shift = assembler.Absorb(blocks[idx].g);
+    int* attach = assembler.Slot(
+        (inverted ? blocks[idx].terminal : blocks[idx].initial) + shift);
+    int* next = assembler.Slot(
+        (inverted ? blocks[idx].initial : blocks[idx].terminal) + shift);
+    assembler.Identify(*current, *attach);
+    current = next;
+  }
+  ChooserGadget out;
+  out.start = *start;
+  out.a = *a;
+  out.b = *current;
+  out.g = std::move(assembler.g);
+  return out;
+}
+
+}  // namespace
+
+ChooserGadget BuildExtendedChooser21() {
+  return BuildChain({BuildHardnessTij(1, 2), BuildHardnessTijk(1, 2, 5),
+                     BuildHardnessTijk(3, 4, 5)});
+}
+
+ChooserGadget BuildExtendedChooser34() {
+  return BuildChain({BuildHardnessTij(1, 2), BuildHardnessTij(2, 5),
+                     BuildHardnessTij(3, 5), BuildHardnessTij(1, 5),
+                     BuildHardnessTijk(2, 4, 5), BuildHardnessTij(3, 5),
+                     BuildHardnessTij(1, 5)});
+}
+
+std::array<std::array<bool, 5>, 5> RealizablePairs(const ChooserGadget& s,
+                                                   const TGadget& t) {
+  std::array<std::array<bool, 5>, 5> result{};
+  const Database src = s.g.ToDatabase();
+  const Database dst = t.g.ToDatabase();
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 4; ++j) {
+      HomOptions options;
+      options.fixed = {{s.a, t.t[i]}, {s.b, t.t[j]}};
+      result[i][j] = ExistsHomomorphism(src, dst, options);
+    }
+  }
+  return result;
+}
+
+WGadget BuildWn(int n) {
+  CQA_CHECK(n >= 1);
+  WGadget out;
+  std::string pattern = "000";
+  for (int i = 0; i < n; ++i) pattern += "10";
+  pattern += "0";
+  const PointedDigraph path = OrientedPath(pattern);
+  out.g = path.g;
+  out.a = path.initial;
+  out.e = path.terminal;
+  // Along the spine u_0..u_{len}: x_k = u_{2 + 2k} (the alternation
+  // sources), k = 1..n.
+  out.x.assign(n + 1, -1);
+  for (int k = 1; k <= n; ++k) out.x[k] = 2 + 2 * k;
+  return out;
+}
+
+WGadget BuildWkn(int n, int k) {
+  CQA_CHECK(k >= 1 && k <= n);
+  WGadget out = BuildWn(n);
+  out.z = out.g.AddNode();
+  out.g.AddEdge(out.z, out.x[k]);
+  return out;
+}
+
+SknGadget BuildSkn(int n, int k) {
+  WGadget w = BuildWkn(n, k);
+  SknGadget out;
+  out.g = std::move(w.g);
+  out.z_prime = w.a;
+  out.z = w.e;
+  out.w_prime = out.g.AddNode();
+  AttachOrientedPath(&out.g, HardnessPi(6), out.w_prime, out.z_prime);
+  out.w = out.g.AddNode();
+  AttachOrientedPath(&out.g, HardnessPijk(1, 3, 5), out.z, out.w);
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,59 @@
+#include "gadgets/intro.h"
+
+#include "cq/parse.h"
+#include "data/vocabulary.h"
+
+namespace cqa {
+namespace {
+
+VocabularyPtr Ternary() { return Vocabulary::Single("R", 3); }
+
+}  // namespace
+
+ConjunctiveQuery IntroQ1() {
+  return MustParseQuery(Vocabulary::Graph(),
+                        "Q() :- E(x,y), E(y,z), E(z,x)");
+}
+
+ConjunctiveQuery IntroQ2() {
+  return MustParseQuery(
+      Vocabulary::Graph(),
+      "Q() :- E(x,y), E(y,z), E(z,u), E(x2,y2), E(y2,z2), E(z2,u2), "
+      "E(x,z2), E(y,u2)");
+}
+
+ConjunctiveQuery IntroQ2Approx() {
+  return MustParseQuery(Vocabulary::Graph(),
+                        "Q() :- E(x2,x), E(x,y), E(y,z), E(z,u)");
+}
+
+ConjunctiveQuery IntroQ3() {
+  return MustParseQuery(Vocabulary::Graph(),
+                        "Q() :- E(x,y), E(y,z), E(z,u), E(x,u)");
+}
+
+ConjunctiveQuery IntroTernaryTriangle() {
+  return MustParseQuery(Ternary(), "Q() :- R(x,u,y), R(y,v,z), R(z,w,x)");
+}
+
+ConjunctiveQuery IntroTernaryTriangleApprox() {
+  return MustParseQuery(Ternary(), "Q() :- R(x,u,y), R(y,v,u), R(u,w,x)");
+}
+
+ConjunctiveQuery NonBooleanTriangle() {
+  return MustParseQuery(Vocabulary::Graph(),
+                        "Q(x,y) :- E(x,y), E(y,z), E(z,x)");
+}
+
+ConjunctiveQuery NonBooleanTriangleApprox() {
+  return MustParseQuery(Vocabulary::Graph(),
+                        "Q(x,y) :- E(x,y), E(y,x), E(x,x)");
+}
+
+ConjunctiveQuery Prop59Query() {
+  return MustParseQuery(
+      Vocabulary::Graph(),
+      "Q(x1,x2,x3) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1)");
+}
+
+}  // namespace cqa

@@ -1,0 +1,50 @@
+// The worked examples of the Introduction and Section 5: the triangle query
+// Q1, the bipartite-balanced query Q2 with its nontrivial path
+// approximation, the unbalanced 4-cycle Q3, the ternary variants, the
+// non-Boolean triangle (Section 5.1.2), and Proposition 5.9's query.
+
+#ifndef CQA_GADGETS_INTRO_H_
+#define CQA_GADGETS_INTRO_H_
+
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// Q1() :- E(x,y), E(y,z), E(z,x) — non-bipartite; only trivial acyclic
+/// approximation E(x,x).
+ConjunctiveQuery IntroQ1();
+
+/// Q2() :- P3(x,y,z,u), P3(x',y',z',u'), E(x,z'), E(y,u') — bipartite and
+/// balanced; nontrivial acyclic approximation Q2' below.
+ConjunctiveQuery IntroQ2();
+
+/// Q2'() :- P4(x', x, y, z, u) — the path-of-length-4 approximation of Q2.
+ConjunctiveQuery IntroQ2Approx();
+
+/// Q3() :- E(x,y), E(y,z), E(z,u), E(x,u) — bipartite but unbalanced; its
+/// only acyclic approximation is the trivial bipartite query K2<->.
+ConjunctiveQuery IntroQ3();
+
+/// Q() :- R(x,u,y), R(y,v,z), R(z,w,x) over a ternary relation — the
+/// higher-arity triangle with nontrivial acyclic approximations.
+ConjunctiveQuery IntroTernaryTriangle();
+
+/// Q'() :- R(x,u,y), R(y,v,u), R(u,w,x) — the paper's example acyclic
+/// approximation of IntroTernaryTriangle.
+ConjunctiveQuery IntroTernaryTriangleApprox();
+
+/// Q(x,y) :- E(x,y), E(y,z), E(z,x) — the Section 5.1.2 non-Boolean
+/// triangle whose approximation keeps a loop.
+ConjunctiveQuery NonBooleanTriangle();
+
+/// Q'(x,y) :- E(x,y), E(y,x), E(x,x) — its acyclic approximation.
+ConjunctiveQuery NonBooleanTriangleApprox();
+
+/// Proposition 5.9: Q(x1,x2,x3) :- E(x1,x2), E(x2,x3), E(x3,x4), E(x4,x1),
+/// a minimized cyclic query all of whose minimized acyclic approximations
+/// have exactly as many joins as Q.
+ConjunctiveQuery Prop59Query();
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_INTRO_H_

@@ -1,0 +1,98 @@
+#include "gadgets/prop44.h"
+
+#include "base/check.h"
+#include "graph/oriented_path.h"
+
+namespace cqa {
+
+const char kProp44P1[] = "001000";
+const char kProp44P2[] = "000100";
+
+DGadget BuildD() {
+  DGadget out;
+  out.g = Digraph(4);
+  out.a = 0;
+  out.b = 1;
+  out.c = 2;
+  out.d = 3;
+  out.g.AddEdge(out.a, out.b);
+  out.g.AddEdge(out.a, out.d);
+  out.g.AddEdge(out.c, out.b);
+  out.g.AddEdge(out.c, out.d);
+  // Copies of P1 / P2 with initial nodes identified with b / d.
+  out.p1_end = out.g.AddNode();
+  AttachOrientedPath(&out.g, kProp44P1, out.b, out.p1_end);
+  out.p2_end = out.g.AddNode();
+  AttachOrientedPath(&out.g, kProp44P2, out.d, out.p2_end);
+  // Copies of P1 / P2 with terminal nodes identified with a / c.
+  out.p1_in_start = out.g.AddNode();
+  AttachOrientedPath(&out.g, kProp44P1, out.p1_in_start, out.a);
+  out.p2_in_start = out.g.AddNode();
+  AttachOrientedPath(&out.g, kProp44P2, out.p2_in_start, out.c);
+  return out;
+}
+
+namespace {
+
+// Identifies `keep` and `merge` in `g`, remapping every id in `tracked`.
+void IdentifyTracked(Digraph* g, int keep, int merge,
+                     std::vector<std::vector<int>*> tracked) {
+  const std::vector<int> relabel = IdentifyNodes(g, keep, merge);
+  for (auto* vec : tracked) {
+    for (int& id : *vec) id = relabel[id];
+  }
+}
+
+}  // namespace
+
+Digraph BuildDac() {
+  DGadget d = BuildD();
+  IdentifyNodes(&d.g, d.a, d.c);
+  return d.g;
+}
+
+Digraph BuildDbd() {
+  DGadget d = BuildD();
+  IdentifyNodes(&d.g, d.b, d.d);
+  return d.g;
+}
+
+GnGadget BuildGn(int n) {
+  CQA_CHECK(n >= 1);
+  GnGadget out;
+  std::vector<int> p2_ends, p1_in_starts;
+  for (int i = 0; i < n; ++i) {
+    const DGadget d = BuildD();
+    const int shift = out.g.AbsorbDisjoint(d.g);
+    out.a.push_back(d.a + shift);
+    out.b.push_back(d.b + shift);
+    out.c.push_back(d.c + shift);
+    out.d.push_back(d.d + shift);
+    p2_ends.push_back(d.p2_end + shift);
+    p1_in_starts.push_back(d.p1_in_start + shift);
+  }
+  // Bridges: terminal of the P2-from-d copy in copy i to the initial of the
+  // P1-into-a copy in copy i+1.
+  for (int i = 0; i + 1 < n; ++i) {
+    out.g.AddEdge(p2_ends[i], p1_in_starts[i + 1]);
+  }
+  return out;
+}
+
+Digraph BuildGsn(const std::string& s) {
+  const int n = static_cast<int>(s.size());
+  GnGadget gn = BuildGn(n);
+  for (int i = 0; i < n; ++i) {
+    CQA_CHECK(s[i] == 'V' || s[i] == 'H');
+    if (s[i] == 'V') {
+      IdentifyTracked(&gn.g, gn.a[i], gn.c[i],
+                      {&gn.a, &gn.b, &gn.c, &gn.d});
+    } else {
+      IdentifyTracked(&gn.g, gn.b[i], gn.d[i],
+                      {&gn.a, &gn.b, &gn.c, &gn.d});
+    }
+  }
+  return gn.g;
+}
+
+}  // namespace cqa

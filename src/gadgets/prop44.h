@@ -1,0 +1,53 @@
+// The exponential-count family of Proposition 4.4 (Figures 3-5): oriented
+// paths P1 = 001000 and P2 = 000100, the digraph D, its quotients D_ac and
+// D_bd, the chains G_n, and the 2^n pairwise-incomparable approximation
+// tableaux G^s_n for s ∈ {V,H}^n.
+
+#ifndef CQA_GADGETS_PROP44_H_
+#define CQA_GADGETS_PROP44_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// P1 = 001000 and P2 = 000100 — incomparable cores of net length 4.
+extern const char kProp44P1[];
+extern const char kProp44P2[];
+
+/// The digraph D of Figure 3 with its four hub nodes labeled.
+struct DGadget {
+  Digraph g;
+  int a = -1, b = -1, c = -1, d = -1;
+  /// Free endpoints of the four attached oriented paths:
+  /// p1 hangs off b (initial = b), p2 off d (initial = d),
+  /// p1_in ends at a (terminal = a), p2_in ends at c (terminal = c).
+  int p1_end = -1, p2_end = -1, p1_in_start = -1, p2_in_start = -1;
+};
+DGadget BuildD();
+
+/// D_ac: D with a and c identified (Figure 4, left). Height 9.
+Digraph BuildDac();
+
+/// D_bd: D with b and d identified (Figure 4, right). Height 9.
+Digraph BuildDbd();
+
+/// G_n: n disjoint copies of D chained by bridge edges (Figure 5); the
+/// tableau of the query Q_n.
+struct GnGadget {
+  Digraph g;
+  /// Per-copy hub nodes (valid in g).
+  std::vector<int> a, b, c, d;
+};
+GnGadget BuildGn(int n);
+
+/// G^s_n for s over alphabet {'V','H'}: the i-th copy has a~c identified
+/// when s[i] == 'V' and b~d identified when s[i] == 'H'. Each G^s_n is a
+/// TW(1)-approximation tableau of Q_n (Claim 4.9), and distinct s give
+/// incomparable cores (Claim 4.7).
+Digraph BuildGsn(const std::string& s);
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_PROP44_H_

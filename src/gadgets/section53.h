@@ -1,0 +1,44 @@
+// Section 5.3 constructions (graphs vs higher-arity relations): the query
+// families of Propositions 5.13, 5.14 and 5.15 that witness nontrivial
+// strong treewidth approximations over m-ary vocabularies, and the
+// almost-triangle predicate.
+
+#ifndef CQA_GADGETS_SECTION53_H_
+#define CQA_GADGETS_SECTION53_H_
+
+#include "cq/cq.h"
+#include "data/database.h"
+
+namespace cqa {
+
+/// Proposition 5.13: given a nontrivial potential strong treewidth
+/// approximation q_prime (Boolean, one m-ary relation, <= 2 variables),
+/// builds a query Q with n variables, G(Q) = K_n, such that q_prime is a
+/// strong treewidth approximation of Q. Requires n > m.
+ConjunctiveQuery BuildProp513Query(const ConjunctiveQuery& q_prime, int n);
+
+/// Proposition 5.14: the pair (Q, Q') over a k-ary relation with the same
+/// number of joins, Q' a strong treewidth approximation of Q. k >= 3.
+struct Prop514Pair {
+  ConjunctiveQuery q;
+  ConjunctiveQuery q_prime;
+};
+Prop514Pair BuildProp514Pair(int k);
+
+/// Proposition 5.15: the almost-triangle query
+/// Q() :- R(x1,x2,x3), R(x2,x1,x4), R(x4,x3,x1) and its approximation
+/// Q'() :- R(x,y,y), R(y,x,y), R(y,y,x).
+struct Prop515Pair {
+  ConjunctiveQuery q;
+  ConjunctiveQuery q_prime;
+};
+Prop515Pair BuildProp515Pair();
+
+/// An instance of a ternary relation is an almost-triangle if some element
+/// occurs in every triple and removing (one occurrence of) it from each
+/// triple leaves a directed triangle (Section 5.3).
+bool IsAlmostTriangle(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_SECTION53_H_

@@ -1,0 +1,21 @@
+#include "gadgets/tight.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+Digraph BuildTightGk(int k) {
+  CQA_CHECK(k >= 2);
+  Digraph g(2 * (k + 1));
+  // x_i = i, y_i = (k + 1) + i.
+  for (int i = 0; i < k; ++i) {
+    g.AddEdge(i, i + 1);
+    g.AddEdge(k + 1 + i, k + 1 + i + 1);
+  }
+  for (int i = 0; i + 2 <= k; ++i) {
+    g.AddEdge(i, k + 1 + i + 2);
+  }
+  return g;
+}
+
+}  // namespace cqa

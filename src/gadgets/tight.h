@@ -1,0 +1,19 @@
+// Tight acyclic approximations (Proposition 5.6): the family G_k (two
+// directed paths of length k with cross edges (x_i, y_{i+2})) whose tight
+// acyclic approximation is the directed path P_{k+1}. G_k is the core of
+// F_k × P_{k+1} in the gap construction of Nešetřil-Tardif.
+
+#ifndef CQA_GADGETS_TIGHT_H_
+#define CQA_GADGETS_TIGHT_H_
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// G_k: nodes x_0..x_k, y_0..y_k; edges x_i -> x_{i+1}, y_i -> y_{i+1},
+/// and x_i -> y_{i+2} for 0 <= i <= k-2.
+Digraph BuildTightGk(int k);
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_TIGHT_H_

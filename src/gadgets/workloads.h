@@ -1,0 +1,31 @@
+// Random CQ workload generators for the Figure 1 scaling experiments and
+// the randomized property sweeps.
+
+#ifndef CQA_GADGETS_WORKLOADS_H_
+#define CQA_GADGETS_WORKLOADS_H_
+
+#include "base/rng.h"
+#include "cq/cq.h"
+
+namespace cqa {
+
+/// A random Boolean CQ over graphs: `num_vars` variables, `num_atoms`
+/// E-atoms over uniformly chosen (not necessarily distinct) variable pairs.
+/// Every variable is forced to occur in some atom (safety).
+ConjunctiveQuery RandomGraphCQ(int num_vars, int num_atoms, Rng* rng,
+                               int num_free = 0, bool allow_loops = false);
+
+/// A random Boolean CQ over an arbitrary vocabulary: `num_atoms` atoms with
+/// uniformly chosen relations and variable fillings.
+ConjunctiveQuery RandomCQ(VocabularyPtr vocab, int num_vars, int num_atoms,
+                          Rng* rng, int num_free = 0);
+
+/// A random *connected* cyclic Boolean graph CQ: a cycle of length
+/// `cycle_len` plus `extra_atoms` random chords/pendants. Guaranteed not
+/// acyclic (the tableau has an oriented cycle of length >= 3).
+ConjunctiveQuery RandomCyclicGraphCQ(int cycle_len, int extra_atoms,
+                                     Rng* rng);
+
+}  // namespace cqa
+
+#endif  // CQA_GADGETS_WORKLOADS_H_

@@ -1,0 +1,166 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "base/check.h"
+#include "base/union_find.h"
+
+namespace cqa {
+
+std::vector<int> WeakComponents(const Digraph& g, int* num_components) {
+  UnionFind uf(g.num_nodes());
+  for (const auto& [u, v] : g.edges()) uf.Union(u, v);
+  std::vector<int> labels = uf.DenseLabels();
+  if (num_components != nullptr) *num_components = uf.num_sets();
+  return labels;
+}
+
+bool IsWeaklyConnected(const Digraph& g) {
+  if (g.num_nodes() == 0) return true;
+  int k = 0;
+  WeakComponents(g, &k);
+  return k <= 1;
+}
+
+bool IsBipartite(const Digraph& g) {
+  if (g.HasLoop()) return false;
+  const auto adj = g.UnderlyingAdjacency();
+  std::vector<int> color(g.num_nodes(), -1);
+  for (int s = 0; s < g.num_nodes(); ++s) {
+    if (color[s] >= 0) continue;
+    color[s] = 0;
+    std::queue<int> q;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : adj[u]) {
+        if (color[v] < 0) {
+          color[v] = 1 - color[u];
+          q.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Assigns potentials: pot[v] - pot[u] = 1 for every edge (u, v), per weak
+// component, rooted at the first node seen. Returns false on inconsistency
+// (i.e., some oriented cycle has nonzero net length).
+bool AssignPotentials(const Digraph& g, std::vector<int>* pot) {
+  const int n = g.num_nodes();
+  pot->assign(n, 0);
+  std::vector<bool> visited(n, false);
+  for (int s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    visited[s] = true;
+    (*pot)[s] = 0;
+    std::queue<int> q;
+    q.push(s);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : g.out_neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          (*pot)[v] = (*pot)[u] + 1;
+          q.push(v);
+        } else if ((*pot)[v] != (*pot)[u] + 1) {
+          return false;
+        }
+      }
+      for (const int v : g.in_neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          (*pot)[v] = (*pot)[u] - 1;
+          q.push(v);
+        } else if ((*pot)[v] != (*pot)[u] - 1) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsBalanced(const Digraph& g) {
+  std::vector<int> pot;
+  return AssignPotentials(g, &pot);
+}
+
+std::optional<LevelInfo> ComputeLevels(const Digraph& g) {
+  std::vector<int> pot;
+  if (!AssignPotentials(g, &pot)) return std::nullopt;
+  const int n = g.num_nodes();
+  int num_components = 0;
+  const std::vector<int> comp = WeakComponents(g, &num_components);
+  std::vector<int> comp_min(std::max(num_components, 1), 0);
+  std::vector<bool> seen(std::max(num_components, 1), false);
+  for (int v = 0; v < n; ++v) {
+    if (!seen[comp[v]] || pot[v] < comp_min[comp[v]]) {
+      comp_min[comp[v]] = pot[v];
+      seen[comp[v]] = true;
+    }
+  }
+  LevelInfo info;
+  info.level.resize(n);
+  info.height = 0;
+  for (int v = 0; v < n; ++v) {
+    info.level[v] = pot[v] - comp_min[comp[v]];
+    info.height = std::max(info.height, info.level[v]);
+  }
+  return info;
+}
+
+int Height(const Digraph& g) {
+  const auto info = ComputeLevels(g);
+  CQA_CHECK(info.has_value());
+  return info->height;
+}
+
+bool UnderlyingIsForest(const Digraph& g) {
+  UnionFind uf(g.num_nodes());
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [u, v] : g.edges()) {
+    if (u == v) continue;  // loops are hypergraph-acyclic
+    const auto [lo, hi] = std::minmax(u, v);
+    const uint64_t key =
+        (static_cast<uint64_t>(lo) << 32) | static_cast<uint32_t>(hi);
+    if (!seen.insert(key).second) continue;
+    if (!uf.Union(u, v)) return false;  // undirected cycle found
+  }
+  return true;
+}
+
+bool HasDirectedCycle(const Digraph& g) {
+  const int n = g.num_nodes();
+  std::vector<int> indegree(n, 0);
+  for (const auto& [u, v] : g.edges()) {
+    (void)u;
+    ++indegree[v];
+  }
+  std::queue<int> q;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) q.push(v);
+  }
+  int removed = 0;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    ++removed;
+    for (const int v : g.out_neighbors(u)) {
+      if (--indegree[v] == 0) q.push(v);
+    }
+  }
+  return removed != n;
+}
+
+}  // namespace cqa

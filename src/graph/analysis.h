@@ -1,0 +1,54 @@
+// Structural digraph analysis used throughout Sections 4, 5 and 8:
+// weak connectivity, bipartiteness, balancedness, and the level/height
+// machinery of Hell & Nešetřil (Lemma 4.5 in the paper).
+
+#ifndef CQA_GRAPH_ANALYSIS_H_
+#define CQA_GRAPH_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Weakly connected components: returns per-node component ids (dense,
+/// starting at 0) and stores the count in `*num_components` if non-null.
+std::vector<int> WeakComponents(const Digraph& g, int* num_components);
+
+/// True if the underlying undirected graph is connected (or empty).
+bool IsWeaklyConnected(const Digraph& g);
+
+/// True if g -> K2<->, i.e., the underlying graph is 2-colorable. A loop
+/// makes a digraph non-bipartite.
+bool IsBipartite(const Digraph& g);
+
+/// True if every oriented cycle has net length 0. Equivalently (Claim 5.2 /
+/// [25]) g maps homomorphically into a directed path.
+bool IsBalanced(const Digraph& g);
+
+/// Level decoration of a balanced digraph (paper, proof of Prop 4.4):
+/// level(v) = max net length of an oriented path with terminal node v.
+/// Height = max level. Returns nullopt if g is not balanced.
+struct LevelInfo {
+  std::vector<int> level;  ///< per node
+  int height = 0;          ///< max level (0 for empty graphs)
+};
+std::optional<LevelInfo> ComputeLevels(const Digraph& g);
+
+/// Height of a balanced digraph; CHECK-fails if not balanced.
+int Height(const Digraph& g);
+
+/// True if the underlying undirected *simple* graph is a forest (no cycles
+/// of length >= 3; loops and 2-cycles collapse away). Over the graph
+/// vocabulary this is exactly membership of the query in AC = TW(1)
+/// (Sections 3 and 5: acyclicity refers to the hypergraph, so E(x,x) and
+/// the pair E(x,y),E(y,x) are acyclic).
+bool UnderlyingIsForest(const Digraph& g);
+
+/// True if g has a directed cycle (loops count).
+bool HasDirectedCycle(const Digraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_ANALYSIS_H_

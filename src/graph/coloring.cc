@@ -1,0 +1,68 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+// Backtracking colorer over a fixed node order (descending degree), with the
+// standard symmetry break: node i may use colors 0..min(i, k-1).
+bool Color(const std::vector<std::vector<int>>& adj,
+           const std::vector<int>& order, size_t pos, int k,
+           std::vector<int>* color) {
+  if (pos == order.size()) return true;
+  const int v = order[pos];
+  const int max_color =
+      std::min(static_cast<int>(pos), k - 1);
+  for (int c = 0; c <= max_color; ++c) {
+    bool ok = true;
+    for (const int u : adj[v]) {
+      if ((*color)[u] == c) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    (*color)[v] = c;
+    if (Color(adj, order, pos + 1, k, color)) return true;
+    (*color)[v] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> FindKColoring(const Digraph& g, int k) {
+  CQA_CHECK(k >= 0);
+  if (g.HasLoop()) return std::nullopt;
+  if (k == 0) {
+    if (g.num_nodes() == 0) return std::vector<int>{};
+    return std::nullopt;
+  }
+  const auto adj = g.UnderlyingAdjacency();
+  std::vector<int> order(g.num_nodes());
+  for (int i = 0; i < g.num_nodes(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return adj[a].size() > adj[b].size();
+  });
+  std::vector<int> color(g.num_nodes(), -1);
+  if (Color(adj, order, 0, k, &color)) return color;
+  return std::nullopt;
+}
+
+bool IsKColorable(const Digraph& g, int k) {
+  return FindKColoring(g, k).has_value();
+}
+
+std::optional<int> ChromaticNumber(const Digraph& g) {
+  if (g.HasLoop()) return std::nullopt;
+  if (g.num_nodes() == 0) return 0;
+  for (int k = 1; k <= g.num_nodes(); ++k) {
+    if (IsKColorable(g, k)) return k;
+  }
+  return g.num_nodes();  // unreachable: n colors always suffice
+}
+
+}  // namespace cqa

@@ -1,0 +1,28 @@
+// Exact k-colorability of (the underlying simple graph of) a digraph.
+// (k+1)-colorability of the tableau characterizes the existence of loop-free
+// / nontrivial TW(k)-approximations (Theorem 5.10, Corollary 5.11).
+
+#ifndef CQA_GRAPH_COLORING_H_
+#define CQA_GRAPH_COLORING_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// True if g -> K_k<-> (proper k-coloring of the underlying simple graph).
+/// A digraph with a loop is not k-colorable for any k.
+bool IsKColorable(const Digraph& g, int k);
+
+/// A witness coloring with values in [0, k), or nullopt if none exists.
+std::optional<std::vector<int>> FindKColoring(const Digraph& g, int k);
+
+/// Smallest k with IsKColorable(g, k); nullopt if g has a loop. Exponential
+/// in the worst case; intended for the paper-scale tableaux.
+std::optional<int> ChromaticNumber(const Digraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_COLORING_H_

@@ -1,0 +1,17 @@
+#include "graph/dot.h"
+
+namespace cqa {
+
+std::string ToDot(const Digraph& g, const std::string& name) {
+  std::string out = "digraph " + name + " {\n";
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    out += "  n" + std::to_string(v) + ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out += "  n" + std::to_string(u) + " -> n" + std::to_string(v) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace cqa

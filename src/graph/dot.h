@@ -1,0 +1,17 @@
+// Graphviz export for debugging and documentation figures.
+
+#ifndef CQA_GRAPH_DOT_H_
+#define CQA_GRAPH_DOT_H_
+
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Renders `g` in DOT syntax (digraph). `name` is the graph label.
+std::string ToDot(const Digraph& g, const std::string& name = "G");
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_DOT_H_

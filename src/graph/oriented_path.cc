@@ -1,0 +1,66 @@
+#include "graph/oriented_path.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+PointedDigraph OrientedPath(std::string_view pattern) {
+  PointedDigraph out;
+  const int len = static_cast<int>(pattern.size());
+  out.g = Digraph(len + 1);
+  out.initial = 0;
+  out.terminal = len;
+  for (int i = 0; i < len; ++i) {
+    CQA_CHECK(pattern[i] == '0' || pattern[i] == '1');
+    if (pattern[i] == '0') {
+      out.g.AddEdge(i, i + 1);
+    } else {
+      out.g.AddEdge(i + 1, i);
+    }
+  }
+  return out;
+}
+
+int NetLength(std::string_view pattern) {
+  int net = 0;
+  for (const char c : pattern) {
+    CQA_CHECK(c == '0' || c == '1');
+    net += (c == '0') ? 1 : -1;
+  }
+  return net;
+}
+
+void AttachOrientedPath(Digraph* g, std::string_view pattern, int from,
+                        int to) {
+  CQA_CHECK(from >= 0 && from < g->num_nodes());
+  CQA_CHECK(to >= 0 && to < g->num_nodes());
+  const int len = static_cast<int>(pattern.size());
+  CQA_CHECK(len >= 1);
+  // Interior nodes u_1..u_{len-1} are fresh; u_0 = from, u_len = to.
+  std::vector<int> node(len + 1);
+  node[0] = from;
+  node[len] = to;
+  for (int i = 1; i < len; ++i) node[i] = g->AddNode();
+  for (int i = 0; i < len; ++i) {
+    CQA_CHECK(pattern[i] == '0' || pattern[i] == '1');
+    if (pattern[i] == '0') {
+      g->AddEdge(node[i], node[i + 1]);
+    } else {
+      g->AddEdge(node[i + 1], node[i]);
+    }
+  }
+}
+
+std::string Zeros(int k) {
+  CQA_CHECK(k >= 0);
+  return std::string(static_cast<size_t>(k), '0');
+}
+
+std::string Ones(int k) {
+  CQA_CHECK(k >= 0);
+  return std::string(static_cast<size_t>(k), '1');
+}
+
+std::string DirectedPathPattern(int k) { return Zeros(k); }
+
+}  // namespace cqa

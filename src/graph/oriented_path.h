@@ -1,0 +1,40 @@
+// Oriented paths written as {0,1}-strings (paper, proof of Prop 4.4 and
+// Section 8): '0' is a forward edge, '1' a backward edge. These are the raw
+// material of the counting family and the DP-hardness gadgets.
+
+#ifndef CQA_GRAPH_ORIENTED_PATH_H_
+#define CQA_GRAPH_ORIENTED_PATH_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Builds the oriented path described by `pattern` over fresh nodes
+/// u_0,...,u_len: character i is '0' for edge (u_i, u_{i+1}) and '1' for
+/// edge (u_{i+1}, u_i). Initial node is u_0, terminal node is u_len.
+PointedDigraph OrientedPath(std::string_view pattern);
+
+/// Net length of `pattern`: number of '0's minus number of '1's.
+int NetLength(std::string_view pattern);
+
+/// Splices a copy of the oriented path `pattern` into `g` between existing
+/// nodes `from` (identified with the path's initial node) and `to`
+/// (identified with its terminal node). The paper's figures draw this as an
+/// edge from `from` to `to` labeled with the path.
+void AttachOrientedPath(Digraph* g, std::string_view pattern, int from,
+                        int to);
+
+/// Shorthands for the repeated-block patterns of Section 8, e.g.
+/// `Zeros(3) + "1" + Zeros(2)` is the string "000100".
+std::string Zeros(int k);
+std::string Ones(int k);
+
+/// The directed path P_k of length k as a pattern (k forward edges).
+std::string DirectedPathPattern(int k);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_ORIENTED_PATH_H_

@@ -1,0 +1,54 @@
+#include "graph/standard.h"
+
+#include "base/check.h"
+
+namespace cqa {
+
+Digraph CompleteDigraph(int m) {
+  CQA_CHECK(m >= 0);
+  Digraph g(m);
+  for (int u = 0; u < m; ++u) {
+    for (int v = 0; v < m; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph DirectedPath(int k) {
+  CQA_CHECK(k >= 0);
+  Digraph g(k + 1);
+  for (int i = 0; i < k; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Digraph DirectedCycle(int n) {
+  CQA_CHECK(n >= 1);
+  Digraph g(n);
+  for (int i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Digraph SingleLoop() {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  return g;
+}
+
+Digraph BidirectionalEdge() {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  return g;
+}
+
+Digraph Bidirect(const Digraph& g) {
+  Digraph out(g.num_nodes());
+  for (const auto& [u, v] : g.edges()) {
+    out.AddEdge(u, v);
+    out.AddEdge(v, u);
+  }
+  return out;
+}
+
+}  // namespace cqa

@@ -1,0 +1,34 @@
+// Standard digraphs named in the paper: complete digraphs K_m<->, directed
+// paths P_k, directed cycles, loops, and the bidirectional edge K_2<->.
+
+#ifndef CQA_GRAPH_STANDARD_H_
+#define CQA_GRAPH_STANDARD_H_
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// K_m<->: complete digraph on m nodes, edges both ways, no loops.
+Digraph CompleteDigraph(int m);
+
+/// The directed path of length k (k+1 nodes, k forward edges). P_0 is a
+/// single node.
+Digraph DirectedPath(int k);
+
+/// The directed cycle of length n (n >= 1; n = 1 is a loop).
+Digraph DirectedCycle(int n);
+
+/// A single node with a loop: the tableau of Q_triv() :- E(x,x).
+Digraph SingleLoop();
+
+/// K_2<->: two nodes, edges both ways; the tableau of
+/// Q_triv2() :- E(x,y), E(y,x).
+Digraph BidirectionalEdge();
+
+/// The directed version of an undirected graph: each undirected edge {a,b}
+/// becomes both (a,b) and (b,a) (the paper's G<-> in Prop 5.12).
+Digraph Bidirect(const Digraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_GRAPH_STANDARD_H_

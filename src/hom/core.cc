@@ -1,0 +1,90 @@
+#include "hom/core.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+namespace {
+
+// Finds a non-surjective endomorphism of `db` fixing `frozen`, or nullopt.
+std::optional<std::vector<Element>> FindProperRetraction(const Database& db,
+                                                         const Tuple& frozen) {
+  std::vector<bool> is_frozen(db.num_elements(), false);
+  for (const Element e : frozen) is_frozen[e] = true;
+  for (Element banned = 0; banned < db.num_elements(); ++banned) {
+    if (is_frozen[banned]) continue;
+    HomOptions options;
+    options.allowed_image.assign(db.num_elements(), true);
+    options.allowed_image[banned] = false;
+    for (const Element e : frozen) options.fixed.emplace_back(e, e);
+    auto h = FindHomomorphism(db, db, options);
+    if (h.has_value()) return h;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CoreResult ComputeCore(const Database& db, const Tuple& frozen) {
+  // Iterate: find an endomorphism avoiding some element, replace the
+  // structure by its homomorphic image (a substructure), repeat. Each round
+  // strictly shrinks the universe, so this terminates; at the fixpoint every
+  // endomorphism (fixing frozen) is surjective, i.e., the structure is a
+  // core.
+  Database current = db;
+  Tuple current_frozen = frozen;
+  // Cumulative map from original elements into `current`.
+  std::vector<Element> acc(db.num_elements());
+  for (Element e = 0; e < db.num_elements(); ++e) acc[e] = e;
+
+  for (;;) {
+    const auto h = FindProperRetraction(current, current_frozen);
+    if (!h.has_value()) break;
+    // Restrict to the image elements and compose.
+    std::vector<bool> in_image(current.num_elements(), false);
+    for (const Element e : *h) in_image[e] = true;
+    // The image *structure* (mapped facts only) lives on the image elements.
+    std::vector<Element> relabel(current.num_elements(), -1);
+    int next = 0;
+    for (Element e = 0; e < current.num_elements(); ++e) {
+      if (in_image[e]) relabel[e] = next++;
+    }
+    std::vector<Element> to_image(current.num_elements());
+    for (Element e = 0; e < current.num_elements(); ++e) {
+      to_image[e] = relabel[(*h)[e]];
+    }
+    Database image = current.MapThrough(to_image, next);
+    for (Element e = 0; e < current.num_elements(); ++e) {
+      if (in_image[e]) {
+        image.SetElementName(relabel[e], current.ElementName(e));
+      }
+    }
+    for (Element& e : acc) e = to_image[e];
+    for (Element& e : current_frozen) e = to_image[e];
+    current = std::move(image);
+  }
+  return CoreResult{std::move(current), std::move(acc)};
+}
+
+PointedDatabase ComputeCore(const PointedDatabase& pdb) {
+  CoreResult result = ComputeCore(pdb.db, pdb.distinguished);
+  Tuple mapped(pdb.distinguished.size());
+  for (size_t i = 0; i < pdb.distinguished.size(); ++i) {
+    mapped[i] = result.retract_map[pdb.distinguished[i]];
+  }
+  return PointedDatabase{std::move(result.core), std::move(mapped)};
+}
+
+bool IsCore(const Database& db, const Tuple& frozen) {
+  return !FindProperRetraction(db, frozen).has_value();
+}
+
+Digraph CoreOfDigraph(const Digraph& g) {
+  return Digraph::FromDatabase(ComputeCore(g.ToDatabase()).core);
+}
+
+bool IsCoreDigraph(const Digraph& g) { return IsCore(g.ToDatabase()); }
+
+}  // namespace cqa

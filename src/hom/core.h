@@ -1,0 +1,43 @@
+// Cores of relational structures (paper, Section 2): a structure is a core
+// if it admits no homomorphism into a proper substructure of itself. The
+// core of the tableau of a CQ is the tableau of its unique minimized
+// equivalent query; distinguished elements (free variables) are frozen.
+
+#ifndef CQA_HOM_CORE_H_
+#define CQA_HOM_CORE_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Result of a core computation.
+struct CoreResult {
+  /// The core, with densely relabeled elements.
+  Database core;
+  /// Retraction: element e of the input maps to retract_map[e] in the core.
+  std::vector<Element> retract_map;
+};
+
+/// Computes the core of `db`. Elements listed in `frozen` must be fixed
+/// pointwise by every retraction considered (used for tableaux: free
+/// variables behave as constants). Exponential in the worst case (the
+/// problem is DP-complete [13]); fine at paper scale.
+CoreResult ComputeCore(const Database& db, const Tuple& frozen = {});
+
+/// Core of a pointed database; the distinguished tuple is frozen and
+/// re-expressed in the core's element ids.
+PointedDatabase ComputeCore(const PointedDatabase& pdb);
+
+/// True if `db` is a core (with the given frozen elements).
+bool IsCore(const Database& db, const Tuple& frozen = {});
+
+/// Digraph shorthands.
+Digraph CoreOfDigraph(const Digraph& g);
+bool IsCoreDigraph(const Digraph& g);
+
+}  // namespace cqa
+
+#endif  // CQA_HOM_CORE_H_

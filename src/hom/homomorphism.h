@@ -1,0 +1,88 @@
+// Homomorphism testing between relational structures — the engine behind
+// containment, minimization, cores, the approximation preorder, and the
+// gadget verifications. NP-complete in general; implemented as CSP
+// backtracking with generalized arc consistency, MRV variable selection and
+// trail-based undo, which handles the paper's path-shaped gadgets (hundreds
+// to thousands of nodes) comfortably.
+
+#ifndef CQA_HOM_HOMOMORPHISM_H_
+#define CQA_HOM_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "data/database.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// Options controlling a homomorphism search.
+struct HomOptions {
+  /// Required images: h(first) = second for each pair.
+  std::vector<std::pair<Element, Element>> fixed;
+
+  /// If non-empty (size = dst.num_elements()), the image of h must lie
+  /// inside {e : allowed_image[e]}. Used for proper-substructure searches
+  /// and core computation.
+  std::vector<bool> allowed_image;
+
+  /// Abort after this many search nodes (< 0 = unlimited). Aborted searches
+  /// report `aborted = true` in HomStats and return nullopt.
+  long long max_nodes = -1;
+};
+
+/// Search statistics (optional out-parameter).
+struct HomStats {
+  long long nodes = 0;
+  bool aborted = false;
+};
+
+/// Finds a homomorphism src -> dst, i.e., a map h with h(fact) a fact of dst
+/// for every fact of src. Returns the per-element image, or nullopt.
+std::optional<std::vector<Element>> FindHomomorphism(
+    const Database& src, const Database& dst, const HomOptions& options = {},
+    HomStats* stats = nullptr);
+
+/// Existence-only convenience wrapper.
+bool ExistsHomomorphism(const Database& src, const Database& dst,
+                        const HomOptions& options = {},
+                        HomStats* stats = nullptr);
+
+/// Pointed version: additionally requires h(src.distinguished) =
+/// dst.distinguished, the condition for tableaux (T_Q, x̄) -> (D, ā).
+std::optional<std::vector<Element>> FindHomomorphism(
+    const PointedDatabase& src, const PointedDatabase& dst,
+    const HomOptions& options = {}, HomStats* stats = nullptr);
+
+bool ExistsHomomorphism(const PointedDatabase& src, const PointedDatabase& dst,
+                        const HomOptions& options = {},
+                        HomStats* stats = nullptr);
+
+/// Digraph shorthand: G -> H as relational structures over {E}.
+bool ExistsDigraphHom(const Digraph& g, const Digraph& h,
+                      const HomOptions& options = {},
+                      HomStats* stats = nullptr);
+
+/// True if there is a homomorphism from src into a *proper* substructure of
+/// dst, i.e., one avoiding at least one element of dst (used by the
+/// Exact Acyclic Homomorphism experiments and core checks).
+bool ExistsHomToProperSubstructure(const Database& src, const Database& dst,
+                                   const HomOptions& options = {});
+
+/// Enumerates every homomorphism src -> dst, invoking `visit` once per
+/// solution; enumeration stops early if `visit` returns false. Returns
+/// true iff the enumeration ran to completion (no early stop, no node
+/// budget abort).
+bool ForEachHomomorphism(
+    const Database& src, const Database& dst, const HomOptions& options,
+    const std::function<bool(const std::vector<Element>&)>& visit);
+
+/// Number of homomorphisms src -> dst (exhaustive enumeration).
+long long CountHomomorphisms(const Database& src, const Database& dst,
+                             const HomOptions& options = {});
+
+}  // namespace cqa
+
+#endif  // CQA_HOM_HOMOMORPHISM_H_

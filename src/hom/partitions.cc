@@ -1,0 +1,65 @@
+#include "hom/partitions.h"
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+bool EnumerateRec(int n, int pos, int max_used, std::vector<int>* labels,
+                  const std::function<bool(const std::vector<int>&, int)>& f) {
+  if (pos == n) return f(*labels, max_used + 1);
+  for (int label = 0; label <= max_used + 1; ++label) {
+    (*labels)[pos] = label;
+    if (!EnumerateRec(n, pos + 1, std::max(max_used, label), labels, f)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void EnumerateSetPartitions(
+    int n, const std::function<bool(const std::vector<int>&, int)>& visit) {
+  CQA_CHECK(n >= 0);
+  if (n == 0) {
+    visit({}, 0);
+    return;
+  }
+  std::vector<int> labels(n, 0);
+  // labels[0] is fixed to 0 by restricted growth.
+  EnumerateRec(n, 1, 0, &labels, visit);
+}
+
+unsigned long long BellNumber(int n) {
+  CQA_CHECK(n >= 0 && n <= 25);
+  // Bell triangle.
+  std::vector<std::vector<unsigned long long>> tri(n + 1);
+  tri[0] = {1};
+  for (int i = 1; i <= n; ++i) {
+    tri[i].resize(i + 1);
+    tri[i][0] = tri[i - 1][i - 1];
+    for (int j = 1; j <= i; ++j) {
+      tri[i][j] = tri[i][j - 1] + tri[i - 1][j - 1];
+    }
+  }
+  return tri[n][0];
+}
+
+Database QuotientDatabase(const Database& db, const std::vector<int>& labels,
+                          int num_blocks) {
+  return db.MapThrough(labels, num_blocks);
+}
+
+PointedDatabase QuotientDatabase(const PointedDatabase& pdb,
+                                 const std::vector<int>& labels,
+                                 int num_blocks) {
+  PointedDatabase out{pdb.db.MapThrough(labels, num_blocks), {}};
+  out.distinguished.reserve(pdb.distinguished.size());
+  for (const Element e : pdb.distinguished) {
+    out.distinguished.push_back(labels[e]);
+  }
+  return out;
+}
+
+}  // namespace cqa

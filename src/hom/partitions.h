@@ -1,0 +1,40 @@
+// Set-partition enumeration and quotient structures. By Theorem 4.1, every
+// graph-based C-approximation of Q is equivalent to a query whose tableau is
+// a homomorphic image of (T_Q, x̄) — and homomorphic images are, up to
+// isomorphism, exactly the quotients of the tableau by partitions of its
+// variable set. Partitions are enumerated as restricted-growth strings.
+
+#ifndef CQA_HOM_PARTITIONS_H_
+#define CQA_HOM_PARTITIONS_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/database.h"
+
+namespace cqa {
+
+/// Calls `visit(labels, num_blocks)` for every set partition of {0..n-1},
+/// where labels is a restricted-growth string (labels[0] = 0,
+/// labels[i] <= 1 + max(labels[0..i-1])). Enumeration stops early if the
+/// callback returns false. Bell(n) partitions total; practical to n ≈ 12-13.
+void EnumerateSetPartitions(
+    int n, const std::function<bool(const std::vector<int>&, int)>& visit);
+
+/// Number of set partitions of an n-element set (Bell number); n <= 25.
+unsigned long long BellNumber(int n);
+
+/// The quotient of `db` by the partition `labels` (with `num_blocks`
+/// blocks): elements with equal labels are identified, facts mapped
+/// pointwise. This is the canonical homomorphic image for that kernel.
+Database QuotientDatabase(const Database& db, const std::vector<int>& labels,
+                          int num_blocks);
+
+/// Pointed version: the distinguished tuple is mapped through the quotient.
+PointedDatabase QuotientDatabase(const PointedDatabase& pdb,
+                                 const std::vector<int>& labels,
+                                 int num_blocks);
+
+}  // namespace cqa
+
+#endif  // CQA_HOM_PARTITIONS_H_

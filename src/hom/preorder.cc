@@ -1,0 +1,39 @@
+#include "hom/preorder.h"
+
+#include "hom/homomorphism.h"
+
+namespace cqa {
+
+bool HomEquivalent(const Database& a, const Database& b) {
+  return ExistsHomomorphism(a, b) && ExistsHomomorphism(b, a);
+}
+
+bool HomEquivalent(const PointedDatabase& a, const PointedDatabase& b) {
+  return ExistsHomomorphism(a, b) && ExistsHomomorphism(b, a);
+}
+
+bool HomEquivalentDigraphs(const Digraph& a, const Digraph& b) {
+  return ExistsDigraphHom(a, b) && ExistsDigraphHom(b, a);
+}
+
+bool StrictlyBelow(const Database& a, const Database& b) {
+  return ExistsHomomorphism(a, b) && !ExistsHomomorphism(b, a);
+}
+
+bool StrictlyBelow(const PointedDatabase& a, const PointedDatabase& b) {
+  return ExistsHomomorphism(a, b) && !ExistsHomomorphism(b, a);
+}
+
+bool StrictlyBelowDigraphs(const Digraph& a, const Digraph& b) {
+  return ExistsDigraphHom(a, b) && !ExistsDigraphHom(b, a);
+}
+
+bool Incomparable(const Database& a, const Database& b) {
+  return !ExistsHomomorphism(a, b) && !ExistsHomomorphism(b, a);
+}
+
+bool IncomparableDigraphs(const Digraph& a, const Digraph& b) {
+  return !ExistsDigraphHom(a, b) && !ExistsDigraphHom(b, a);
+}
+
+}  // namespace cqa

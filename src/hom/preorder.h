@@ -1,0 +1,30 @@
+// The homomorphism preorder on structures and pointed structures (paper,
+// Section 3): D -> D', homomorphic equivalence, and the strict relation
+// "D below D'" (the paper's D ⥯ D': D -> D' but not D' -> D). Approximations
+// are exactly the minimal tableaux of candidate sets under this preorder.
+
+#ifndef CQA_HOM_PREORDER_H_
+#define CQA_HOM_PREORDER_H_
+
+#include "data/database.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// D -> D' and D' -> D.
+bool HomEquivalent(const Database& a, const Database& b);
+bool HomEquivalent(const PointedDatabase& a, const PointedDatabase& b);
+bool HomEquivalentDigraphs(const Digraph& a, const Digraph& b);
+
+/// D -> D' holds but D' -> D does not (written D ⥯ D' in the paper).
+bool StrictlyBelow(const Database& a, const Database& b);
+bool StrictlyBelow(const PointedDatabase& a, const PointedDatabase& b);
+bool StrictlyBelowDigraphs(const Digraph& a, const Digraph& b);
+
+/// Neither a -> b nor b -> a ("incomparable", used throughout Section 8).
+bool Incomparable(const Database& a, const Database& b);
+bool IncomparableDigraphs(const Digraph& a, const Digraph& b);
+
+}  // namespace cqa
+
+#endif  // CQA_HOM_PREORDER_H_

@@ -1,0 +1,160 @@
+#include "hypergraph/acyclicity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+#include "base/union_find.h"
+
+namespace cqa {
+
+bool IsAcyclicGYO(const Hypergraph& h) {
+  // Working copies: edge node-sets and per-node occurrence counts.
+  std::vector<std::vector<int>> edges = h.edges();
+  std::vector<bool> edge_alive(edges.size(), true);
+  std::vector<int> occurrences(h.num_nodes(), 0);
+  for (const auto& e : edges) {
+    for (const int v : e) ++occurrences[v];
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // (a) Remove nodes that occur in at most one live edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!edge_alive[i]) continue;
+      auto& e = edges[i];
+      const auto new_end = std::remove_if(e.begin(), e.end(), [&](int v) {
+        return occurrences[v] <= 1;
+      });
+      if (new_end != e.end()) {
+        e.erase(new_end, e.end());
+        changed = true;
+      }
+      if (e.empty()) edge_alive[i] = false;
+    }
+    // (b) Remove edges contained in another live edge.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!edge_alive[i]) continue;
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j || !edge_alive[j]) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(), edges[i].begin(),
+                          edges[i].end())) {
+          // Tie-break: identical sets must not delete each other; keep the
+          // smaller index.
+          if (edges[i] == edges[j] && i < j) continue;
+          edge_alive[i] = false;
+          for (const int v : edges[i]) --occurrences[v];
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edge_alive[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int IntersectionSize(const std::vector<int>& a, const std::vector<int>& b) {
+  int count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// Checks the join-tree connectedness property: for every node v, the set of
+// hyperedges containing v induces a connected subforest.
+bool ValidateJoinTree(const Hypergraph& h, const std::vector<int>& parent) {
+  const int m = h.num_edges();
+  for (int v = 0; v < h.num_nodes(); ++v) {
+    const auto& occ = h.edges_of(v);
+    if (occ.size() <= 1) continue;
+    UnionFind local(m);
+    for (int i = 0; i < m; ++i) {
+      const int p = parent[i];
+      if (p < 0) continue;
+      const auto& ei = h.edge(i);
+      const auto& ep = h.edge(p);
+      if (std::binary_search(ei.begin(), ei.end(), v) &&
+          std::binary_search(ep.begin(), ep.end(), v)) {
+        local.Union(i, p);
+      }
+    }
+    const int root = local.Find(occ[0]);
+    for (const int e : occ) {
+      if (local.Find(e) != root) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<JoinTree> BuildJoinTree(const Hypergraph& h) {
+  const int m = h.num_edges();
+  JoinTree jt;
+  jt.parent.assign(m, -1);
+  jt.children.assign(m, {});
+  if (m == 0) return jt;
+
+  // Kruskal on the intersection graph with weights |e_i ∩ e_j|, descending.
+  struct Cand {
+    int w, i, j;
+  };
+  std::vector<Cand> cands;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const int w = IntersectionSize(h.edge(i), h.edge(j));
+      if (w > 0) cands.push_back({w, i, j});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.w > b.w; });
+  UnionFind uf(m);
+  std::vector<std::vector<int>> adj(m);
+  for (const Cand& c : cands) {
+    if (uf.Union(c.i, c.j)) {
+      adj[c.i].push_back(c.j);
+      adj[c.j].push_back(c.i);
+    }
+  }
+  // Orient each component from an arbitrary root.
+  std::vector<bool> visited(m, false);
+  for (int r = 0; r < m; ++r) {
+    if (visited[r]) continue;
+    jt.roots.push_back(r);
+    std::vector<int> stack = {r};
+    visited[r] = true;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const int v : adj[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          jt.parent[v] = u;
+          jt.children[u].push_back(v);
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (!ValidateJoinTree(h, jt.parent)) return std::nullopt;
+  return jt;
+}
+
+bool IsAcyclic(const Hypergraph& h) { return BuildJoinTree(h).has_value(); }
+
+}  // namespace cqa

@@ -1,0 +1,43 @@
+// Hypergraph acyclicity (alpha-acyclicity) and join trees. Acyclic CQs are
+// the oldest tractable class (Yannakakis [43]); AC = HTW(1) (paper,
+// Section 6). Two independent deciders are provided: GYO ear removal and
+// Maier's maximum-spanning-tree join-tree construction (used for evaluation).
+
+#ifndef CQA_HYPERGRAPH_ACYCLICITY_H_
+#define CQA_HYPERGRAPH_ACYCLICITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace cqa {
+
+/// GYO reduction: repeatedly (a) delete nodes occurring in at most one edge,
+/// (b) delete edges contained in another edge. Acyclic iff everything
+/// vanishes.
+bool IsAcyclicGYO(const Hypergraph& h);
+
+/// A join tree over the hyperedges of a hypergraph: a forest on edge indices
+/// such that for every node v, the hyperedges containing v form a connected
+/// subtree. Exists iff the hypergraph is acyclic.
+struct JoinTree {
+  /// parent[i] is the parent edge index of hyperedge i, or -1 for roots.
+  std::vector<int> parent;
+  /// Children lists (inverse of parent).
+  std::vector<std::vector<int>> children;
+  /// Root edge indices, one per connected component.
+  std::vector<int> roots;
+};
+
+/// Builds a join tree via maximum spanning tree of the intersection graph
+/// (Maier/Bernstein–Goodman); returns nullopt iff the hypergraph is cyclic.
+std::optional<JoinTree> BuildJoinTree(const Hypergraph& h);
+
+/// Convenience: acyclicity via join-tree construction. Tests cross-check
+/// this against IsAcyclicGYO.
+bool IsAcyclic(const Hypergraph& h);
+
+}  // namespace cqa
+
+#endif  // CQA_HYPERGRAPH_ACYCLICITY_H_

@@ -1,0 +1,71 @@
+// Hypergraphs of conjunctive queries (paper, Sections 3 and 6): nodes are
+// variables, hyperedges are atom scopes. Includes the two closure operations
+// that drive the existence theorem for hypergraph-based classes
+// (Theorem 6.1): induced subhypergraphs and edge extensions.
+
+#ifndef CQA_HYPERGRAPH_HYPERGRAPH_H_
+#define CQA_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace cqa {
+
+/// A finite hypergraph on nodes `0..num_nodes()-1`. Hyperedges are stored as
+/// sorted duplicate-free node sets; identical hyperedges are merged.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  explicit Hypergraph(int num_nodes);
+
+  int num_nodes() const { return n_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  int AddNode();
+  int AddNodes(int k);
+
+  /// Adds a hyperedge over `nodes` (deduplicated and sorted). Empty edges
+  /// are ignored. Returns the edge index (existing index if duplicate).
+  int AddEdge(std::vector<int> nodes);
+
+  /// Edge `i` as a sorted node list.
+  const std::vector<int>& edge(int i) const;
+
+  const std::vector<std::vector<int>>& edges() const { return edges_; }
+
+  /// Indices of edges containing node `v`.
+  const std::vector<int>& edges_of(int v) const;
+
+  /// The induced subhypergraph on {v : keep[v]}: nodes are relabeled
+  /// densely and every edge is intersected with the kept set (paper,
+  /// Section 6; empty intersections vanish).
+  Hypergraph InducedSubhypergraph(const std::vector<bool>& keep,
+                                  std::vector<int>* old_to_new) const;
+
+  /// Edge extension: adds `count` fresh nodes to edge `i` (paper,
+  /// Section 6). Returns the first fresh node id.
+  int ExtendEdge(int i, int count);
+
+  /// The primal (Gaifman) graph: an undirected clique per hyperedge,
+  /// represented as a symmetric digraph. This is the graph G(Q) of
+  /// Section 4 when the hypergraph is H(Q).
+  Digraph PrimalGraph() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::vector<int>> edges_;
+  std::vector<std::vector<int>> edges_of_;
+};
+
+/// Builds the hypergraph whose edges are the scopes of `db`'s facts (the
+/// hypergraph H(Q) when db is the tableau of Q).
+Hypergraph HypergraphOfDatabase(const Database& db);
+
+/// The Gaifman graph of a database: for each fact, a clique over its
+/// elements (the graph G(Q) when db is the tableau of Q).
+Digraph GaifmanGraph(const Database& db);
+
+}  // namespace cqa
+
+#endif  // CQA_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,267 @@
+// Tests for the approximation engine against the paper's worked examples:
+// the Introduction's Q1/Q2/Q3, the non-Boolean triangle (Section 5.1.2),
+// Proposition 5.9, Corollary 5.3, and Example 6.6.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "core/verifier.h"
+#include "cq/containment.h"
+#include "cq/minimize.h"
+#include "cq/parse.h"
+#include "cq/properties.h"
+#include "cq/tableau.h"
+#include "cq/trivial.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+namespace {
+
+bool SetContainsEquivalent(const std::vector<ConjunctiveQuery>& set,
+                           const ConjunctiveQuery& q) {
+  return std::any_of(set.begin(), set.end(), [&](const ConjunctiveQuery& c) {
+    return AreEquivalent(c, q);
+  });
+}
+
+TEST(ApproxTest, Q1HasOnlyTrivialAcyclicApproximation) {
+  const auto result = ComputeApproximations(IntroQ1(), *MakeTreewidthClass(1));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], TrivialLoopQuery()));
+  EXPECT_TRUE(result.provably_complete);
+}
+
+TEST(ApproxTest, Q3HasOnlyBipartiteTrivialApproximation) {
+  const auto result = ComputeApproximations(IntroQ3(), *MakeTreewidthClass(1));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(
+      AreEquivalent(result.approximations[0], TrivialBipartiteQuery()));
+}
+
+TEST(ApproxTest, Q2ApproximatedByP4) {
+  // Example 5.7: Q2's unique acyclic approximation is the path of length 4.
+  const auto result = ComputeApproximations(IntroQ2(), *MakeTreewidthClass(1));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], IntroQ2Approx()));
+}
+
+TEST(ApproxTest, NonBooleanTriangleKeepsLoop) {
+  const auto result =
+      ComputeApproximations(NonBooleanTriangle(), *MakeTreewidthClass(1));
+  ASSERT_FALSE(result.approximations.empty());
+  EXPECT_TRUE(
+      SetContainsEquivalent(result.approximations, NonBooleanTriangleApprox()));
+  // Theorem 5.8: the tableau is not bipartite, so every acyclic
+  // approximation has a loop subgoal.
+  for (const auto& approx : result.approximations) {
+    const Digraph t = Digraph::FromDatabase(ToTableau(approx).db);
+    EXPECT_TRUE(t.HasLoop()) << PrintQuery(approx);
+  }
+}
+
+TEST(ApproxTest, ApproximationsAreSoundAndInClass) {
+  const auto cls = MakeTreewidthClass(1);
+  for (const ConjunctiveQuery& q :
+       {IntroQ1(), IntroQ2(), IntroQ3(), NonBooleanTriangle()}) {
+    const auto result = ComputeApproximations(q, *cls);
+    for (const auto& approx : result.approximations) {
+      EXPECT_TRUE(IsContainedIn(approx, q)) << PrintQuery(approx);
+      EXPECT_TRUE(cls->Contains(approx)) << PrintQuery(approx);
+      EXPECT_TRUE(IsMinimal(approx)) << PrintQuery(approx);
+    }
+  }
+}
+
+TEST(ApproxTest, JoinBoundOfTheorem41) {
+  // Every graph-based approximation has at most as many joins as Q.
+  for (const ConjunctiveQuery& q : {IntroQ1(), IntroQ2(), IntroQ3()}) {
+    const auto result = ComputeApproximations(q, *MakeTreewidthClass(1));
+    for (const auto& approx : result.approximations) {
+      EXPECT_LE(approx.NumJoins(), q.NumJoins()) << PrintQuery(approx);
+    }
+  }
+}
+
+TEST(ApproxTest, Corollary53StrictJoinDecreaseForBooleanCyclic) {
+  for (const ConjunctiveQuery& q : {IntroQ1(), IntroQ2(), IntroQ3()}) {
+    ASSERT_TRUE(q.IsBoolean());
+    ASSERT_FALSE(IsAcyclicQuery(q));
+    const auto result = ComputeApproximations(q, *MakeTreewidthClass(1));
+    for (const auto& approx : result.approximations) {
+      EXPECT_LT(approx.NumJoins(), q.NumJoins()) << PrintQuery(approx);
+    }
+  }
+}
+
+TEST(ApproxTest, Prop59JoinCountPreserved) {
+  // All minimized acyclic approximations of Prop 5.9's query have exactly
+  // as many joins as the query itself (3 joins).
+  const ConjunctiveQuery q = Prop59Query();
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(1));
+  ASSERT_FALSE(result.approximations.empty());
+  for (const auto& approx : result.approximations) {
+    EXPECT_EQ(approx.NumJoins(), 3) << PrintQuery(approx);
+  }
+}
+
+TEST(ApproxTest, TernaryTriangleApproximationVerifies) {
+  // The Introduction's ternary example: Q' is an acyclic approximation.
+  const auto verdict = VerifyApproximation(
+      IntroTernaryTriangleApprox(), IntroTernaryTriangle(),
+      *MakeAcyclicClass());
+  EXPECT_TRUE(verdict.is_approximation);
+}
+
+TEST(ApproxTest, TernaryTriangleHasNontrivialApproximations) {
+  const auto result =
+      ComputeApproximations(IntroTernaryTriangle(), *MakeAcyclicClass());
+  ASSERT_FALSE(result.approximations.empty());
+  EXPECT_TRUE(SetContainsEquivalent(result.approximations,
+                                    IntroTernaryTriangleApprox()));
+  for (const auto& approx : result.approximations) {
+    EXPECT_FALSE(IsTrivialQuery(approx)) << PrintQuery(approx);
+  }
+}
+
+TEST(ApproxTest, Example66ThreeApproximations) {
+  // Example 6.6: exactly 3 non-equivalent acyclic approximations, with
+  // fewer / equal / more joins than Q.
+  const auto result =
+      ComputeApproximations(Example66Query(), *MakeAcyclicClass());
+  EXPECT_TRUE(SetContainsEquivalent(result.approximations,
+                                    Example66Approx1()));
+  EXPECT_TRUE(SetContainsEquivalent(result.approximations,
+                                    Example66Approx2()));
+  EXPECT_TRUE(SetContainsEquivalent(result.approximations,
+                                    Example66Approx3()));
+  EXPECT_EQ(result.approximations.size(), 3u);
+}
+
+TEST(ApproxTest, Example66ApproximationsVerify) {
+  const ConjunctiveQuery q = Example66Query();
+  const auto cls = MakeAcyclicClass();
+  for (const ConjunctiveQuery& approx :
+       {Example66Approx1(), Example66Approx2(), Example66Approx3()}) {
+    EXPECT_TRUE(IsContainedIn(approx, q)) << PrintQuery(approx);
+    EXPECT_TRUE(cls->Contains(approx)) << PrintQuery(approx);
+    const auto verdict = VerifyApproximation(approx, q, *cls);
+    EXPECT_TRUE(verdict.is_approximation) << PrintQuery(approx);
+  }
+}
+
+TEST(ApproxTest, VerifierAcceptsP4ForQ2) {
+  const auto verdict = VerifyApproximation(IntroQ2Approx(), IntroQ2(),
+                                           *MakeTreewidthClass(1));
+  EXPECT_TRUE(verdict.is_approximation);
+}
+
+TEST(ApproxTest, VerifierRejectsDominatedQueries) {
+  // The trivial loop is contained in Q2 but strictly below the P4
+  // approximation, so it is not an approximation of Q2; ditto K2<->.
+  const auto cls = MakeTreewidthClass(1);
+  const auto loop_verdict =
+      VerifyApproximation(TrivialLoopQuery(), IntroQ2(), *cls);
+  EXPECT_FALSE(loop_verdict.is_approximation);
+  EXPECT_TRUE(loop_verdict.better_witness.has_value());
+  const auto k2_verdict =
+      VerifyApproximation(TrivialBipartiteQuery(), IntroQ2(), *cls);
+  EXPECT_FALSE(k2_verdict.is_approximation);
+}
+
+TEST(ApproxTest, VerifierRejectsNonContainedQueries) {
+  // A single-edge query is not contained in Q1 (it contains Q1 instead).
+  const auto q_edge =
+      MustParseQuery(Vocabulary::Graph(), "Q() :- E(x, y)");
+  const auto verdict =
+      VerifyApproximation(q_edge, IntroQ1(), *MakeTreewidthClass(1));
+  EXPECT_FALSE(verdict.is_approximation);
+  EXPECT_TRUE(verdict.failed_containment);
+}
+
+TEST(ApproxTest, VerifierRejectsOutOfClassQueries) {
+  const auto verdict =
+      VerifyApproximation(IntroQ1(), IntroQ1(), *MakeTreewidthClass(1));
+  EXPECT_FALSE(verdict.is_approximation);
+  EXPECT_TRUE(verdict.failed_class_membership);
+}
+
+TEST(ApproxTest, InClassQueryIsItsOwnApproximation) {
+  // A TW(2) query approximated in TW(2) yields itself.
+  const ConjunctiveQuery q = IntroQ1();  // triangle: treewidth 2
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(2));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], q));
+}
+
+TEST(ApproxTest, K4QueryTrivialInTW2) {
+  // K4's tableau is not 3-colorable, so its TW(2)-approximation is trivial
+  // (Corollary 5.11).
+  const ConjunctiveQuery q = TrivialCliqueQuery(4);
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(2));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], TrivialLoopQuery()));
+}
+
+TEST(ApproxTest, K4QueryNontrivialInTW3) {
+  // K4 has treewidth 3, so in TW(3) it approximates to itself.
+  const ConjunctiveQuery q = TrivialCliqueQuery(4);
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(3));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], q));
+}
+
+TEST(ApproxTest, HypergraphClassesNeedAugmentation) {
+  // With augmentation disabled, Example 6.6's third approximation (which
+  // has an extra covering atom) is missed; with the default budget it is
+  // found. Documents the Theorem 6.1 vs 4.1 candidate-space difference.
+  ApproximationOptions no_aug;
+  no_aug.candidates.augmentation_budget = 0;
+  const auto without =
+      ComputeApproximations(Example66Query(), *MakeAcyclicClass(), no_aug);
+  EXPECT_FALSE(
+      SetContainsEquivalent(without.approximations, Example66Approx3()));
+  const auto with =
+      ComputeApproximations(Example66Query(), *MakeAcyclicClass());
+  EXPECT_TRUE(SetContainsEquivalent(with.approximations, Example66Approx3()));
+}
+
+TEST(ApproxTest, HTWClassMatchesACForExample66) {
+  // AC = HTW(1): the HTW(1) approximations of Example 6.6 coincide with
+  // the acyclic ones.
+  const auto ac = ComputeApproximations(Example66Query(), *MakeAcyclicClass());
+  const auto htw =
+      ComputeApproximations(Example66Query(), *MakeHypertreeClass(1));
+  ASSERT_EQ(ac.approximations.size(), htw.approximations.size());
+  for (const auto& a : ac.approximations) {
+    EXPECT_TRUE(SetContainsEquivalent(htw.approximations, a));
+  }
+}
+
+TEST(ApproxTest, PairwiseIncomparability) {
+  // Distinct approximations are incomparable (maximality).
+  const auto result =
+      ComputeApproximations(Example66Query(), *MakeAcyclicClass());
+  for (size_t i = 0; i < result.approximations.size(); ++i) {
+    for (size_t j = i + 1; j < result.approximations.size(); ++j) {
+      EXPECT_FALSE(IsContainedIn(result.approximations[i],
+                                 result.approximations[j]));
+      EXPECT_FALSE(IsContainedIn(result.approximations[j],
+                                 result.approximations[i]));
+    }
+  }
+}
+
+TEST(ApproxTest, ComputeOneReturnsValidApproximation) {
+  const ConjunctiveQuery one =
+      ComputeOneApproximation(IntroQ2(), *MakeTreewidthClass(1));
+  EXPECT_TRUE(VerifyApproximation(one, IntroQ2(), *MakeTreewidthClass(1))
+                  .is_approximation);
+}
+
+}  // namespace
+}  // namespace cqa

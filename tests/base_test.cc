@@ -1,0 +1,166 @@
+// Unit tests for base utilities: deterministic RNG, strings, union-find,
+// hash combinators.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/union_find.h"
+
+namespace cqa {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(3);
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StringsTest, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, SplitEmpty) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, Identifier) {
+  EXPECT_TRUE(IsIdentifier("x"));
+  EXPECT_TRUE(IsIdentifier("x_1"));
+  EXPECT_TRUE(IsIdentifier("x'"));
+  EXPECT_TRUE(IsIdentifier("_tmp"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1x"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("'x"));
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 4);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+}
+
+TEST(UnionFindTest, DenseLabels) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(4, 5);
+  auto labels = uf.DenseLabels();
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[1]);
+  // Labels dense in [0, num_sets).
+  for (const int l : labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, uf.num_sets());
+  }
+}
+
+TEST(UnionFindTest, ChainCollapse) {
+  UnionFind uf(100);
+  for (int i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.Find(0), uf.Find(99));
+}
+
+TEST(HashTest, VectorHashDistinguishes) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{3, 2, 1};
+  const std::vector<int> c{1, 2, 3};
+  EXPECT_EQ(HashVector(a), HashVector(c));
+  EXPECT_NE(HashVector(a), HashVector(b));
+}
+
+TEST(HashTest, EmptyAndSizeSensitive) {
+  EXPECT_NE(HashVector(std::vector<int>{}), HashVector(std::vector<int>{0}));
+  EXPECT_NE(HashVector(std::vector<int>{0}),
+            HashVector(std::vector<int>{0, 0}));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,215 @@
+// Additional paper-claim verifications: homomorphism enumeration/counting,
+// Example 5.7's tightness statement, Proposition 5.12's reduction,
+// Proposition 5.13's second branch, and Claim 5.2 (balanced digraphs are
+// closed under inverse homomorphisms).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/claim62.h"
+#include "core/query_class.h"
+#include "core/strong_tw.h"
+#include "core/tight.h"
+#include "core/verifier.h"
+#include "cq/containment.h"
+#include "cq/parse.h"
+#include "cq/tableau.h"
+#include "data/generators.h"
+#include "cq/properties.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+#include "gadgets/section53.h"
+#include "gadgets/workloads.h"
+#include "graph/analysis.h"
+#include "graph/standard.h"
+#include "hom/homomorphism.h"
+
+namespace cqa {
+namespace {
+
+TEST(HomEnumerationTest, CountsOnCycles) {
+  // #hom(C6 -> C3) = 3 (rotations), #hom(C6 -> C2) = 2, none from C4.
+  EXPECT_EQ(CountHomomorphisms(DirectedCycle(6).ToDatabase(),
+                               DirectedCycle(3).ToDatabase()),
+            3);
+  EXPECT_EQ(CountHomomorphisms(DirectedCycle(6).ToDatabase(),
+                               DirectedCycle(2).ToDatabase()),
+            2);
+  EXPECT_EQ(CountHomomorphisms(DirectedCycle(4).ToDatabase(),
+                               DirectedCycle(3).ToDatabase()),
+            0);
+}
+
+TEST(HomEnumerationTest, CountsOnPaths) {
+  // #hom(P1 -> P_k) = k (each edge of the path).
+  for (int k = 1; k <= 5; ++k) {
+    EXPECT_EQ(CountHomomorphisms(DirectedPath(1).ToDatabase(),
+                                 DirectedPath(k).ToDatabase()),
+              k);
+  }
+}
+
+TEST(HomEnumerationTest, EnumerationMatchesCountAndValidates) {
+  Rng rng(321);
+  const Database src = RandomDigraphDatabase(4, 0.5, &rng, true);
+  const Database dst = RandomDigraphDatabase(4, 0.6, &rng, true);
+  long long seen = 0;
+  const bool complete =
+      ForEachHomomorphism(src, dst, {}, [&](const std::vector<Element>& h) {
+        ++seen;
+        for (const Tuple& t : src.facts(0)) {
+          EXPECT_TRUE(dst.HasFact(0, {h[t[0]], h[t[1]]}));
+        }
+        return true;
+      });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(seen, CountHomomorphisms(src, dst));
+}
+
+TEST(HomEnumerationTest, EarlyStopReportsIncomplete) {
+  const bool complete =
+      ForEachHomomorphism(DirectedPath(1).ToDatabase(),
+                          DirectedPath(4).ToDatabase(), {},
+                          [](const std::vector<Element>&) { return false; });
+  EXPECT_FALSE(complete);
+}
+
+TEST(HomEnumerationTest, LoopTargetCountsAllConstantMaps) {
+  // Everything maps to the loop in exactly one way.
+  EXPECT_EQ(CountHomomorphisms(DirectedCycle(5).ToDatabase(),
+                               SingleLoop().ToDatabase()),
+            1);
+}
+
+TEST(Example57Test, P4IsTightForQ2) {
+  // Example 5.7 (second part): Q2' (the path of length 4) is a *tight*
+  // acyclic approximation of the Introduction's Q2.
+  EXPECT_TRUE(IsTightApproximationCandidate(IntroQ2Approx(), IntroQ2(),
+                                            *MakeTreewidthClass(1)));
+}
+
+TEST(Prop512Test, ColorableSideMakesTrivialCliqueAnApproximation) {
+  // C5 is 3-colorable: for k = 2, Q_triv_3 is a TW(2)-approximation of
+  // phi(C5) (the query is equivalent to Q_triv_3).
+  const ConjunctiveQuery phi = Prop512Query(DirectedCycle(5), 2);
+  const ConjunctiveQuery triv3 =
+      BooleanQueryFromStructure(CompleteDigraph(3).ToDatabase());
+  EXPECT_TRUE(AreEquivalent(phi, triv3));
+  EXPECT_TRUE(
+      VerifyApproximation(triv3, phi, *MakeTreewidthClass(2)).is_approximation);
+}
+
+TEST(Prop512Test, NonColorableSideRejects) {
+  // K4 is not 3-colorable: T_phi(K4) contains K4<-> which has no hom into
+  // K3<->, so Q_triv_3 is not even contained in phi(K4) — exactly the
+  // reduction's negative direction. The verifier must reject on
+  // containment.
+  const ConjunctiveQuery phi = Prop512Query(CompleteDigraph(4), 2);
+  const ConjunctiveQuery triv3 =
+      BooleanQueryFromStructure(CompleteDigraph(3).ToDatabase());
+  EXPECT_FALSE(IsContainedIn(triv3, phi));
+  const auto verdict = VerifyApproximation(triv3, phi, *MakeTreewidthClass(2));
+  EXPECT_FALSE(verdict.is_approximation);
+  EXPECT_TRUE(verdict.failed_containment);
+}
+
+TEST(Prop513Test, SecondBranchMinRepetitions) {
+  // A potential strong approximation whose atoms never repeat a variable
+  // exactly twice (min repetition 3, arity 4): branch 2 of the
+  // construction.
+  const auto vocab = Vocabulary::Single("R", 4);
+  const ConjunctiveQuery q_prime =
+      MustParseQuery(vocab, "Q() :- R(x,y,y,y), R(y,x,x,x)");
+  const int n = 5;  // n > m = 4
+  const ConjunctiveQuery q = BuildProp513Query(q_prime, n);
+  EXPECT_EQ(q.num_variables(), n);
+  EXPECT_TRUE(HasMaximumTreewidth(q));
+  EXPECT_TRUE(IsContainedIn(q_prime, q));
+  EXPECT_TRUE(IsStrongTreewidthApproximation(q_prime, q));
+}
+
+TEST(Claim62Test, WitnessSandwichOnExample66) {
+  const ConjunctiveQuery q = Example66Query();
+  const int n = q.num_variables();
+  const int m = q.vocab()->max_arity();
+  for (const ConjunctiveQuery& q_prime :
+       {Example66Approx1(), Example66Approx2(), Example66Approx3()}) {
+    const auto witness = BuildClaim62Witness(q, q_prime);
+    ASSERT_TRUE(witness.has_value()) << PrintQuery(q_prime);
+    EXPECT_TRUE(IsContainedIn(q_prime, *witness)) << PrintQuery(*witness);
+    EXPECT_TRUE(IsContainedIn(*witness, q)) << PrintQuery(*witness);
+    EXPECT_TRUE(IsAcyclicQuery(*witness)) << PrintQuery(*witness);
+    // Size bound of Claim 6.2: n + (m-1)^2 * n^{m-1} variables.
+    const int bound = n + (m - 1) * (m - 1) *
+                              static_cast<int>(std::pow(n, m - 1));
+    EXPECT_LE(witness->num_variables(), bound);
+  }
+}
+
+TEST(Claim62Test, RejectsNonContainedPairs) {
+  // A single-atom query is not contained in the cycle; no witness.
+  const auto vocab = Vocabulary::Single("R", 3);
+  const ConjunctiveQuery not_contained =
+      MustParseQuery(vocab, "Q() :- R(x, y, z)");
+  EXPECT_FALSE(
+      BuildClaim62Witness(Example66Query(), not_contained).has_value());
+}
+
+TEST(Claim62Test, GraphPairsStayAcyclic) {
+  // Over graphs AC = TW(1) and the closure properties hold, so witnesses
+  // for acyclic approximations of cyclic graph queries stay acyclic.
+  Rng rng(1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ConjunctiveQuery q = RandomCyclicGraphCQ(
+        3 + static_cast<int>(rng.UniformInt(3)),
+        static_cast<int>(rng.UniformInt(3)), &rng);
+    const ConjunctiveQuery q_prime =
+        ComputeOneApproximation(q, *MakeTreewidthClass(1));
+    const auto witness = BuildClaim62Witness(q, q_prime);
+    ASSERT_TRUE(witness.has_value());
+    EXPECT_TRUE(IsContainedIn(q_prime, *witness));
+    EXPECT_TRUE(IsContainedIn(*witness, q));
+    EXPECT_TRUE(IsAcyclicQuery(*witness)) << PrintQuery(*witness);
+  }
+}
+
+TEST(Claim52Test, BalancedClosedUnderInverseHoms) {
+  // If G -> H and H balanced then G balanced: random sweep. We generate
+  // balanced targets (layered digraphs) and random sources; whenever a hom
+  // exists the source must be balanced.
+  Rng rng(909);
+  int hom_pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Database target_db = LayeredDigraphDatabase(4, 2, 0.7, &rng);
+    const Digraph target = Digraph::FromDatabase(target_db);
+    ASSERT_TRUE(IsBalanced(target));
+    const Digraph source = Digraph::FromDatabase(
+        RandomDigraphDatabase(5, 0.25, &rng));
+    if (ExistsDigraphHom(source, target)) {
+      ++hom_pairs;
+      EXPECT_TRUE(IsBalanced(source)) << trial;
+    }
+  }
+  EXPECT_GT(hom_pairs, 0);  // the sweep exercised the claim
+}
+
+TEST(Claim52Test, DirectedPathCharacterization) {
+  // [25]: G is balanced iff G -> P_k for some k (k = height suffices).
+  Rng rng(5);
+  const Digraph balanced =
+      Digraph::FromDatabase(LayeredDigraphDatabase(3, 3, 0.8, &rng));
+  ASSERT_TRUE(IsBalanced(balanced));
+  EXPECT_TRUE(
+      ExistsDigraphHom(balanced, DirectedPath(Height(balanced))));
+  // Unbalanced digraphs map into no directed path.
+  const Digraph cycle = DirectedCycle(4);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_FALSE(ExistsDigraphHom(cycle, DirectedPath(k))) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,198 @@
+// Unit tests for the relational substrate: vocabularies, databases, text
+// serialization, and the synthetic generators.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "data/database.h"
+#include "data/generators.h"
+#include "data/text.h"
+#include "data/vocabulary.h"
+
+namespace cqa {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary v;
+  const RelationId e = v.AddRelation("E", 2);
+  const RelationId r = v.AddRelation("R", 3);
+  EXPECT_EQ(v.num_relations(), 2);
+  EXPECT_EQ(v.arity(e), 2);
+  EXPECT_EQ(v.arity(r), 3);
+  EXPECT_EQ(v.name(r), "R");
+  EXPECT_EQ(v.FindRelation("E"), e);
+  EXPECT_FALSE(v.FindRelation("S").has_value());
+  EXPECT_EQ(v.max_arity(), 3);
+}
+
+TEST(VocabularyTest, GraphConvenience) {
+  const auto g = Vocabulary::Graph();
+  EXPECT_EQ(g->num_relations(), 1);
+  EXPECT_EQ(g->arity(0), 2);
+  EXPECT_EQ(g->name(0), "E");
+}
+
+TEST(VocabularyTest, Equality) {
+  EXPECT_TRUE(*Vocabulary::Graph() == *Vocabulary::Graph());
+  EXPECT_FALSE(*Vocabulary::Graph() == *Vocabulary::Single("R", 3));
+}
+
+TEST(DatabaseTest, FactsDeduplicated) {
+  Database db(Vocabulary::Graph(), 2);
+  EXPECT_TRUE(db.AddFact(0, {0, 1}));
+  EXPECT_FALSE(db.AddFact(0, {0, 1}));
+  EXPECT_TRUE(db.AddFact(0, {1, 0}));
+  EXPECT_EQ(db.NumFacts(), 2);
+  EXPECT_TRUE(db.HasFact(0, {0, 1}));
+  EXPECT_FALSE(db.HasFact(0, {1, 1}));
+}
+
+TEST(DatabaseTest, Containment) {
+  Database small(Vocabulary::Graph(), 3);
+  small.AddFact(0, {0, 1});
+  Database big(Vocabulary::Graph(), 3);
+  big.AddFact(0, {0, 1});
+  big.AddFact(0, {1, 2});
+  EXPECT_TRUE(small.IsContainedIn(big));
+  EXPECT_FALSE(big.IsContainedIn(small));
+  EXPECT_FALSE(small.SameFactsAs(big));
+}
+
+TEST(DatabaseTest, MapThroughQuotient) {
+  // Identify the endpoints of a path of length 2: a loop appears.
+  Database path(Vocabulary::Graph(), 3);
+  path.AddFact(0, {0, 1});
+  path.AddFact(0, {1, 2});
+  const Database folded = path.MapThrough({0, 1, 0}, 2);
+  EXPECT_EQ(folded.num_elements(), 2);
+  EXPECT_TRUE(folded.HasFact(0, {0, 1}));
+  EXPECT_TRUE(folded.HasFact(0, {1, 0}));
+  EXPECT_EQ(folded.NumFacts(), 2);
+}
+
+TEST(DatabaseTest, InducedSubstructure) {
+  Database db(Vocabulary::Graph(), 3);
+  db.AddFact(0, {0, 1});
+  db.AddFact(0, {1, 2});
+  std::vector<Element> map;
+  const Database induced =
+      db.InducedSubstructure({true, true, false}, &map);
+  EXPECT_EQ(induced.num_elements(), 2);
+  EXPECT_EQ(induced.NumFacts(), 1);
+  EXPECT_TRUE(induced.HasFact(0, {0, 1}));
+  EXPECT_EQ(map[2], -1);
+}
+
+TEST(DatabaseTest, ActiveDomainAndRestrict) {
+  Database db(Vocabulary::Graph(), 4);
+  db.AddFact(0, {0, 2});
+  const auto active = db.ActiveDomain();
+  EXPECT_TRUE(active[0]);
+  EXPECT_FALSE(active[1]);
+  EXPECT_TRUE(active[2]);
+  const Database restricted = db.RestrictToActiveDomain(nullptr);
+  EXPECT_EQ(restricted.num_elements(), 2);
+  EXPECT_EQ(restricted.NumFacts(), 1);
+}
+
+TEST(DatabaseTest, AbsorbDisjoint) {
+  Database a(Vocabulary::Graph(), 2);
+  a.AddFact(0, {0, 1});
+  Database b(Vocabulary::Graph(), 2);
+  b.AddFact(0, {1, 0});
+  const int shift = a.AbsorbDisjoint(b);
+  EXPECT_EQ(shift, 2);
+  EXPECT_EQ(a.num_elements(), 4);
+  EXPECT_TRUE(a.HasFact(0, {3, 2}));
+  EXPECT_EQ(a.NumFacts(), 2);
+}
+
+TEST(DatabaseTest, ElementNames) {
+  Database db(Vocabulary::Graph(), 2);
+  db.SetElementName(0, "alpha");
+  EXPECT_EQ(db.ElementName(0), "alpha");
+  EXPECT_EQ(db.ElementName(1), "e1");
+}
+
+TEST(TextTest, PrintParseRoundTrip) {
+  Database db(Vocabulary::Graph(), 3);
+  db.SetElementName(0, "a");
+  db.SetElementName(1, "b");
+  db.SetElementName(2, "c");
+  db.AddFact(0, {0, 1});
+  db.AddFact(0, {1, 2});
+  const std::string text = PrintDatabase(db);
+  std::string error;
+  const auto parsed = ParseDatabase(Vocabulary::Graph(), text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->SameFactsAs(db));
+}
+
+TEST(TextTest, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(
+      ParseDatabase(Vocabulary::Graph(), "F(a, b)", &error).has_value());
+  EXPECT_FALSE(
+      ParseDatabase(Vocabulary::Graph(), "E(a)", &error).has_value());
+  EXPECT_FALSE(
+      ParseDatabase(Vocabulary::Graph(), "E a, b)", &error).has_value());
+}
+
+TEST(TextTest, ParseSkipsCommentsAndBlanks) {
+  const auto parsed = ParseDatabase(Vocabulary::Graph(),
+                                    "# comment\n\nE(a, b)\n", nullptr);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->NumFacts(), 1);
+}
+
+TEST(GeneratorsTest, RandomDigraphDeterministic) {
+  Rng r1(99), r2(99);
+  const Database a = RandomDigraphDatabase(20, 0.3, &r1);
+  const Database b = RandomDigraphDatabase(20, 0.3, &r2);
+  EXPECT_TRUE(a.SameFactsAs(b));
+}
+
+TEST(GeneratorsTest, RandomDigraphDensity) {
+  Rng rng(123);
+  const Database db = RandomDigraphDatabase(50, 0.2, &rng);
+  const int max_edges = 50 * 49;
+  EXPECT_GT(db.NumFacts(), max_edges / 10);
+  EXPECT_LT(db.NumFacts(), max_edges * 3 / 10);
+}
+
+TEST(GeneratorsTest, NoLoopsUnlessAllowed) {
+  Rng rng(5);
+  const Database db = RandomDigraphDatabase(10, 1.0, &rng, false);
+  for (const Tuple& t : db.facts(0)) EXPECT_NE(t[0], t[1]);
+  Rng rng2(5);
+  const Database with_loops = RandomDigraphDatabase(10, 1.0, &rng2, true);
+  EXPECT_EQ(with_loops.NumFacts(), 100);
+}
+
+TEST(GeneratorsTest, RandomDatabaseArity) {
+  Rng rng(7);
+  const Database db =
+      RandomDatabase(Vocabulary::Single("R", 3), 10, 30, &rng);
+  EXPECT_LE(db.NumFacts(), 30);
+  EXPECT_GT(db.NumFacts(), 15);
+  for (const Tuple& t : db.facts(0)) EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(GeneratorsTest, CycleChordContainsCycle) {
+  Rng rng(3);
+  const Database db = RandomCycleChordDatabase(8, 4, &rng);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(db.HasFact(0, {i, (i + 1) % 8}));
+  }
+}
+
+TEST(GeneratorsTest, LayeredIsForwardOnly) {
+  Rng rng(17);
+  const Database db = LayeredDigraphDatabase(4, 5, 0.5, &rng);
+  for (const Tuple& t : db.facts(0)) {
+    EXPECT_EQ(t[1] / 5, t[0] / 5 + 1);  // strictly next layer
+  }
+}
+
+}  // namespace
+}  // namespace cqa

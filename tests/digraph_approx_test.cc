@@ -1,0 +1,107 @@
+// Tests for the digraph reinterpretation (Corollary 4.10): acyclic
+// approximations of digraphs, the Graph Acyclic Approximation predicate,
+// and the Exact Acyclic Homomorphism condition from Section 4.3.
+
+#include <gtest/gtest.h>
+
+#include "core/digraph_approx.h"
+#include "gadgets/hardness.h"
+#include "gadgets/prop44.h"
+#include "hom/homomorphism.h"
+#include "graph/analysis.h"
+#include "graph/standard.h"
+#include "hom/preorder.h"
+
+namespace cqa {
+namespace {
+
+TEST(DigraphApproxTest, TriangleApproximatesToLoop) {
+  const auto approximations =
+      AcyclicApproximationsOfDigraph(DirectedCycle(3));
+  ASSERT_EQ(approximations.size(), 1u);
+  EXPECT_TRUE(HomEquivalentDigraphs(approximations[0], SingleLoop()));
+  EXPECT_TRUE(
+      IsAcyclicApproximationOfDigraph(SingleLoop(), DirectedCycle(3)));
+}
+
+TEST(DigraphApproxTest, DirectedFourCycleToK2) {
+  const auto approximations =
+      AcyclicApproximationsOfDigraph(DirectedCycle(4));
+  ASSERT_EQ(approximations.size(), 1u);
+  EXPECT_TRUE(
+      HomEquivalentDigraphs(approximations[0], BidirectionalEdge()));
+  EXPECT_TRUE(IsAcyclicApproximationOfDigraph(BidirectionalEdge(),
+                                              DirectedCycle(4)));
+  // The loop is dominated: not an approximation of C4.
+  EXPECT_FALSE(
+      IsAcyclicApproximationOfDigraph(SingleLoop(), DirectedCycle(4)));
+}
+
+TEST(DigraphApproxTest, AcyclicGraphApproximatesToItself) {
+  const Digraph p3 = DirectedPath(3);
+  const auto approximations = AcyclicApproximationsOfDigraph(p3);
+  ASSERT_EQ(approximations.size(), 1u);
+  EXPECT_TRUE(HomEquivalentDigraphs(approximations[0], p3));
+}
+
+TEST(DigraphApproxTest, CoreSizeBound) {
+  // Corollary 4.10: the core of an acyclic approximation never exceeds
+  // |G|; Corollary 5.4: strictly fewer edges for cyclic G.
+  Digraph g = DirectedCycle(5);
+  g.AddEdge(0, 2);
+  const auto approximations = AcyclicApproximationsOfDigraph(g);
+  ASSERT_FALSE(approximations.empty());
+  for (const Digraph& t : approximations) {
+    EXPECT_LE(t.num_nodes(), g.num_nodes());
+    EXPECT_LT(t.num_edges(), g.num_edges());
+  }
+}
+
+TEST(DigraphApproxTest, NontrivialIffBipartite) {
+  // Corollary 5.4: T not equivalent to a loop iff G bipartite.
+  const Digraph odd = DirectedCycle(5);
+  const Digraph even = DirectedCycle(6);
+  for (const Digraph& t : AcyclicApproximationsOfDigraph(odd)) {
+    EXPECT_TRUE(HomEquivalentDigraphs(t, SingleLoop()));
+  }
+  bool any_nontrivial = false;
+  for (const Digraph& t : AcyclicApproximationsOfDigraph(even)) {
+    any_nontrivial |= !HomEquivalentDigraphs(t, SingleLoop());
+  }
+  EXPECT_TRUE(any_nontrivial);
+}
+
+TEST(ExactHomTest, BasicCases) {
+  // C6 -> C3 uses all of C3: exact. C6 -> C2 also surjective. P2 -> P4 is
+  // not exact (image is a proper subpath).
+  EXPECT_TRUE(IsExactHomomorphismTarget(DirectedCycle(6), DirectedCycle(3)));
+  EXPECT_TRUE(IsExactHomomorphismTarget(DirectedCycle(6), DirectedCycle(2)));
+  EXPECT_FALSE(IsExactHomomorphismTarget(DirectedPath(2), DirectedPath(4)));
+  EXPECT_TRUE(IsExactHomomorphismTarget(DirectedPath(4), DirectedPath(4)));
+  // No hom at all: also not exact.
+  EXPECT_FALSE(IsExactHomomorphismTarget(DirectedCycle(3), DirectedCycle(4)));
+}
+
+TEST(ExactHomTest, QStarAgainstItsQuotients) {
+  // Claim 8.3's computational content at the digraph-API level: Q* maps
+  // exactly onto each T_i.
+  const QStarGadget qs = BuildQStar();
+  const PathGadget t1 = BuildTi(1);
+  EXPECT_TRUE(IsExactHomomorphismTarget(qs.g, t1.g));
+}
+
+TEST(DigraphApproxTest, GadgetDacIsApproximationOfD) {
+  // Prop 4.4's building block: D_ac is an acyclic approximation of the
+  // query with tableau D (the V-fold of Claim 4.9 at n = 1, up to the
+  // bridge decorations). Full G_n verification is in bench E2; here the
+  // 28-node D itself is in reach of the identification predicate only via
+  // necessary conditions.
+  const DGadget d = BuildD();
+  const Digraph dac = BuildDac();
+  EXPECT_TRUE(ExistsDigraphHom(d.g, dac));
+  EXPECT_TRUE(UnderlyingIsForest(dac));
+  EXPECT_FALSE(StrictlyBelowDigraphs(dac, BuildDbd()));
+}
+
+}  // namespace
+}  // namespace cqa

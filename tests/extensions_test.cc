@@ -1,0 +1,117 @@
+// Tests for the extension modules beyond the paper's main theorems:
+// overapproximations (the Section 7 future-work notion) and tight
+// approximations (Section 5.1.1 / Proposition 5.6).
+
+#include <gtest/gtest.h>
+
+#include "core/approximator.h"
+#include "core/overapprox.h"
+#include "core/query_class.h"
+#include "core/tight.h"
+#include "cq/containment.h"
+#include "cq/parse.h"
+#include "cq/properties.h"
+#include "cq/tableau.h"
+#include "cq/trivial.h"
+#include "data/generators.h"
+#include "eval/naive.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+#include "gadgets/tight.h"
+#include "gadgets/workloads.h"
+#include "graph/standard.h"
+
+namespace cqa {
+namespace {
+
+VocabularyPtr G() { return Vocabulary::Graph(); }
+
+TEST(OverapproxTest, TriangleDropsAnAtom) {
+  // The triangle overapproximated in AC: dropping any one atom leaves a
+  // path of length 2 — all three drops are equivalent, so one minimal
+  // overapproximation results.
+  const auto result =
+      ComputeOverapproximations(IntroQ1(), *MakeAcyclicClass());
+  ASSERT_EQ(result.overapproximations.size(), 1u);
+  const ConjunctiveQuery& over = result.overapproximations[0];
+  EXPECT_TRUE(IsContainedIn(IntroQ1(), over));
+  EXPECT_TRUE(IsAcyclicQuery(over));
+  EXPECT_EQ(over.atoms().size(), 2u);
+}
+
+TEST(OverapproxTest, ContainsOriginalOnEveryDatabase) {
+  // Q ⊆ Q'' semantically: every answer of Q is an answer of Q''.
+  const ConjunctiveQuery q = Example66Query();
+  const auto result = ComputeOverapproximations(q, *MakeAcyclicClass());
+  ASSERT_FALSE(result.overapproximations.empty());
+  Rng rng(55);
+  const Database db = RandomDatabase(Vocabulary::Single("R", 3), 8, 40, &rng);
+  const AnswerSet exact = EvaluateNaive(q, db);
+  for (const auto& over : result.overapproximations) {
+    EXPECT_TRUE(IsContainedIn(q, over)) << PrintQuery(over);
+    EXPECT_TRUE(exact.IsSubsetOf(EvaluateNaive(over, db)))
+        << PrintQuery(over);
+  }
+}
+
+TEST(OverapproxTest, InClassQueryOverapproximatesToItself) {
+  const auto q = MustParseQuery(G(), "Q(x) :- E(x, y), E(y, z)");
+  const auto result = ComputeOverapproximations(q, *MakeTreewidthClass(1));
+  ASSERT_EQ(result.overapproximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.overapproximations[0], q));
+}
+
+TEST(OverapproxTest, FreeVariableCoverageRespected) {
+  // Dropping the only atom containing a free variable is not allowed;
+  // the remaining candidates still cover the head.
+  const auto q = MustParseQuery(G(), "Q(x, u) :- E(x, y), E(y, u), E(u, x)");
+  const auto result = ComputeOverapproximations(q, *MakeTreewidthClass(1));
+  ASSERT_FALSE(result.overapproximations.empty());
+  for (const auto& over : result.overapproximations) {
+    EXPECT_EQ(over.free_variables().size(), 2u);
+    EXPECT_TRUE(IsContainedIn(q, over));
+  }
+}
+
+TEST(OverapproxTest, DualSandwich) {
+  // Under- and over-approximation sandwich the query:
+  // approx ⊆ Q ⊆ overapprox.
+  const ConjunctiveQuery q = IntroQ2();
+  const auto cls = MakeTreewidthClass(1);
+  const ConjunctiveQuery under = ComputeOneApproximation(q, *cls);
+  const ConjunctiveQuery over = ComputeOneOverapproximation(q, *cls);
+  EXPECT_TRUE(IsContainedIn(under, q));
+  EXPECT_TRUE(IsContainedIn(q, over));
+  EXPECT_TRUE(IsContainedIn(under, over));
+}
+
+TEST(TightTest, Prop56FamilyIsTight) {
+  // P_{k+1} is a tight acyclic approximation of the G_k query: the
+  // quotient space contains no CQ strictly between (gap pair).
+  for (int k = 3; k <= 4; ++k) {
+    const ConjunctiveQuery q =
+        BooleanQueryFromStructure(BuildTightGk(k).ToDatabase());
+    const ConjunctiveQuery p =
+        BooleanQueryFromStructure(DirectedPath(k + 1).ToDatabase());
+    EXPECT_TRUE(IsTightApproximationCandidate(p, q, *MakeTreewidthClass(1)))
+        << k;
+  }
+}
+
+TEST(TightTest, NonTightApproximationDetected) {
+  // The trivial loop approximates Q1 but it is NOT tight: e.g. the
+  // directed-6-cycle query sits strictly between loop and triangle.
+  const auto result = CheckTightness(TrivialLoopQuery(), IntroQ1());
+  EXPECT_FALSE(result.is_tight_candidate);
+  ASSERT_TRUE(result.between.has_value());
+  EXPECT_TRUE(IsStrictlyContainedIn(TrivialLoopQuery(), *result.between));
+  EXPECT_TRUE(IsStrictlyContainedIn(*result.between, IntroQ1()));
+}
+
+TEST(TightTest, RejectsNonApproximations) {
+  EXPECT_FALSE(IsTightApproximationCandidate(
+      TrivialLoopQuery(), IntroQ2(), *MakeTreewidthClass(1)));
+}
+
+}  // namespace
+}  // namespace cqa

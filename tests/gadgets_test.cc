@@ -1,0 +1,184 @@
+// Tests for the Proposition 4.4 family, the tight-approximation family
+// (Prop 5.6), and Example 6.6 gadgets: the paper's claims verified by
+// machine (Claims 4.6, 4.7 and the shape facts of Figures 3-5).
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.h"
+#include "cq/containment.h"
+#include "cq/properties.h"
+#include "cq/tableau.h"
+#include "gadgets/examples.h"
+#include "gadgets/prop44.h"
+#include "gadgets/tight.h"
+#include "graph/analysis.h"
+#include "graph/oriented_path.h"
+#include "graph/standard.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "hom/preorder.h"
+
+namespace cqa {
+namespace {
+
+TEST(Prop44Test, P1P2IncomparableCores) {
+  const Digraph p1 = OrientedPath(kProp44P1).g;
+  const Digraph p2 = OrientedPath(kProp44P2).g;
+  EXPECT_TRUE(IsCoreDigraph(p1));
+  EXPECT_TRUE(IsCoreDigraph(p2));
+  EXPECT_TRUE(IncomparableDigraphs(p1, p2));
+  EXPECT_EQ(NetLength(kProp44P1), 4);
+  EXPECT_EQ(NetLength(kProp44P2), 4);
+}
+
+TEST(Prop44Test, DShape) {
+  const DGadget d = BuildD();
+  EXPECT_EQ(d.g.num_nodes(), 28);  // 28n variables for Q_n
+  EXPECT_EQ(d.g.num_edges(), 28);
+  EXPECT_TRUE(IsBalanced(d.g));
+  EXPECT_TRUE(IsBipartite(d.g));
+  EXPECT_FALSE(UnderlyingIsForest(d.g));  // the a-b-c-d 4-cycle
+}
+
+TEST(Prop44Test, DacDbdShapesAndHeights) {
+  const Digraph dac = BuildDac();
+  const Digraph dbd = BuildDbd();
+  EXPECT_EQ(dac.num_nodes(), 27);
+  EXPECT_EQ(dbd.num_nodes(), 27);
+  EXPECT_TRUE(UnderlyingIsForest(dac));
+  EXPECT_TRUE(UnderlyingIsForest(dbd));
+  EXPECT_EQ(Height(dac), 9);  // Figure 4
+  EXPECT_EQ(Height(dbd), 9);
+}
+
+TEST(Prop44Test, Claim46IncomparableCores) {
+  const Digraph dac = BuildDac();
+  const Digraph dbd = BuildDbd();
+  EXPECT_TRUE(IsCoreDigraph(dac));
+  EXPECT_TRUE(IsCoreDigraph(dbd));
+  EXPECT_TRUE(IncomparableDigraphs(dac, dbd));
+}
+
+TEST(Prop44Test, GnShapeAndHeight) {
+  const GnGadget g3 = BuildGn(3);
+  EXPECT_EQ(g3.g.num_nodes(), 28 * 3);
+  EXPECT_EQ(g3.g.num_edges(), 29 * 3 - 1);  // joins = 29n - 2
+  EXPECT_TRUE(IsBalanced(g3.g));
+  EXPECT_EQ(Height(g3.g), 29);  // Figure 5
+}
+
+TEST(Prop44Test, GsnIsTreewidthOne) {
+  for (const std::string s : {"V", "H", "VH", "HV", "VVH"}) {
+    const Digraph gsn = BuildGsn(s);
+    EXPECT_TRUE(UnderlyingIsForest(gsn)) << s;
+  }
+}
+
+TEST(Prop44Test, QuotientMapsExist) {
+  // Q^s_n ⊆ Q_n: G_n -> G^s_n via the identification quotient.
+  for (const std::string s : {"V", "H", "VH", "HH"}) {
+    const GnGadget gn = BuildGn(static_cast<int>(s.size()));
+    const Digraph gsn = BuildGsn(s);
+    EXPECT_TRUE(ExistsDigraphHom(gn.g, gsn)) << s;
+  }
+}
+
+TEST(Prop44Test, Claim47IncomparableCoresN1) {
+  const Digraph gv = BuildGsn("V");
+  const Digraph gh = BuildGsn("H");
+  EXPECT_TRUE(IsCoreDigraph(gv));
+  EXPECT_TRUE(IsCoreDigraph(gh));
+  EXPECT_TRUE(IncomparableDigraphs(gv, gh));
+}
+
+TEST(Prop44Test, Claim47PairwiseIncomparableN2) {
+  const std::vector<std::string> strings = {"VV", "VH", "HV", "HH"};
+  std::vector<Digraph> gs;
+  for (const auto& s : strings) gs.push_back(BuildGsn(s));
+  for (size_t i = 0; i < gs.size(); ++i) {
+    for (size_t j = i + 1; j < gs.size(); ++j) {
+      EXPECT_TRUE(IncomparableDigraphs(gs[i], gs[j]))
+          << strings[i] << " vs " << strings[j];
+    }
+  }
+}
+
+TEST(Prop44Test, GsnCoresN2) {
+  EXPECT_TRUE(IsCoreDigraph(BuildGsn("VH")));
+  EXPECT_TRUE(IsCoreDigraph(BuildGsn("HV")));
+}
+
+TEST(TightTest, GkShape) {
+  const Digraph g3 = BuildTightGk(3);
+  EXPECT_EQ(g3.num_nodes(), 8);
+  EXPECT_EQ(g3.num_edges(), 8);  // 3 + 3 + 2 cross edges
+  EXPECT_TRUE(IsBalanced(g3));
+}
+
+TEST(TightTest, GkMapsToPkPlus1) {
+  for (int k = 3; k <= 5; ++k) {
+    EXPECT_TRUE(StrictlyBelowDigraphs(BuildTightGk(k), DirectedPath(k + 1)))
+        << k;
+  }
+}
+
+TEST(TightTest, P4IsTightAcyclicApproximationOfG3) {
+  // Prop 5.6 (n=1): P4 is an acyclic approximation of the query whose
+  // tableau is G_3 — verified by complete candidate search.
+  const ConjunctiveQuery q =
+      BooleanQueryFromStructure(BuildTightGk(3).ToDatabase());
+  const ConjunctiveQuery p4 =
+      BooleanQueryFromStructure(DirectedPath(4).ToDatabase());
+  const auto verdict =
+      VerifyApproximation(p4, q, *MakeTreewidthClass(1));
+  EXPECT_TRUE(verdict.is_approximation);
+}
+
+TEST(Example66Test, QueryShape) {
+  const ConjunctiveQuery q = Example66Query();
+  EXPECT_EQ(q.num_variables(), 6);
+  EXPECT_EQ(q.NumJoins(), 2);
+  EXPECT_FALSE(IsAcyclicQuery(q));
+}
+
+TEST(Example66Test, ApproximationShapes) {
+  EXPECT_EQ(Example66Approx1().NumJoins(), 0);
+  EXPECT_EQ(Example66Approx2().NumJoins(), 2);
+  EXPECT_EQ(Example66Approx3().NumJoins(), 3);
+  EXPECT_TRUE(IsAcyclicQuery(Example66Approx1()));
+  EXPECT_TRUE(IsAcyclicQuery(Example66Approx2()));
+  EXPECT_TRUE(IsAcyclicQuery(Example66Approx3()));
+}
+
+TEST(Example66Test, AllContainedInQ) {
+  const ConjunctiveQuery q = Example66Query();
+  EXPECT_TRUE(IsContainedIn(Example66Approx1(), q));
+  EXPECT_TRUE(IsContainedIn(Example66Approx2(), q));
+  EXPECT_TRUE(IsContainedIn(Example66Approx3(), q));
+}
+
+TEST(Example66Test, PairwiseNonEquivalent) {
+  const std::vector<ConjunctiveQuery> approxes = {
+      Example66Approx1(), Example66Approx2(), Example66Approx3()};
+  for (size_t i = 0; i < approxes.size(); ++i) {
+    for (size_t j = i + 1; j < approxes.size(); ++j) {
+      EXPECT_FALSE(AreEquivalent(approxes[i], approxes[j])) << i << j;
+    }
+  }
+}
+
+TEST(Example66Test, GeneralizedCyclesScale) {
+  for (int m = 2; m <= 5; ++m) {
+    const ConjunctiveQuery q = TernaryCycleQuery(m);
+    EXPECT_EQ(q.num_variables(), 2 * m);
+    EXPECT_EQ(static_cast<int>(q.atoms().size()), m);
+    if (m >= 3) {
+      EXPECT_FALSE(IsAcyclicQuery(q)) << m;
+    }
+  }
+  // TernaryCycleQuery(3) is Example 6.6's query.
+  EXPECT_TRUE(AreEquivalent(TernaryCycleQuery(3), Example66Query()));
+}
+
+}  // namespace
+}  // namespace cqa

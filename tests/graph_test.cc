@@ -1,0 +1,248 @@
+// Unit tests for the digraph toolkit: structure ops, oriented paths,
+// bipartiteness, balancedness, levels (Lemma 4.5 machinery), colorability.
+
+#include <gtest/gtest.h>
+
+#include "graph/analysis.h"
+#include "graph/coloring.h"
+#include "graph/digraph.h"
+#include "graph/dot.h"
+#include "graph/oriented_path.h"
+#include "graph/standard.h"
+
+namespace cqa {
+namespace {
+
+TEST(DigraphTest, EdgesDeduplicated) {
+  Digraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(1, 0));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(DigraphTest, LoopsDetected) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  EXPECT_FALSE(g.HasLoop());
+  g.AddEdge(1, 1);
+  EXPECT_TRUE(g.HasLoop());
+}
+
+TEST(DigraphTest, DatabaseRoundTrip) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 2);
+  const Digraph back = Digraph::FromDatabase(g.ToDatabase());
+  EXPECT_TRUE(g == back);
+}
+
+TEST(DigraphTest, IdentifyNodesMergesEdges) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  const auto relabel = IdentifyNodes(&g, 0, 2);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1);  // both edges collapse onto one
+  EXPECT_EQ(relabel[0], relabel[2]);
+}
+
+TEST(DigraphTest, IdentifySelfIsNoop) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  IdentifyNodes(&g, 1, 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DigraphTest, ConcatPointed) {
+  const PointedDigraph a = OrientedPath("00");
+  const PointedDigraph b = OrientedPath("11");
+  const PointedDigraph ab = Concat(a, b);
+  EXPECT_EQ(ab.g.num_nodes(), 5);  // 3 + 3 - 1 shared
+  EXPECT_EQ(ab.g.num_edges(), 4);
+  EXPECT_NE(ab.initial, ab.terminal);
+}
+
+TEST(DigraphTest, InvertSwapsRoles) {
+  PointedDigraph a = OrientedPath("0");
+  const int old_initial = a.initial;
+  a = Invert(std::move(a));
+  EXPECT_EQ(a.terminal, old_initial);
+}
+
+TEST(OrientedPathTest, PatternSemantics) {
+  const PointedDigraph p = OrientedPath("01");
+  // 0: u0 -> u1 ; 1: u2 -> u1.
+  EXPECT_TRUE(p.g.HasEdge(0, 1));
+  EXPECT_TRUE(p.g.HasEdge(2, 1));
+  EXPECT_EQ(p.g.num_edges(), 2);
+}
+
+TEST(OrientedPathTest, NetLength) {
+  EXPECT_EQ(NetLength("001000"), 4);
+  EXPECT_EQ(NetLength("000100"), 4);
+  EXPECT_EQ(NetLength("01"), 0);
+  EXPECT_EQ(NetLength(""), 0);
+  EXPECT_EQ(NetLength("111"), -3);
+}
+
+TEST(OrientedPathTest, AttachBetweenExistingNodes) {
+  Digraph g(2);
+  AttachOrientedPath(&g, "010", 0, 1);
+  EXPECT_EQ(g.num_nodes(), 4);  // 2 existing + 2 interior
+  EXPECT_EQ(g.num_edges(), 3);
+}
+
+TEST(OrientedPathTest, SingleEdgeAttach) {
+  Digraph g(2);
+  AttachOrientedPath(&g, "0", 0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+TEST(AnalysisTest, WeakComponents) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  int count = 0;
+  const auto comp = WeakComponents(g, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+}
+
+TEST(AnalysisTest, BipartiteBasics) {
+  EXPECT_TRUE(IsBipartite(DirectedCycle(4)));
+  EXPECT_FALSE(IsBipartite(DirectedCycle(3)));
+  EXPECT_TRUE(IsBipartite(DirectedPath(5)));
+  EXPECT_FALSE(IsBipartite(SingleLoop()));
+  EXPECT_TRUE(IsBipartite(BidirectionalEdge()));
+  EXPECT_FALSE(IsBipartite(CompleteDigraph(3)));
+}
+
+TEST(AnalysisTest, BalancedBasics) {
+  EXPECT_TRUE(IsBalanced(DirectedPath(5)));
+  EXPECT_FALSE(IsBalanced(DirectedCycle(3)));
+  EXPECT_FALSE(IsBalanced(DirectedCycle(4)));  // net length 4 != 0
+  EXPECT_FALSE(IsBalanced(BidirectionalEdge()));
+  // An oriented 4-cycle with alternating directions is balanced.
+  Digraph alt(4);
+  alt.AddEdge(0, 1);
+  alt.AddEdge(2, 1);
+  alt.AddEdge(2, 3);
+  alt.AddEdge(0, 3);
+  EXPECT_TRUE(IsBalanced(alt));
+}
+
+TEST(AnalysisTest, BalancedImpliesBipartite) {
+  // Paper (proof of Prop 5.5): every balanced digraph is bipartite.
+  const Digraph p = OrientedPath("0101001100").g;
+  ASSERT_TRUE(IsBalanced(p));
+  EXPECT_TRUE(IsBipartite(p));
+}
+
+TEST(AnalysisTest, LevelsOfDirectedPath) {
+  const auto info = ComputeLevels(DirectedPath(4));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->height, 4);
+  for (int i = 0; i <= 4; ++i) EXPECT_EQ(info->level[i], i);
+}
+
+TEST(AnalysisTest, LevelsOfOrientedPath) {
+  // 001000 has net length 4 but height 4: levels rise 0,1,2 then dip.
+  const auto info = ComputeLevels(OrientedPath("001000").g);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->level[0], 0);
+  EXPECT_EQ(info->level[6], 4);
+  EXPECT_EQ(info->height, 4);
+}
+
+TEST(AnalysisTest, LevelsRejectUnbalanced) {
+  EXPECT_FALSE(ComputeLevels(DirectedCycle(3)).has_value());
+}
+
+TEST(AnalysisTest, MultiComponentLevels) {
+  Digraph g = DirectedPath(2);
+  g.AbsorbDisjoint(DirectedPath(5));
+  const auto info = ComputeLevels(g);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->height, 5);
+}
+
+TEST(AnalysisTest, ForestRecognition) {
+  EXPECT_TRUE(UnderlyingIsForest(DirectedPath(4)));
+  EXPECT_FALSE(UnderlyingIsForest(DirectedCycle(3)));
+  // Loops and 2-cycles are fine (hypergraph acyclicity).
+  EXPECT_TRUE(UnderlyingIsForest(SingleLoop()));
+  EXPECT_TRUE(UnderlyingIsForest(BidirectionalEdge()));
+  Digraph mixed(3);
+  mixed.AddEdge(0, 1);
+  mixed.AddEdge(1, 0);
+  mixed.AddEdge(1, 2);
+  mixed.AddEdge(2, 2);
+  EXPECT_TRUE(UnderlyingIsForest(mixed));
+  mixed.AddEdge(2, 0);
+  EXPECT_FALSE(UnderlyingIsForest(mixed));
+}
+
+TEST(AnalysisTest, DirectedCycleDetection) {
+  EXPECT_TRUE(HasDirectedCycle(DirectedCycle(4)));
+  EXPECT_TRUE(HasDirectedCycle(SingleLoop()));
+  EXPECT_FALSE(HasDirectedCycle(DirectedPath(4)));
+  EXPECT_TRUE(HasDirectedCycle(BidirectionalEdge()));
+}
+
+TEST(ColoringTest, CompleteGraphs) {
+  for (int m = 1; m <= 5; ++m) {
+    EXPECT_FALSE(IsKColorable(CompleteDigraph(m), m - 1));
+    EXPECT_TRUE(IsKColorable(CompleteDigraph(m), m));
+  }
+}
+
+TEST(ColoringTest, CyclesAndLoops) {
+  EXPECT_TRUE(IsKColorable(DirectedCycle(4), 2));
+  EXPECT_FALSE(IsKColorable(DirectedCycle(5), 2));
+  EXPECT_TRUE(IsKColorable(DirectedCycle(5), 3));
+  EXPECT_FALSE(IsKColorable(SingleLoop(), 10));
+}
+
+TEST(ColoringTest, WitnessIsProper) {
+  const Digraph g = DirectedCycle(5);
+  const auto coloring = FindKColoring(g, 3);
+  ASSERT_TRUE(coloring.has_value());
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_NE((*coloring)[u], (*coloring)[v]);
+  }
+}
+
+TEST(ColoringTest, ChromaticNumber) {
+  EXPECT_EQ(ChromaticNumber(CompleteDigraph(4)), 4);
+  EXPECT_EQ(ChromaticNumber(DirectedCycle(6)), 2);
+  EXPECT_EQ(ChromaticNumber(DirectedCycle(7)), 3);
+  EXPECT_FALSE(ChromaticNumber(SingleLoop()).has_value());
+}
+
+TEST(StandardTest, Shapes) {
+  EXPECT_EQ(CompleteDigraph(4).num_edges(), 12);
+  EXPECT_EQ(DirectedPath(0).num_nodes(), 1);
+  EXPECT_EQ(DirectedCycle(1).num_edges(), 1);
+  EXPECT_TRUE(DirectedCycle(1).HasLoop());
+  const Digraph bi = Bidirect(DirectedPath(2));
+  EXPECT_EQ(bi.num_edges(), 4);
+}
+
+TEST(DotTest, ContainsNodesAndEdges) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  const std::string dot = ToDot(g, "X");
+  EXPECT_NE(dot.find("digraph X"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa

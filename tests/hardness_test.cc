@@ -1,0 +1,287 @@
+// Machine verification of the Theorem 4.12 appendix claims: the oriented-
+// path families (Claims 8.1/8.2), Q* and its quotients T_1..T_5 (Claims
+// 8.3/8.4 and the figure facts), the T_ij/T_ijk blocks (Claims 8.5/8.6),
+// the extended choosers (Claim 8.9), and the core-forcing families W^k_n
+// and S^k_n (Claims 8.16/8.17).
+
+#include <gtest/gtest.h>
+
+#include "gadgets/hardness.h"
+#include "graph/analysis.h"
+#include "graph/oriented_path.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "hom/preorder.h"
+
+namespace cqa {
+namespace {
+
+Digraph PathDigraph(const std::string& pattern) {
+  return OrientedPath(pattern).g;
+}
+
+TEST(HardnessPathsTest, PiShapes) {
+  for (int i = 1; i <= 9; ++i) {
+    const std::string p = HardnessPi(i);
+    EXPECT_EQ(p.size(), 13u);
+    EXPECT_EQ(NetLength(p), 11);
+  }
+  EXPECT_EQ(HardnessPi(6), "0000000100000");
+  EXPECT_EQ(HardnessPi(8), "0000000001000");
+}
+
+TEST(HardnessPathsTest, PiPairwiseIncomparableCores) {
+  std::vector<Digraph> paths;
+  for (int i = 1; i <= 9; ++i) paths.push_back(PathDigraph(HardnessPi(i)));
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(IsCoreDigraph(paths[i])) << i + 1;
+    for (int j = i + 1; j < 9; ++j) {
+      EXPECT_TRUE(IncomparableDigraphs(paths[i], paths[j]))
+          << i + 1 << " vs " << j + 1;
+    }
+  }
+}
+
+TEST(HardnessPathsTest, Claim81) {
+  for (int i = 1; i <= 9; ++i) {
+    for (int j = i + 1; j <= 9; ++j) {
+      const Digraph pij = PathDigraph(HardnessPij(i, j));
+      EXPECT_EQ(NetLength(HardnessPij(i, j)), 11);
+      for (int k = 1; k <= 9; ++k) {
+        const bool expected = (k == i || k == j);
+        EXPECT_EQ(ExistsDigraphHom(pij, PathDigraph(HardnessPi(k))),
+                  expected)
+            << "P" << i << j << " -> P" << k;
+      }
+    }
+  }
+}
+
+TEST(HardnessPathsTest, Claim82OnUsedTriples) {
+  const std::vector<std::array<int, 3>> triples = {
+      {5, 7, 9}, {2, 6, 9}, {2, 4, 9}, {1, 3, 5}, {1, 2, 3}, {3, 6, 8}};
+  for (const auto& [i, j, k] : triples) {
+    const Digraph pijk = PathDigraph(HardnessPijk(i, j, k));
+    EXPECT_EQ(NetLength(HardnessPijk(i, j, k)), 11);
+    for (int l = 1; l <= 9; ++l) {
+      const bool expected = (l == i || l == j || l == k);
+      EXPECT_EQ(ExistsDigraphHom(pijk, PathDigraph(HardnessPi(l))),
+                expected)
+          << "P" << i << j << k << " -> P" << l;
+    }
+  }
+}
+
+TEST(QStarTest, ShapeAndLevels) {
+  const QStarGadget qs = BuildQStar();
+  EXPECT_TRUE(IsBalanced(qs.g));
+  const auto info = ComputeLevels(qs.g);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->height, 25);
+  // x and y are the unique nodes at levels 0 and 25 (Figure 8).
+  int at0 = 0, at25 = 0;
+  for (int v = 0; v < qs.g.num_nodes(); ++v) {
+    at0 += (info->level[v] == 0);
+    at25 += (info->level[v] == 25);
+  }
+  EXPECT_EQ(at0, 1);
+  EXPECT_EQ(at25, 1);
+  EXPECT_EQ(info->level[qs.x], 0);
+  EXPECT_EQ(info->level[qs.y], 25);
+  EXPECT_FALSE(UnderlyingIsForest(qs.g));  // the folded 8-cycle remains
+}
+
+TEST(TiTest, AcyclicHeight25) {
+  for (int i = 1; i <= 4; ++i) {
+    const PathGadget ti = BuildTi(i);
+    EXPECT_TRUE(UnderlyingIsForest(ti.g)) << "T" << i;
+    const auto info = ComputeLevels(ti.g);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->height, 25) << "T" << i;
+    EXPECT_EQ(info->level[ti.x], 0);
+    EXPECT_EQ(info->level[ti.y], 25);
+  }
+  const PathGadget t5 = BuildT5();
+  EXPECT_TRUE(UnderlyingIsForest(t5.g));
+  EXPECT_EQ(Height(t5.g), 25);
+}
+
+TEST(TiTest, QStarMapsOntoEachTi) {
+  const QStarGadget qs = BuildQStar();
+  for (int i = 1; i <= 4; ++i) {
+    const PathGadget ti = BuildTi(i);
+    HomOptions options;
+    options.fixed = {{qs.x, ti.x}, {qs.y, ti.y}};
+    EXPECT_TRUE(ExistsHomomorphism(qs.g.ToDatabase(), ti.g.ToDatabase(),
+                                   options))
+        << "T" << i;
+  }
+}
+
+TEST(TiTest, Claim83NoHomToProperSubgraph) {
+  // The unique homomorphism Q* -> T_i is surjective: no homomorphism into
+  // a proper substructure exists.
+  const QStarGadget qs = BuildQStar();
+  for (int i = 1; i <= 4; ++i) {
+    const PathGadget ti = BuildTi(i);
+    EXPECT_FALSE(ExistsHomToProperSubstructure(qs.g.ToDatabase(),
+                                               ti.g.ToDatabase()))
+        << "T" << i;
+  }
+}
+
+TEST(TiTest, PairwiseIncomparableCores) {
+  std::vector<Digraph> ts;
+  for (int i = 1; i <= 4; ++i) ts.push_back(BuildTi(i).g);
+  ts.push_back(BuildT5().g);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_TRUE(IsCoreDigraph(ts[i])) << "T" << i + 1;
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      EXPECT_TRUE(IncomparableDigraphs(ts[i], ts[j]))
+          << "T" << i + 1 << " vs T" << j + 1;
+    }
+  }
+}
+
+TEST(TiTest, T5IncomparableWithQStar) {
+  const QStarGadget qs = BuildQStar();
+  const PathGadget t5 = BuildT5();
+  EXPECT_TRUE(IncomparableDigraphs(qs.g, t5.g));
+}
+
+TEST(TTest, ShapeAndLevels) {
+  const TGadget t = BuildT();
+  const auto info = ComputeLevels(t.g);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->height, 25);
+  EXPECT_EQ(info->level[t.v], 0);
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(info->level[t.t[i]], 25) << i;
+    EXPECT_EQ(info->level[t.u[i]], 0) << i;
+  }
+  // The only level-0 nodes are v and u1..u4; the only level-25 nodes are
+  // t1..t4 (Figure 14).
+  int at0 = 0, at25 = 0;
+  for (int v = 0; v < t.g.num_nodes(); ++v) {
+    at0 += (info->level[v] == 0);
+    at25 += (info->level[v] == 25);
+  }
+  EXPECT_EQ(at0, 5);
+  EXPECT_EQ(at25, 4);
+  EXPECT_TRUE(UnderlyingIsForest(t.g));
+}
+
+TEST(TijTest, Claim85) {
+  const std::vector<std::pair<int, int>> pairs = {{1, 5}, {2, 5}, {3, 5},
+                                                  {1, 2}, {1, 3}, {2, 3}};
+  std::vector<Digraph> targets;
+  for (int i = 1; i <= 4; ++i) targets.push_back(BuildTi(i).g);
+  targets.push_back(BuildT5().g);
+  for (const auto& [i, j] : pairs) {
+    const PointedDigraph tij = BuildHardnessTij(i, j);
+    for (int k = 1; k <= 5; ++k) {
+      const bool expected = (k == i || k == j);
+      EXPECT_EQ(ExistsDigraphHom(tij.g, targets[k - 1]), expected)
+          << "T" << i << j << " -> T" << k;
+    }
+  }
+}
+
+TEST(TijkTest, Claim86) {
+  const std::vector<std::array<int, 3>> triples = {
+      {1, 2, 5}, {2, 4, 5}, {3, 4, 5}};
+  std::vector<Digraph> targets;
+  for (int i = 1; i <= 4; ++i) targets.push_back(BuildTi(i).g);
+  targets.push_back(BuildT5().g);
+  for (const auto& [i, j, k] : triples) {
+    const PointedDigraph tijk = BuildHardnessTijk(i, j, k);
+    for (int l = 1; l <= 5; ++l) {
+      const bool expected = (l == i || l == j || l == k);
+      EXPECT_EQ(ExistsDigraphHom(tijk.g, targets[l - 1]), expected)
+          << "T" << i << j << k << " -> T" << l;
+    }
+  }
+}
+
+TEST(ChooserTest, Claim89Extended21) {
+  // S~21 forbids exactly (t1 -> t2) and (t2 -> t1); rows t3/t4 are
+  // unreachable for a.
+  const ChooserGadget s21 = BuildExtendedChooser21();
+  const TGadget t = BuildT();
+  const auto matrix = RealizablePairs(s21, t);
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 4; ++j) {
+      bool expected;
+      if (i >= 3) {
+        expected = false;  // h(a) ∈ {t1, t2}
+      } else {
+        expected = !((i == 1 && j == 2) || (i == 2 && j == 1));
+      }
+      EXPECT_EQ(matrix[i][j], expected) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ChooserTest, Claim89Extended34) {
+  const ChooserGadget s34 = BuildExtendedChooser34();
+  const TGadget t = BuildT();
+  const auto matrix = RealizablePairs(s34, t);
+  for (int i = 1; i <= 4; ++i) {
+    for (int j = 1; j <= 4; ++j) {
+      bool expected;
+      if (i >= 3) {
+        expected = false;
+      } else {
+        expected = !((i == 1 && j == 3) || (i == 2 && j == 4));
+      }
+      EXPECT_EQ(matrix[i][j], expected) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(WGadgetTest, ShapeAndHeights) {
+  const WGadget w = BuildWn(4);
+  EXPECT_EQ(Height(w.g), 4);
+  EXPECT_EQ(w.g.num_nodes(), 3 + 2 * 4 + 1 + 1);
+  const WGadget wk = BuildWkn(4, 2);
+  EXPECT_EQ(Height(wk.g), 4);
+  EXPECT_EQ(wk.g.num_nodes(), w.g.num_nodes() + 1);
+}
+
+TEST(WGadgetTest, Claim816IncomparableCores) {
+  const int n = 5;
+  std::vector<Digraph> ws;
+  for (int k = 1; k <= n; ++k) ws.push_back(BuildWkn(n, k).g);
+  for (int a = 0; a < n; ++a) {
+    EXPECT_TRUE(IsCoreDigraph(ws[a])) << "W^" << a + 1;
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_TRUE(IncomparableDigraphs(ws[a], ws[b]))
+          << "W^" << a + 1 << " vs W^" << b + 1;
+    }
+  }
+}
+
+TEST(SknTest, Claim817IncomparableCores) {
+  const int n = 3;
+  std::vector<Digraph> sks;
+  for (int k = 1; k <= n; ++k) sks.push_back(BuildSkn(n, k).g);
+  for (int a = 0; a < n; ++a) {
+    EXPECT_TRUE(IsCoreDigraph(sks[a])) << "S^" << a + 1;
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_TRUE(IncomparableDigraphs(sks[a], sks[b]))
+          << "S^" << a + 1 << " vs S^" << b + 1;
+    }
+  }
+}
+
+TEST(LevelsTest, Lemma813HeightMonotone) {
+  // If G -> H between balanced digraphs then hg(G) <= hg(H): spot-check on
+  // the gadget inventory.
+  const Digraph p16 = PathDigraph(HardnessPij(1, 6));
+  const Digraph p1 = PathDigraph(HardnessPi(1));
+  ASSERT_TRUE(ExistsDigraphHom(p16, p1));
+  EXPECT_LE(Height(p16), Height(p1));
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,259 @@
+// Unit tests for the homomorphism engine, cores, the hom preorder, and
+// partition/quotient utilities.
+
+#include <gtest/gtest.h>
+
+#include "graph/standard.h"
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "hom/partitions.h"
+#include "hom/preorder.h"
+
+namespace cqa {
+namespace {
+
+TEST(HomTest, DirectedCycleDivisibility) {
+  // C_m -> C_n iff n divides m (directed cycles).
+  EXPECT_TRUE(ExistsDigraphHom(DirectedCycle(6), DirectedCycle(3)));
+  EXPECT_TRUE(ExistsDigraphHom(DirectedCycle(6), DirectedCycle(2)));
+  EXPECT_FALSE(ExistsDigraphHom(DirectedCycle(4), DirectedCycle(3)));
+  EXPECT_FALSE(ExistsDigraphHom(DirectedCycle(3), DirectedCycle(6)));
+}
+
+TEST(HomTest, PathsIntoPaths) {
+  EXPECT_TRUE(ExistsDigraphHom(DirectedPath(3), DirectedPath(5)));
+  EXPECT_FALSE(ExistsDigraphHom(DirectedPath(5), DirectedPath(3)));
+}
+
+TEST(HomTest, EverythingMapsToLoop) {
+  EXPECT_TRUE(ExistsDigraphHom(CompleteDigraph(4), SingleLoop()));
+  EXPECT_TRUE(ExistsDigraphHom(DirectedCycle(5), SingleLoop()));
+}
+
+TEST(HomTest, BipartiteIntoK2) {
+  EXPECT_TRUE(ExistsDigraphHom(DirectedCycle(4), BidirectionalEdge()));
+  EXPECT_FALSE(ExistsDigraphHom(DirectedCycle(3), BidirectionalEdge()));
+}
+
+TEST(HomTest, WitnessIsValid) {
+  const Database src = DirectedCycle(6).ToDatabase();
+  const Database dst = DirectedCycle(3).ToDatabase();
+  const auto h = FindHomomorphism(src, dst);
+  ASSERT_TRUE(h.has_value());
+  for (const Tuple& t : src.facts(0)) {
+    EXPECT_TRUE(dst.HasFact(0, {(*h)[t[0]], (*h)[t[1]]}));
+  }
+}
+
+TEST(HomTest, FixedAssignmentsRespected) {
+  // Map P2 into P4 forcing the start at node 2: must land 2->3->4.
+  HomOptions options;
+  options.fixed = {{0, 2}};
+  const auto h = FindHomomorphism(DirectedPath(2).ToDatabase(),
+                                  DirectedPath(4).ToDatabase(), options);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ((*h)[0], 2);
+  EXPECT_EQ((*h)[1], 3);
+  EXPECT_EQ((*h)[2], 4);
+}
+
+TEST(HomTest, FixedAssignmentsCanForceFailure) {
+  HomOptions options;
+  options.fixed = {{0, 3}};  // no room: 3->4 then stuck
+  EXPECT_FALSE(ExistsHomomorphism(DirectedPath(2).ToDatabase(),
+                                  DirectedPath(4).ToDatabase(), options));
+}
+
+TEST(HomTest, ImageRestriction) {
+  HomOptions options;
+  options.allowed_image = {true, true, true, false, false};
+  // C6 -> C3 within first 3 elements of a 5-node target that embeds C3.
+  Digraph target = DirectedCycle(3);
+  target.AddNodes(2);
+  target.AddEdge(3, 4);
+  EXPECT_TRUE(ExistsHomomorphism(DirectedCycle(6).ToDatabase(),
+                                 target.ToDatabase(), options));
+  // Restricting away node 0 kills the cycle image.
+  options.allowed_image = {false, true, true, true, true};
+  EXPECT_FALSE(ExistsHomomorphism(DirectedCycle(6).ToDatabase(),
+                                  target.ToDatabase(), options));
+}
+
+TEST(HomTest, ProperSubstructure) {
+  // A path maps into a proper substructure of a longer path; a cycle onto
+  // itself does not.
+  EXPECT_TRUE(ExistsHomToProperSubstructure(DirectedPath(2).ToDatabase(),
+                                            DirectedPath(4).ToDatabase()));
+  EXPECT_FALSE(ExistsHomToProperSubstructure(DirectedCycle(5).ToDatabase(),
+                                             DirectedCycle(5).ToDatabase()));
+}
+
+TEST(HomTest, PointedHomomorphisms) {
+  // (P2, endpoints) -> (P2, endpoints) identity works; crossing endpoints
+  // does not.
+  const Database p2 = DirectedPath(2).ToDatabase();
+  PointedDatabase src{p2, {0, 2}};
+  PointedDatabase dst_same{p2, {0, 2}};
+  PointedDatabase dst_cross{p2, {2, 0}};
+  EXPECT_TRUE(ExistsHomomorphism(src, dst_same));
+  EXPECT_FALSE(ExistsHomomorphism(src, dst_cross));
+}
+
+TEST(HomTest, NodeBudgetAborts) {
+  // A hard instance with a tiny budget aborts and reports it.
+  HomOptions options;
+  options.max_nodes = 1;
+  HomStats stats;
+  // Petersen-ish hard-ish case: K3 into C9 (no hom anyway, but the search
+  // would explore); budget cuts it off.
+  ExistsHomomorphism(CompleteDigraph(3).ToDatabase(),
+                     DirectedCycle(9).ToDatabase(), options, &stats);
+  EXPECT_LE(stats.nodes, 2);
+}
+
+TEST(HomTest, EmptySourceMapsTrivially) {
+  const Database empty(Vocabulary::Graph());
+  EXPECT_TRUE(ExistsHomomorphism(empty, DirectedPath(1).ToDatabase()));
+}
+
+TEST(CoreTest, DirectedCyclesAreCores) {
+  EXPECT_TRUE(IsCoreDigraph(DirectedCycle(3)));
+  EXPECT_TRUE(IsCoreDigraph(DirectedCycle(5)));
+  EXPECT_TRUE(IsCoreDigraph(SingleLoop()));
+}
+
+TEST(CoreTest, BidirectionalPathCollapsesToK2) {
+  // The core of any loop-free bidirectional bipartite graph is K2<->.
+  const Digraph g = Bidirect(DirectedPath(3));
+  const Digraph core = CoreOfDigraph(g);
+  EXPECT_EQ(core.num_nodes(), 2);
+  EXPECT_EQ(core.num_edges(), 2);
+  EXPECT_TRUE(HomEquivalentDigraphs(core, BidirectionalEdge()));
+}
+
+TEST(CoreTest, PathWithPendantRetracts) {
+  // P4 plus a pendant forward edge from node 1 retracts onto P4.
+  Digraph g = DirectedPath(4);
+  const int pendant = g.AddNode();
+  g.AddEdge(1, pendant);
+  const Digraph core = CoreOfDigraph(g);
+  EXPECT_EQ(core.num_nodes(), 5);
+  EXPECT_TRUE(HomEquivalentDigraphs(core, DirectedPath(4)));
+}
+
+TEST(CoreTest, FrozenElementsBlockRetraction) {
+  // Same graph, but freezing the pendant forces it to stay.
+  Digraph g = DirectedPath(4);
+  const int pendant = g.AddNode();
+  g.AddEdge(1, pendant);
+  const CoreResult res = ComputeCore(g.ToDatabase(), {pendant});
+  EXPECT_EQ(res.core.num_elements(), 6);
+}
+
+TEST(CoreTest, RetractMapIsHomomorphism) {
+  Digraph g = Bidirect(DirectedPath(4));
+  const Database db = g.ToDatabase();
+  const CoreResult res = ComputeCore(db);
+  for (const Tuple& t : db.facts(0)) {
+    EXPECT_TRUE(res.core.HasFact(
+        0, {res.retract_map[t[0]], res.retract_map[t[1]]}));
+  }
+}
+
+TEST(CoreTest, CoreIsIdempotent) {
+  const Digraph g = Bidirect(DirectedCycle(6));
+  const Digraph once = CoreOfDigraph(g);
+  const Digraph twice = CoreOfDigraph(once);
+  EXPECT_EQ(once.num_nodes(), twice.num_nodes());
+  EXPECT_TRUE(IsCoreDigraph(once));
+}
+
+TEST(CoreTest, PointedCoreKeepsDistinguished) {
+  // Tableau of Q(x) :- E(x,y), E(x,z): minimizes to E(x,y), x frozen.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  const PointedDatabase pdb{g.ToDatabase(), {0}};
+  const PointedDatabase core = ComputeCore(pdb);
+  EXPECT_EQ(core.db.num_elements(), 2);
+  EXPECT_EQ(core.distinguished.size(), 1u);
+  EXPECT_EQ(core.db.NumFacts(), 1);
+}
+
+TEST(PreorderTest, StrictAndEquivalent) {
+  // Loop is the hom-top for digraphs with edges.
+  EXPECT_TRUE(StrictlyBelowDigraphs(DirectedCycle(5), SingleLoop()));
+  EXPECT_FALSE(StrictlyBelowDigraphs(SingleLoop(), DirectedCycle(5)));
+  EXPECT_TRUE(HomEquivalentDigraphs(Bidirect(DirectedPath(2)),
+                                    BidirectionalEdge()));
+  EXPECT_TRUE(IncomparableDigraphs(DirectedCycle(3), DirectedCycle(4)));
+}
+
+TEST(PreorderTest, Claim48QuotientLemma) {
+  // Claim 4.8: if D -h-> D' with h(a) = h(b), then D with a,b identified
+  // still maps to D'.
+  Digraph d = DirectedPath(4);
+  const Digraph target = DirectedCycle(2);
+  ASSERT_TRUE(ExistsDigraphHom(d, target));
+  const auto h = FindHomomorphism(d.ToDatabase(), target.ToDatabase());
+  ASSERT_TRUE(h.has_value());
+  // Find two nodes with equal image and identify them.
+  int a = -1, b = -1;
+  for (int u = 0; u < d.num_nodes() && a < 0; ++u) {
+    for (int v = u + 1; v < d.num_nodes(); ++v) {
+      if ((*h)[u] == (*h)[v]) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0);
+  IdentifyNodes(&d, a, b);
+  EXPECT_TRUE(ExistsDigraphHom(d, target));
+}
+
+TEST(PartitionsTest, BellCounts) {
+  EXPECT_EQ(BellNumber(0), 1ull);
+  EXPECT_EQ(BellNumber(1), 1ull);
+  EXPECT_EQ(BellNumber(3), 5ull);
+  EXPECT_EQ(BellNumber(5), 52ull);
+  EXPECT_EQ(BellNumber(10), 115975ull);
+  for (int n = 1; n <= 7; ++n) {
+    unsigned long long count = 0;
+    EnumerateSetPartitions(n, [&](const std::vector<int>&, int) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, BellNumber(n)) << "n=" << n;
+  }
+}
+
+TEST(PartitionsTest, EarlyStop) {
+  int count = 0;
+  EnumerateSetPartitions(6, [&](const std::vector<int>&, int) {
+    return ++count < 10;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(PartitionsTest, QuotientMapsDistinguished) {
+  Digraph g = DirectedPath(3);
+  const PointedDatabase pdb{g.ToDatabase(), {0, 3}};
+  // Partition {0,3}, {1}, {2}: labels 0,1,2,0.
+  const PointedDatabase quotient = QuotientDatabase(pdb, {0, 1, 2, 0}, 3);
+  EXPECT_EQ(quotient.db.num_elements(), 3);
+  EXPECT_EQ(quotient.distinguished, (Tuple{0, 0}));
+  // Quotient map is a homomorphism from original to quotient.
+  EXPECT_TRUE(ExistsHomomorphism(pdb, quotient));
+}
+
+TEST(PartitionsTest, IdentityQuotientIsIsomorphic) {
+  const Digraph g = DirectedCycle(4);
+  const Database db = g.ToDatabase();
+  const Database q = QuotientDatabase(db, {0, 1, 2, 3}, 4);
+  EXPECT_TRUE(q.SameFactsAs(db));
+}
+
+}  // namespace
+}  // namespace cqa

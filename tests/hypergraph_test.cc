@@ -1,0 +1,174 @@
+// Unit tests for hypergraphs: GYO acyclicity, join trees, closure
+// operations (induced subhypergraphs, edge extensions), primal graphs.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/hypergraph.h"
+
+namespace cqa {
+namespace {
+
+Hypergraph Triangle() {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 0});
+  return h;
+}
+
+// The paper's Section 6 example: {a,b,c}, {a,b}, {b,c}, {a,c} is acyclic
+// (the big edge covers the triangle).
+Hypergraph CoveredTriangle() {
+  Hypergraph h = Triangle();
+  h.AddEdge({0, 1, 2});
+  return h;
+}
+
+TEST(HypergraphTest, EdgesSortedDeduplicated) {
+  Hypergraph h(3);
+  const int e1 = h.AddEdge({2, 1, 1});
+  EXPECT_EQ(h.edge(e1), (std::vector<int>{1, 2}));
+  const int e2 = h.AddEdge({1, 2});
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(h.num_edges(), 1);
+}
+
+TEST(HypergraphTest, EdgesOf) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  EXPECT_EQ(h.edges_of(1).size(), 2u);
+  EXPECT_EQ(h.edges_of(0).size(), 1u);
+}
+
+TEST(HypergraphTest, InducedSubhypergraph) {
+  // Paper example: the only induced subhypergraph of CoveredTriangle
+  // containing all 2-element edges is the hypergraph itself; dropping a
+  // node intersects the big edge down.
+  const Hypergraph h = CoveredTriangle();
+  std::vector<int> map;
+  const Hypergraph induced =
+      h.InducedSubhypergraph({true, true, false}, &map);
+  EXPECT_EQ(induced.num_nodes(), 2);
+  // Edges {0,1}, {1}, {0}, {0,1} -> dedup {0,1} and singletons.
+  EXPECT_LE(induced.num_edges(), 3);
+  bool has_full = false;
+  for (const auto& e : induced.edges()) {
+    if (e == std::vector<int>{0, 1}) has_full = true;
+  }
+  EXPECT_TRUE(has_full);
+}
+
+TEST(HypergraphTest, EdgeExtension) {
+  Hypergraph h(2);
+  const int e = h.AddEdge({0, 1});
+  const int fresh = h.ExtendEdge(e, 2);
+  EXPECT_EQ(h.num_nodes(), 4);
+  EXPECT_EQ(h.edge(e).size(), 4u);
+  EXPECT_EQ(fresh, 2);
+  EXPECT_EQ(h.edges_of(fresh).size(), 1u);
+}
+
+TEST(HypergraphTest, PrimalGraph) {
+  Hypergraph h(3);
+  h.AddEdge({0, 1, 2});
+  const Digraph primal = h.PrimalGraph();
+  EXPECT_EQ(primal.num_edges(), 6);  // symmetric triangle
+  EXPECT_TRUE(primal.HasEdge(0, 2));
+}
+
+TEST(AcyclicityTest, TriangleIsCyclic) {
+  EXPECT_FALSE(IsAcyclicGYO(Triangle()));
+  EXPECT_FALSE(IsAcyclic(Triangle()));
+  EXPECT_FALSE(BuildJoinTree(Triangle()).has_value());
+}
+
+TEST(AcyclicityTest, CoveredTriangleIsAcyclic) {
+  EXPECT_TRUE(IsAcyclicGYO(CoveredTriangle()));
+  EXPECT_TRUE(IsAcyclic(CoveredTriangle()));
+}
+
+TEST(AcyclicityTest, PathIsAcyclic) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({1, 2});
+  h.AddEdge({2, 3});
+  EXPECT_TRUE(IsAcyclicGYO(h));
+  const auto jt = BuildJoinTree(h);
+  ASSERT_TRUE(jt.has_value());
+  EXPECT_EQ(jt->roots.size(), 1u);
+}
+
+TEST(AcyclicityTest, DisconnectedForest) {
+  Hypergraph h(4);
+  h.AddEdge({0, 1});
+  h.AddEdge({2, 3});
+  EXPECT_TRUE(IsAcyclicGYO(h));
+  const auto jt = BuildJoinTree(h);
+  ASSERT_TRUE(jt.has_value());
+  EXPECT_EQ(jt->roots.size(), 2u);
+}
+
+TEST(AcyclicityTest, BigCycleOfTernaryEdges) {
+  // Example 6.6's hypergraph: {x1,x2,x3}, {x3,x4,x5}, {x5,x6,x1} — cyclic.
+  Hypergraph h(6);
+  h.AddEdge({0, 1, 2});
+  h.AddEdge({2, 3, 4});
+  h.AddEdge({4, 5, 0});
+  EXPECT_FALSE(IsAcyclicGYO(h));
+  // Adding the covering edge {x1,x3,x5} makes it acyclic (Q3' in the
+  // paper).
+  h.AddEdge({0, 2, 4});
+  EXPECT_TRUE(IsAcyclicGYO(h));
+  EXPECT_TRUE(IsAcyclic(h));
+}
+
+TEST(AcyclicityTest, SingleAndEmpty) {
+  Hypergraph empty(0);
+  EXPECT_TRUE(IsAcyclicGYO(empty));
+  EXPECT_TRUE(IsAcyclic(empty));
+  Hypergraph single(3);
+  single.AddEdge({0, 1, 2});
+  EXPECT_TRUE(IsAcyclicGYO(single));
+  EXPECT_TRUE(IsAcyclic(single));
+}
+
+TEST(AcyclicityTest, GyoAgreesWithJoinTreeOnRandoms) {
+  Rng rng(2024);
+  int acyclic_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(6));
+    const int m = 1 + static_cast<int>(rng.UniformInt(6));
+    Hypergraph h(n);
+    for (int i = 0; i < m; ++i) {
+      std::vector<int> edge;
+      const int size = 1 + static_cast<int>(rng.UniformInt(3));
+      for (int j = 0; j < size; ++j) {
+        edge.push_back(static_cast<int>(rng.UniformInt(n)));
+      }
+      h.AddEdge(std::move(edge));
+    }
+    const bool gyo = IsAcyclicGYO(h);
+    const bool jt = IsAcyclic(h);
+    EXPECT_EQ(gyo, jt) << "trial " << trial;
+    acyclic_count += gyo;
+  }
+  // Sanity: the sweep hits both outcomes.
+  EXPECT_GT(acyclic_count, 10);
+  EXPECT_LT(acyclic_count, 200);
+}
+
+TEST(AcyclicityTest, JoinTreeParentStructure) {
+  const auto jt = BuildJoinTree(CoveredTriangle());
+  ASSERT_TRUE(jt.has_value());
+  int roots = 0;
+  for (size_t i = 0; i < jt->parent.size(); ++i) {
+    if (jt->parent[i] < 0) ++roots;
+  }
+  EXPECT_EQ(roots, static_cast<int>(jt->roots.size()));
+}
+
+}  // namespace
+}  // namespace cqa

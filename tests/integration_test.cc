@@ -1,0 +1,136 @@
+// End-to-end integration tests: compute an approximation, evaluate both
+// queries with the appropriate engines, and confirm the soundness
+// guarantee Q'(D) ⊆ Q(D) plus the engine-agreement contracts — the
+// pipeline a downstream user of the library runs.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "cq/containment.h"
+#include "cq/parse.h"
+#include "cq/properties.h"
+#include "data/generators.h"
+#include "eval/naive.h"
+#include "eval/treewidth_eval.h"
+#include "eval/yannakakis.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+TEST(IntegrationTest, Q2PipelineOnRandomDigraphs) {
+  const ConjunctiveQuery q = IntroQ2();
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(q, *MakeTreewidthClass(1));
+  ASSERT_TRUE(IsAcyclicQuery(approx));
+  Rng rng(404);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Database db = RandomDigraphDatabase(15, 0.2, &rng);
+    const bool exact = EvaluateNaiveBoolean(q, db);
+    const bool fast = EvaluateYannakakisBoolean(approx, db);
+    // Soundness: the approximation only answers true when Q does.
+    if (fast) EXPECT_TRUE(exact);
+  }
+}
+
+TEST(IntegrationTest, ApproximationFindsWitnessesOnPathDatabases) {
+  // On a long directed path, Q2 itself is false (it needs two paths with
+  // cross edges... actually its pattern embeds), but its P4 approximation
+  // is true exactly when a path of length 4 exists.
+  const ConjunctiveQuery approx = IntroQ2Approx();
+  const Database p10 = [] {
+    Database db(Vocabulary::Graph(), 11);
+    for (int i = 0; i < 10; ++i) db.AddFact(0, {i, i + 1});
+    return db;
+  }();
+  EXPECT_TRUE(EvaluateYannakakisBoolean(approx, p10));
+  const Database p3 = [] {
+    Database db(Vocabulary::Graph(), 4);
+    for (int i = 0; i < 3; ++i) db.AddFact(0, {i, i + 1});
+    return db;
+  }();
+  EXPECT_FALSE(EvaluateYannakakisBoolean(approx, p3));
+}
+
+TEST(IntegrationTest, Example66PipelineTernary) {
+  const ConjunctiveQuery q = Example66Query();
+  const auto result = ComputeApproximations(q, *MakeAcyclicClass());
+  Rng rng(77);
+  const Database db = RandomDatabase(Vocabulary::Single("R", 3), 9, 60, &rng);
+  const bool exact = EvaluateNaiveBoolean(q, db);
+  for (const auto& approx : result.approximations) {
+    ASSERT_TRUE(IsAcyclicQuery(approx));
+    const bool fast = EvaluateYannakakisBoolean(approx, db);
+    if (fast) EXPECT_TRUE(exact) << PrintQuery(approx);
+  }
+}
+
+TEST(IntegrationTest, NonBooleanSoundness) {
+  // Non-Boolean: every answer of the approximation is an answer of Q.
+  const ConjunctiveQuery q = NonBooleanTriangle();
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(1));
+  Rng rng(99);
+  const Database db = RandomDigraphDatabase(10, 0.3, &rng, true);
+  const AnswerSet exact = EvaluateNaive(q, db);
+  for (const auto& approx : result.approximations) {
+    const AnswerSet fast = EvaluateYannakakis(approx, db);
+    EXPECT_TRUE(fast.IsSubsetOf(exact)) << PrintQuery(approx);
+  }
+}
+
+TEST(IntegrationTest, ApproximationAgreesWhereQHolds) {
+  // Containment is the only guaranteed direction, but on databases where
+  // the pattern actually occurs the approximation should often fire; make
+  // sure it is not vacuously empty everywhere.
+  const ConjunctiveQuery q = IntroQ1();
+  const ConjunctiveQuery approx =
+      ComputeOneApproximation(q, *MakeTreewidthClass(1));  // E(x,x)
+  Database db(Vocabulary::Graph(), 3);
+  db.AddFact(0, {0, 0});
+  db.AddFact(0, {0, 1});
+  EXPECT_TRUE(EvaluateNaiveBoolean(q, db));
+  EXPECT_TRUE(EvaluateYannakakisBoolean(approx, db));
+}
+
+TEST(IntegrationTest, TreewidthEngineServesTW2Approximations) {
+  // Approximate a treewidth-3 query in TW(2) and evaluate the result with
+  // the treewidth engine.
+  Rng rng(2048);
+  const ConjunctiveQuery q = RandomGraphCQ(6, 9, &rng);
+  const auto result = ComputeApproximations(q, *MakeTreewidthClass(2));
+  ASSERT_FALSE(result.approximations.empty());
+  const Database db = RandomDigraphDatabase(8, 0.35, &rng, true);
+  const AnswerSet exact = EvaluateNaive(q, db);
+  for (const auto& approx : result.approximations) {
+    ASSERT_TRUE(IsTreewidthAtMost(approx, 2));
+    const AnswerSet fast = EvaluateTreewidth(approx, db);
+    EXPECT_TRUE(fast.IsSubsetOf(exact)) << PrintQuery(approx);
+    EXPECT_TRUE(fast == EvaluateNaive(approx, db));
+  }
+}
+
+TEST(IntegrationTest, ScaledTernaryCyclesEndToEnd) {
+  // The bench_eval_speedup workload in miniature: approximate the m-atom
+  // ternary cycle and cross-check engines.
+  for (int m = 3; m <= 4; ++m) {
+    const ConjunctiveQuery q = TernaryCycleQuery(m);
+    ApproximationOptions options;
+    options.candidates.augmentation_budget = (m == 3) ? 1 : 0;
+    const ConjunctiveQuery approx =
+        ComputeOneApproximation(q, *MakeAcyclicClass(), options);
+    EXPECT_TRUE(IsAcyclicQuery(approx));
+    EXPECT_TRUE(IsContainedIn(approx, q));
+    Rng rng(5 + m);
+    const Database db =
+        RandomDatabase(Vocabulary::Single("R", 3), 8, 50, &rng);
+    const bool fast = EvaluateYannakakisBoolean(approx, db);
+    if (fast) EXPECT_TRUE(EvaluateNaiveBoolean(q, db));
+  }
+}
+
+}  // namespace
+}  // namespace cqa

@@ -1,0 +1,191 @@
+// Tests for the Section 5 structural results: the Boolean trichotomy
+// (Theorem 5.1), the loop dichotomies (Theorems 5.8/5.10), nontriviality
+// via colorability (Corollary 5.11), and the Section 5.3 strong treewidth
+// approximation results (Propositions 5.13-5.15).
+
+#include <gtest/gtest.h>
+
+#include "core/approximator.h"
+#include "core/query_class.h"
+#include "core/structure.h"
+#include "core/strong_tw.h"
+#include "cq/containment.h"
+#include "cq/parse.h"
+#include "cq/tableau.h"
+#include "cq/trivial.h"
+#include "gadgets/intro.h"
+#include "gadgets/section53.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+namespace {
+
+VocabularyPtr G() { return Vocabulary::Graph(); }
+
+TEST(TrichotomyTest, PaperExamplesClassified) {
+  EXPECT_EQ(ClassifyBooleanGraphTableau(IntroQ1()),
+            TableauClass::kNotBipartite);
+  EXPECT_EQ(ClassifyBooleanGraphTableau(IntroQ3()),
+            TableauClass::kBipartiteUnbalanced);
+  EXPECT_EQ(ClassifyBooleanGraphTableau(IntroQ2()),
+            TableauClass::kBipartiteBalanced);
+}
+
+TEST(TrichotomyTest, NamesAreStable) {
+  EXPECT_EQ(ToString(TableauClass::kNotBipartite), "not-bipartite");
+  EXPECT_EQ(ToString(TableauClass::kBipartiteUnbalanced),
+            "bipartite-unbalanced");
+  EXPECT_EQ(ToString(TableauClass::kBipartiteBalanced),
+            "bipartite-balanced");
+}
+
+// Theorem 5.1, checked against the computed approximations per regime.
+TEST(TrichotomyTest, PredictionsMatchComputedApproximations) {
+  struct Case {
+    ConjunctiveQuery q;
+    TableauClass expected;
+  };
+  const std::vector<Case> cases = {
+      {IntroQ1(), TableauClass::kNotBipartite},
+      {IntroQ3(), TableauClass::kBipartiteUnbalanced},
+      {IntroQ2(), TableauClass::kBipartiteBalanced},
+      {MustParseQuery(
+           G(), "Q() :- E(x,y), E(y,z), E(z,u), E(u,v), E(v,w), E(x,w)"),
+       TableauClass::kBipartiteUnbalanced},
+  };
+  for (const Case& c : cases) {
+    ASSERT_EQ(ClassifyBooleanGraphTableau(c.q), c.expected);
+    const auto result = ComputeApproximations(c.q, *MakeTreewidthClass(1));
+    for (const auto& approx : result.approximations) {
+      const Digraph t = Digraph::FromDatabase(ToTableau(approx).db);
+      switch (c.expected) {
+        case TableauClass::kNotBipartite:
+          EXPECT_TRUE(AreEquivalent(approx, TrivialLoopQuery()));
+          break;
+        case TableauClass::kBipartiteUnbalanced:
+          EXPECT_TRUE(AreEquivalent(approx, TrivialBipartiteQuery()));
+          break;
+        case TableauClass::kBipartiteBalanced:
+          // Nontrivial, and no E(x,y),E(y,x) pair in the tableau.
+          EXPECT_FALSE(IsTrivialQuery(approx));
+          EXPECT_FALSE(t.HasLoop());
+          for (const auto& [u, v] : t.edges()) {
+            EXPECT_FALSE(u != v && t.HasEdge(v, u))
+                << "2-cycle in " << PrintQuery(approx);
+          }
+          break;
+      }
+    }
+  }
+}
+
+TEST(DichotomyTest, NonBooleanLoopFreeIffBipartite) {
+  // Theorem 5.8 on both sides.
+  EXPECT_FALSE(HasLoopFreeAcyclicApproximation(NonBooleanTriangle()));
+  const auto bipartite_q =
+      MustParseQuery(G(), "Q(x) :- E(x,y), E(y,z), E(z,u), E(x,u)");
+  EXPECT_TRUE(HasLoopFreeAcyclicApproximation(bipartite_q));
+  // Computed check for the positive case: some approximation is loop-free.
+  const auto result =
+      ComputeApproximations(bipartite_q, *MakeTreewidthClass(1));
+  bool some_loop_free = false;
+  for (const auto& approx : result.approximations) {
+    const Digraph t = Digraph::FromDatabase(ToTableau(approx).db);
+    some_loop_free |= !t.HasLoop();
+  }
+  EXPECT_TRUE(some_loop_free);
+}
+
+TEST(DichotomyTest, TreewidthKColorability) {
+  // Theorem 5.10 / Corollary 5.11: K4's tableau is 4- but not 3-colorable.
+  const ConjunctiveQuery k4 = TrivialCliqueQuery(4);
+  EXPECT_FALSE(HasNontrivialTreewidthApproximation(k4, 2));
+  EXPECT_TRUE(HasNontrivialTreewidthApproximation(k4, 3));
+  // The triangle is 3-colorable: nontrivial TW(2)-approximation (itself).
+  EXPECT_TRUE(HasNontrivialTreewidthApproximation(IntroQ1(), 2));
+  EXPECT_FALSE(HasNontrivialTreewidthApproximation(IntroQ1(), 1));
+  // Any bipartite tableau: nontrivial TW(1)-approximation.
+  EXPECT_TRUE(HasNontrivialTreewidthApproximation(IntroQ3(), 1));
+}
+
+TEST(DichotomyTest, ComputedMatchesColorabilityForSmallQueries) {
+  // Cross-check Corollary 5.11 against the engine on the paper queries.
+  for (const ConjunctiveQuery& q : {IntroQ1(), IntroQ2(), IntroQ3()}) {
+    for (int k = 1; k <= 2; ++k) {
+      const auto result = ComputeApproximations(q, *MakeTreewidthClass(k));
+      bool some_nontrivial = false;
+      for (const auto& approx : result.approximations) {
+        some_nontrivial |= !IsTrivialQuery(approx);
+      }
+      EXPECT_EQ(some_nontrivial, HasNontrivialTreewidthApproximation(q, k))
+          << PrintQuery(q) << " k=" << k;
+    }
+  }
+}
+
+TEST(StrongTwTest, MaxTreewidthDetection) {
+  EXPECT_TRUE(HasMaximumTreewidth(IntroQ1()));  // triangle: K3
+  EXPECT_FALSE(HasMaximumTreewidth(IntroQ3()));  // 4-cycle misses chords
+  EXPECT_FALSE(HasMaximumTreewidth(
+      MustParseQuery(G(), "Q() :- E(x, y)")));  // only 2 nodes
+}
+
+TEST(StrongTwTest, GraphsOnlyHaveTrivialStrongApproximations) {
+  // Section 5.3: over graphs, a strong treewidth approximation of K_n
+  // (n > 2) is trivial.
+  const auto result =
+      ComputeApproximations(TrivialCliqueQuery(3), *MakeTreewidthClass(1));
+  ASSERT_EQ(result.approximations.size(), 1u);
+  EXPECT_TRUE(AreEquivalent(result.approximations[0], TrivialLoopQuery()));
+}
+
+TEST(StrongTwTest, Prop515AlmostTriangle) {
+  const Prop515Pair pair = BuildProp515Pair();
+  EXPECT_TRUE(IsAlmostTriangle(ToTableau(pair.q).db));
+  EXPECT_FALSE(IsAlmostTriangle(ToTableau(pair.q_prime).db));
+  EXPECT_TRUE(HasMaximumTreewidth(pair.q));
+  EXPECT_EQ(pair.q.NumJoins(), pair.q_prime.NumJoins());
+  EXPECT_TRUE(IsPotentialStrongTreewidthApproximation(pair.q_prime));
+  EXPECT_TRUE(IsStrongTreewidthApproximation(pair.q_prime, pair.q));
+}
+
+TEST(StrongTwTest, Prop514SameJoinCount) {
+  const Prop514Pair pair = BuildProp514Pair(3);
+  EXPECT_EQ(pair.q.NumJoins(), pair.q_prime.NumJoins());
+  EXPECT_TRUE(HasMaximumTreewidth(pair.q));
+  EXPECT_TRUE(IsPotentialStrongTreewidthApproximation(pair.q_prime));
+  EXPECT_TRUE(IsStrongTreewidthApproximation(pair.q_prime, pair.q));
+}
+
+TEST(StrongTwTest, Prop514LargerArity) {
+  const Prop514Pair pair = BuildProp514Pair(4);
+  EXPECT_EQ(pair.q.NumJoins(), pair.q_prime.NumJoins());
+  EXPECT_TRUE(HasMaximumTreewidth(pair.q));
+  EXPECT_TRUE(IsStrongTreewidthApproximation(pair.q_prime, pair.q));
+}
+
+TEST(StrongTwTest, Prop513Construction) {
+  // Build Q from the Prop 5.15 approximation as the potential strong
+  // approximation (its first atom has y occurring exactly twice).
+  const ConjunctiveQuery q_prime = BuildProp515Pair().q_prime;
+  const int n = 4;  // n > m = 3
+  const ConjunctiveQuery q = BuildProp513Query(q_prime, n);
+  EXPECT_EQ(q.num_variables(), n);
+  EXPECT_TRUE(HasMaximumTreewidth(q));
+  EXPECT_TRUE(IsContainedIn(q_prime, q));
+  // Atom bound: k + n(n-1)/2 - 1.
+  EXPECT_LE(static_cast<int>(q.atoms().size()),
+            static_cast<int>(q_prime.atoms().size()) + n * (n - 1) / 2 - 1);
+  EXPECT_TRUE(IsStrongTreewidthApproximation(q_prime, q));
+}
+
+TEST(StrongTwTest, Prop513LargerN) {
+  const ConjunctiveQuery q_prime = BuildProp515Pair().q_prime;
+  const ConjunctiveQuery q = BuildProp513Query(q_prime, 5);
+  EXPECT_EQ(q.num_variables(), 5);
+  EXPECT_TRUE(HasMaximumTreewidth(q));
+  EXPECT_TRUE(IsContainedIn(q_prime, q));
+}
+
+}  // namespace
+}  // namespace cqa
