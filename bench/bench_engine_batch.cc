@@ -1,0 +1,95 @@
+// Batch-evaluation throughput: the planner-driven BatchEvaluator fanning a
+// mixed CQ workload across a thread pool, versus sequential evaluation of
+// the same jobs. Also reports the planner's engine mix. Pass --quick for a
+// reduced run (CI smoke test).
+
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/engine.h"
+#include "gadgets/intro.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs, int num_jobs,
+                               Rng* rng) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    const Database* db = &dbs[i % dbs.size()];
+    switch (i % 3) {
+      case 0:
+        jobs.push_back({IntroQ2(), db});
+        break;
+      case 1:
+        jobs.push_back({RandomGraphCQ(3 + i % 3, 4, rng, i % 2), db});
+        break;
+      default:
+        jobs.push_back({RandomCyclicGraphCQ(3, 2, rng), db});
+        break;
+    }
+  }
+  return jobs;
+}
+
+void RunSeries(bool quick) {
+  using bench::Fmt;
+  Rng rng(12345);
+  std::vector<Database> dbs;
+  const int n = quick ? 12 : 24;
+  dbs.push_back(RandomDigraphDatabase(n, 0.25, &rng));
+  dbs.push_back(RandomCycleChordDatabase(n, n / 2, &rng));
+
+  const int num_jobs = quick ? 12 : 48;
+  const std::vector<BatchJob> jobs = MakeJobs(dbs, num_jobs, &rng);
+
+  bench::PrintRow({"threads", "jobs", "wall_ms", "sum_eval_ms", "max_job_ms",
+                   "identical"});
+  bench::PrintRule(6);
+
+  BatchOptions seq_opts;
+  seq_opts.num_threads = 1;
+  BatchStats seq_stats;
+  const auto reference = BatchEvaluator(seq_opts).Run(jobs, &seq_stats);
+  bench::PrintRow({Fmt(1), Fmt(seq_stats.jobs), Fmt(seq_stats.wall_ms),
+                   Fmt(seq_stats.total_eval_ms), Fmt(seq_stats.max_job_ms),
+                   "ref"});
+
+  for (const int threads : quick ? std::vector<int>{4}
+                                 : std::vector<int>{2, 4, 8}) {
+    BatchOptions opts;
+    opts.num_threads = threads;
+    BatchStats stats;
+    const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+    bool identical = results.size() == reference.size();
+    for (size_t i = 0; identical && i < results.size(); ++i) {
+      identical = results[i].answers == reference[i].answers &&
+                  results[i].engine == reference[i].engine;
+    }
+    bench::PrintRow({Fmt(threads), Fmt(stats.jobs), Fmt(stats.wall_ms),
+                     Fmt(stats.total_eval_ms), Fmt(stats.max_job_ms),
+                     identical ? "yes" : "NO"});
+  }
+
+  int mix[3] = {0, 0, 0};
+  for (const BatchResult& r : reference) mix[static_cast<int>(r.engine)]++;
+  std::printf("\nplanner engine mix: naive=%d yannakakis=%d treewidth=%d\n",
+              mix[0], mix[1], mix[2]);
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
+  std::printf(
+      "Batch evaluation engine: planner-selected engines over a %s mixed "
+      "workload, parallel vs sequential (identical column must be yes)\n\n",
+      quick ? "quick" : "full");
+  cqa::RunSeries(quick);
+  return 0;
+}

@@ -52,7 +52,7 @@ Database HardTernaryInstance(int layers, int width, Rng* rng) {
   return db;
 }
 
-void SeriesGraphWorkload() {
+void SeriesGraphWorkload(bool quick) {
   using bench::Fmt;
   const ConjunctiveQuery q = IntroQ2();
   const ConjunctiveQuery approx =
@@ -63,7 +63,8 @@ void SeriesGraphWorkload() {
   bench::PrintRow({"|D|(nodes)", "|D|(edges)", "naive_ms", "yanna_ms",
                    "speedup", "sound"});
   bench::PrintRule(6);
-  for (const int width : {8, 16, 32, 64, 128}) {
+  for (const int width :
+       quick ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32, 64, 128}) {
     Rng rng(width);
     const Database db = HardGraphInstance(width, &rng);
     bool exact = false, fast = false;
@@ -79,7 +80,7 @@ void SeriesGraphWorkload() {
   }
 }
 
-void SeriesTernaryWorkload() {
+void SeriesTernaryWorkload(bool quick) {
   using bench::Fmt;
   const ConjunctiveQuery q = Example66Query();
   const auto result = ComputeApproximations(q, *MakeAcyclicClass());
@@ -93,7 +94,8 @@ void SeriesTernaryWorkload() {
   bench::PrintRow({"|D|(elems)", "|D|(facts)", "naive_ms", "yanna_ms",
                    "speedup", "sound"});
   bench::PrintRule(6);
-  for (const int width : {8, 16, 32, 64}) {
+  for (const int width :
+       quick ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32, 64}) {
     Rng rng(width * 3);
     const Database db = HardTernaryInstance(4, width, &rng);
     bool exact = false, fast = false;
@@ -109,7 +111,7 @@ void SeriesTernaryWorkload() {
   }
 }
 
-void SeriesMatchPresent() {
+void SeriesMatchPresent(bool quick) {
   using bench::Fmt;
   const ConjunctiveQuery q = IntroQ2();
   const ConjunctiveQuery approx =
@@ -120,7 +122,8 @@ void SeriesMatchPresent() {
   bench::PrintRow({"|D|(nodes)", "naive_ms", "yanna_ms", "both_true",
                    "sound"});
   bench::PrintRule(5);
-  for (const int n : {100, 400, 1600}) {
+  for (const int n :
+       quick ? std::vector<int>{100} : std::vector<int>{100, 400, 1600}) {
     Rng rng(n);
     const Database db = RandomDigraphDatabase(n, 6.0 / n, &rng);
     bool exact = false, fast = false;
@@ -165,15 +168,17 @@ BENCHMARK(BM_YannakakisApproxQ2Hard)
 }  // namespace cqa
 
 int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
   std::printf(
       "E4: evaluation complexity comparison (paper Introduction)\n"
       "|D|^O(|Q|) generic join vs O(f(|Q|) + |D|·s(|Q|)) via an acyclic\n"
       "approximation. Expected shape: on worst-case (match-free)\n"
       "instances the approximation wins by a factor that grows with |D|;\n"
       "soundness column always 'yes'.\n");
-  cqa::SeriesGraphWorkload();
-  cqa::SeriesTernaryWorkload();
-  cqa::SeriesMatchPresent();
+  cqa::SeriesGraphWorkload(quick);
+  cqa::SeriesTernaryWorkload(quick);
+  cqa::SeriesMatchPresent(quick);
+  if (quick) return 0;  // skip microbenchmarks in CI smoke runs
   std::printf("\ngoogle-benchmark microbenchmarks:\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -24,16 +24,16 @@ struct ClassSpec {
   bool graph_vocab;  // which workload to use
 };
 
-void RunClassRow(const QueryClass& cls, bool graph_vocab) {
+void RunClassRow(const QueryClass& cls, bool graph_vocab, bool quick) {
   using bench::Fmt;
   std::printf("\n%s approximations (%s workload)\n", cls.name().c_str(),
               graph_vocab ? "graph" : "ternary");
   bench::PrintRow({"|vars|", "|atoms|", "queries", "exist%", "joins<=|Q|%",
                    "max_var_ratio", "avg_ms"});
   bench::PrintRule(7);
-  for (int nvars = 4; nvars <= 7; ++nvars) {
+  for (int nvars = 4; nvars <= (quick ? 5 : 7); ++nvars) {
     const int natoms = nvars + 2;
-    const int trials = 6;
+    const int trials = quick ? 2 : 6;
     int exist = 0, join_bound = 0, total_approx = 0;
     double max_var_ratio = 0.0;
     double total_ms = 0.0;
@@ -68,16 +68,17 @@ void RunClassRow(const QueryClass& cls, bool graph_vocab) {
 }  // namespace
 }  // namespace cqa
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
   std::printf(
       "E1: Figure 1 — existence / size / time of approximations\n"
       "Paper: approximations always exist; graph-based sizes are bounded\n"
       "by |Q| (joins); hypergraph-based sizes are polynomial in |Q|;\n"
       "computation is single-exponential.\n");
-  cqa::RunClassRow(*cqa::MakeTreewidthClass(1), /*graph_vocab=*/true);
-  cqa::RunClassRow(*cqa::MakeTreewidthClass(2), /*graph_vocab=*/true);
-  cqa::RunClassRow(*cqa::MakeAcyclicClass(), /*graph_vocab=*/false);
-  cqa::RunClassRow(*cqa::MakeHypertreeClass(2), /*graph_vocab=*/false);
+  cqa::RunClassRow(*cqa::MakeTreewidthClass(1), /*graph_vocab=*/true, quick);
+  cqa::RunClassRow(*cqa::MakeTreewidthClass(2), /*graph_vocab=*/true, quick);
+  cqa::RunClassRow(*cqa::MakeAcyclicClass(), /*graph_vocab=*/false, quick);
+  cqa::RunClassRow(*cqa::MakeHypertreeClass(2), /*graph_vocab=*/false, quick);
   std::printf(
       "\nShape check vs Figure 1: existence 100%% in every row; graph-based\n"
       "rows keep joins <= |Q| at 100%%; hypergraph-based rows may exceed\n"

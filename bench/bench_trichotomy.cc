@@ -35,16 +35,16 @@ const char* ShortName(TableauClass c) {
   return "?";
 }
 
-void DistributionSweep() {
+void DistributionSweep(bool quick) {
   using bench::Fmt;
   std::printf("\nClass distribution over random cyclic Boolean graph CQs\n");
   bench::PrintRow({"cycle_len", "extras", "queries", "not-bip", "bip-unbal",
                    "bip-bal", "ms"});
   bench::PrintRule(7);
-  for (int len = 3; len <= 6; ++len) {
+  for (int len = 3; len <= (quick ? 4 : 6); ++len) {
     for (int extras : {0, 2}) {
       int counts[3] = {0, 0, 0};
-      const int trials = 200;
+      const int trials = quick ? 40 : 200;
       double ms = bench::TimeMs([&] {
         for (int t = 0; t < trials; ++t) {
           Rng rng(10000 * len + 100 * extras + t);
@@ -58,7 +58,7 @@ void DistributionSweep() {
   }
 }
 
-void PredictionCheck() {
+void PredictionCheck(bool quick) {
   using bench::Fmt;
   std::printf(
       "\nTrichotomy predictions vs computed acyclic approximations\n");
@@ -72,7 +72,7 @@ void PredictionCheck() {
   std::vector<Named> cases = {{"intro Q1", IntroQ1()},
                               {"intro Q2", IntroQ2()},
                               {"intro Q3", IntroQ3()}};
-  for (int seed = 0; seed < 12; ++seed) {
+  for (int seed = 0; seed < (quick ? 4 : 12); ++seed) {
     Rng rng(777 + seed);
     cases.push_back({"random", RandomCyclicGraphCQ(
                                    3 + static_cast<int>(rng.UniformInt(3)),
@@ -117,13 +117,14 @@ void PredictionCheck() {
 }  // namespace
 }  // namespace cqa
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
   std::printf(
       "E3: Theorem 5.1 trichotomy + Corollary 5.3 join decrease\n"
       "Predicted: not-bipartite -> only E(x,x); bipartite-unbalanced ->\n"
       "only K2<->; bipartite-balanced -> nontrivial approximations with\n"
       "no E(x,y),E(y,x) pair; all with strictly fewer joins than Q.\n");
-  cqa::DistributionSweep();
-  cqa::PredictionCheck();
+  cqa::DistributionSweep(quick);
+  cqa::PredictionCheck(quick);
   return 0;
 }

@@ -7,10 +7,20 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace cqa::bench {
+
+/// True if `--quick` appears on the command line: benches then run a
+/// reduced series suitable for CI smoke tests.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
 
 /// Milliseconds elapsed while running `fn`.
 template <typename Fn>

@@ -1,0 +1,195 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "base/check.h"
+#include "cq/properties.h"
+#include "decomp/treewidth.h"
+#include "eval/naive.h"
+#include "eval/treewidth_eval.h"
+#include "eval/yannakakis.h"
+#include "graph/digraph.h"
+
+namespace cqa {
+namespace {
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+class NaiveEngine : public Engine {
+ public:
+  EngineKind kind() const override { return EngineKind::kNaive; }
+  bool Supports(const ConjunctiveQuery&) const override { return true; }
+  AnswerSet Evaluate(const ConjunctiveQuery& q,
+                     const Database& db) const override {
+    return EvaluateNaive(q, db);
+  }
+};
+
+class YannakakisEngine : public Engine {
+ public:
+  EngineKind kind() const override { return EngineKind::kYannakakis; }
+  bool Supports(const ConjunctiveQuery& q) const override {
+    return IsAcyclicQuery(q);
+  }
+  AnswerSet Evaluate(const ConjunctiveQuery& q,
+                     const Database& db) const override {
+    CQA_CHECK(Supports(q));
+    return EvaluateYannakakis(q, db);
+  }
+};
+
+class TreewidthEngine : public Engine {
+ public:
+  EngineKind kind() const override { return EngineKind::kTreewidth; }
+  bool Supports(const ConjunctiveQuery&) const override { return true; }
+  AnswerSet Evaluate(const ConjunctiveQuery& q,
+                     const Database& db) const override {
+    return EvaluateTreewidth(q, db);
+  }
+};
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return "naive";
+    case EngineKind::kYannakakis:
+      return "yannakakis";
+    case EngineKind::kTreewidth:
+      return "treewidth";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNaive:
+      return std::make_unique<NaiveEngine>();
+    case EngineKind::kYannakakis:
+      return std::make_unique<YannakakisEngine>();
+    case EngineKind::kTreewidth:
+      return std::make_unique<TreewidthEngine>();
+  }
+  CQA_CHECK(false);
+  return nullptr;
+}
+
+PlanDecision PlanQuery(const ConjunctiveQuery& q, const PlannerOptions& opts) {
+  PlanDecision d;
+  d.acyclic = IsAcyclicQuery(q);
+  if (d.acyclic) {
+    d.kind = EngineKind::kYannakakis;
+    d.reason = "H(Q) acyclic: Yannakakis, O(|D|*|Q|) up to output";
+    return d;
+  }
+  // Cyclic: bound the width of G(Q) by the min-fill heuristic (polynomial).
+  // This, not the exact treewidth, is the right decision metric: the
+  // treewidth engine evaluates over the min-fill decomposition, so its bag
+  // tables cost O(|D|^{min_fill_width+1}).
+  const Digraph g = GraphOfQuery(q);
+  d.width = WidthOfEliminationOrder(g, MinFillOrder(g));
+  if (d.width >= 0 && d.width <= opts.max_width) {
+    d.kind = EngineKind::kTreewidth;
+    d.reason = "cyclic, width bound " + std::to_string(d.width) +
+               " <= " + std::to_string(opts.max_width) + ": treewidth DP";
+  } else {
+    d.kind = EngineKind::kNaive;
+    d.reason = "cyclic, width bound " + std::to_string(d.width) + " > " +
+               std::to_string(opts.max_width) + ": naive backtracking";
+  }
+  return d;
+}
+
+std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
+                                   const PlannerOptions& opts) {
+  return MakeEngine(PlanQuery(q, opts).kind);
+}
+
+BatchEvaluator::BatchEvaluator(BatchOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
+                                             BatchStats* stats) const {
+  const auto run_start = std::chrono::steady_clock::now();
+
+  std::vector<BatchResult> results(jobs.size());
+
+  // One engine instance per kind, shared across threads: engines are
+  // stateless, so concurrent Evaluate calls are safe.
+  const std::unique_ptr<Engine> engines[] = {
+      MakeEngine(EngineKind::kNaive), MakeEngine(EngineKind::kYannakakis),
+      MakeEngine(EngineKind::kTreewidth)};
+  const auto engine_for = [&](EngineKind kind) -> const Engine& {
+    return *engines[static_cast<int>(kind)];
+  };
+
+  const auto run_job = [&](size_t i) {
+    const BatchJob& job = jobs[i];
+    CQA_CHECK(job.db != nullptr);
+    BatchResult& out = results[i];
+
+    const auto plan_start = std::chrono::steady_clock::now();
+    if (options_.forced_engine.has_value() &&
+        engine_for(*options_.forced_engine).Supports(job.query)) {
+      out.plan.kind = *options_.forced_engine;
+      out.plan.reason = "forced by BatchOptions";
+    } else {
+      out.plan = PlanQuery(job.query, options_.planner);
+    }
+    out.engine = out.plan.kind;
+    out.plan_ms = MsSince(plan_start);
+
+    const auto eval_start = std::chrono::steady_clock::now();
+    out.answers = engine_for(out.engine).Evaluate(job.query, *job.db);
+    out.eval_ms = MsSince(eval_start);
+  };
+
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), jobs.size()));
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  } else {
+    // Work-stealing by atomic index: deterministic output because every job
+    // writes only results[i] and evaluation itself is deterministic.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+          run_job(i);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->wall_ms = MsSince(run_start);
+    stats->jobs = static_cast<int>(jobs.size());
+    stats->threads_used = jobs.empty() ? 0 : std::max(threads, 1);
+    for (const BatchResult& r : results) {
+      stats->total_eval_ms += r.eval_ms;
+      stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
+    }
+  }
+  return results;
+}
+
+}  // namespace cqa

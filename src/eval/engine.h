@@ -1,0 +1,135 @@
+// A uniform evaluation-engine layer over the three evaluators (naive
+// backtracking, Yannakakis for acyclic CQs, bounded-treewidth DP) plus an
+// automatic planner and a multi-threaded batch evaluator. This is the seam
+// production features (sharding, caching, async serving) plug into: callers
+// submit (query, database) jobs and get AnswerSets plus per-job stats back,
+// without caring which algorithm ran.
+
+#ifndef CQA_EVAL_ENGINE_H_
+#define CQA_EVAL_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/answer_set.h"
+
+namespace cqa {
+
+/// The available evaluation algorithms.
+enum class EngineKind {
+  kNaive,       ///< backtracking join, |D|^O(|Q|) (eval/naive)
+  kYannakakis,  ///< semijoin full reduction, acyclic only (eval/yannakakis)
+  kTreewidth,   ///< bag-table DP over a tree decomposition (eval/treewidth_eval)
+};
+
+/// Stable display name ("naive", "yannakakis", "treewidth").
+const char* EngineKindName(EngineKind kind);
+
+/// A single evaluation algorithm behind a uniform interface.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual EngineKind kind() const = 0;
+  const char* name() const { return EngineKindName(kind()); }
+
+  /// True if this engine can evaluate `q` (Yannakakis requires acyclicity;
+  /// the others accept every CQ).
+  virtual bool Supports(const ConjunctiveQuery& q) const = 0;
+
+  /// Computes Q(D). CHECK-fails if !Supports(q).
+  virtual AnswerSet Evaluate(const ConjunctiveQuery& q,
+                             const Database& db) const = 0;
+};
+
+/// Engine factory.
+std::unique_ptr<Engine> MakeEngine(EngineKind kind);
+
+/// Why the planner picked an engine, plus the structural facts it computed.
+struct PlanDecision {
+  EngineKind kind = EngineKind::kNaive;
+  bool acyclic = false;  ///< H(Q) alpha-acyclic
+  /// Width bound of G(Q) the planner established: the min-fill elimination
+  /// width, i.e. the width of the decomposition the treewidth engine would
+  /// actually evaluate over. -1 if not needed (acyclic queries go straight
+  /// to Yannakakis).
+  int width = -1;
+  std::string reason;  ///< one-line human-readable justification
+};
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// Use the treewidth engine when the established width bound is <= this;
+  /// beyond it the bag tables (O(|D|^{width+1})) are considered too large
+  /// and the naive engine runs instead.
+  int max_width = 3;
+};
+
+/// Picks an engine from the structure of `q` (paper, Sections 4 and 6):
+/// acyclic -> Yannakakis; else small treewidth -> treewidth DP; else naive.
+PlanDecision PlanQuery(const ConjunctiveQuery& q,
+                       const PlannerOptions& opts = {});
+
+/// Convenience: plan and instantiate in one step.
+std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
+                                   const PlannerOptions& opts = {});
+
+/// One unit of batch work. `db` is borrowed and must outlive the run; many
+/// jobs may share one database.
+struct BatchJob {
+  ConjunctiveQuery query;
+  const Database* db = nullptr;
+};
+
+/// Outcome of one job.
+struct BatchResult {
+  AnswerSet answers = AnswerSet(0);
+  EngineKind engine = EngineKind::kNaive;  ///< engine that produced `answers`
+  PlanDecision plan;                       ///< planner verdict (if planned)
+  double plan_ms = 0.0;                    ///< planning wall time
+  double eval_ms = 0.0;                    ///< evaluation wall time
+};
+
+/// Aggregate timing over a batch run.
+struct BatchStats {
+  double wall_ms = 0.0;        ///< end-to-end wall time of Run()
+  double total_eval_ms = 0.0;  ///< sum of per-job eval times (CPU-ish)
+  double max_job_ms = 0.0;     ///< slowest single job (plan + eval)
+  int jobs = 0;
+  int threads_used = 0;
+};
+
+/// Batch evaluator options.
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  int num_threads = 0;
+  /// When set, every job runs on this engine instead of the planner's pick
+  /// (jobs the engine does not Support fall back to the planner).
+  std::optional<EngineKind> forced_engine;
+  PlannerOptions planner;
+};
+
+/// Fans a vector of jobs across a std::thread pool. Results are indexed like
+/// the input jobs and are bit-identical to a sequential run: each evaluator
+/// is deterministic and jobs never share mutable state.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(BatchOptions options = {});
+
+  /// Runs all jobs; `stats` (optional) receives aggregate timing.
+  std::vector<BatchResult> Run(const std::vector<BatchJob>& jobs,
+                               BatchStats* stats = nullptr) const;
+
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_ENGINE_H_

@@ -1,0 +1,208 @@
+// Tests for the uniform engine layer (eval/engine): cross-engine agreement
+// on the worked-example and workload queries, planner selection, and the
+// Engine interface contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "base/rng.h"
+#include "cq/parse.h"
+#include "cq/properties.h"
+#include "data/generators.h"
+#include "eval/engine.h"
+#include "eval/naive.h"
+#include "gadgets/examples.h"
+#include "gadgets/intro.h"
+#include "gadgets/workloads.h"
+#include "graph/standard.h"
+
+namespace cqa {
+namespace {
+
+VocabularyPtr G() { return Vocabulary::Graph(); }
+
+TEST(EngineKindTest, Names) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kNaive), "naive");
+  EXPECT_STREQ(EngineKindName(EngineKind::kYannakakis), "yannakakis");
+  EXPECT_STREQ(EngineKindName(EngineKind::kTreewidth), "treewidth");
+}
+
+TEST(EngineFactoryTest, KindsRoundTrip) {
+  for (const EngineKind kind :
+       {EngineKind::kNaive, EngineKind::kYannakakis, EngineKind::kTreewidth}) {
+    const std::unique_ptr<Engine> e = MakeEngine(kind);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->kind(), kind);
+    EXPECT_STREQ(e->name(), EngineKindName(kind));
+  }
+}
+
+TEST(EngineSupportsTest, YannakakisRequiresAcyclicity) {
+  const std::unique_ptr<Engine> yanna = MakeEngine(EngineKind::kYannakakis);
+  const std::unique_ptr<Engine> naive = MakeEngine(EngineKind::kNaive);
+  const std::unique_ptr<Engine> tw = MakeEngine(EngineKind::kTreewidth);
+  const ConjunctiveQuery triangle = IntroQ1();     // cyclic
+  const ConjunctiveQuery path = IntroQ2Approx();   // acyclic
+  EXPECT_FALSE(yanna->Supports(triangle));
+  EXPECT_TRUE(yanna->Supports(path));
+  EXPECT_TRUE(naive->Supports(triangle));
+  EXPECT_TRUE(tw->Supports(triangle));
+}
+
+// All engines that support a query must return the same AnswerSet as the
+// naive reference on the same database.
+void ExpectCrossEngineAgreement(const ConjunctiveQuery& q, const Database& db) {
+  const AnswerSet reference = EvaluateNaive(q, db);
+  for (const EngineKind kind :
+       {EngineKind::kNaive, EngineKind::kYannakakis, EngineKind::kTreewidth}) {
+    const std::unique_ptr<Engine> e = MakeEngine(kind);
+    if (!e->Supports(q)) continue;
+    const AnswerSet got = e->Evaluate(q, db);
+    EXPECT_TRUE(got == reference)
+        << "engine " << e->name() << " disagrees with naive on "
+        << PrintQuery(q) << " (got " << got.size() << " tuples, want "
+        << reference.size() << ")";
+  }
+}
+
+TEST(CrossEngineTest, WorkedExampleQueriesOnRandomDigraphs) {
+  const ConjunctiveQuery queries[] = {
+      IntroQ1(),          IntroQ2(),  IntroQ2Approx(),
+      IntroQ3(),          Prop59Query(), NonBooleanTriangle(),
+      NonBooleanTriangleApprox()};
+  for (const uint64_t seed : {7u, 21u}) {
+    Rng rng(seed);
+    const Database db = RandomDigraphDatabase(10, 0.3, &rng);
+    for (const ConjunctiveQuery& q : queries) {
+      ExpectCrossEngineAgreement(q, db);
+    }
+  }
+}
+
+TEST(CrossEngineTest, TernaryExample66Family) {
+  Rng rng(99);
+  const Database db = RandomDatabase(Vocabulary::Single("R", 3), 8, 60, &rng);
+  for (const ConjunctiveQuery& q :
+       {Example66Query(), Example66Approx1(), Example66Approx2(),
+        Example66Approx3()}) {
+    ExpectCrossEngineAgreement(q, db);
+  }
+}
+
+TEST(CrossEngineTest, RandomWorkloadQueries) {
+  Rng rng(2024);
+  for (int round = 0; round < 12; ++round) {
+    const Database db =
+        RandomDigraphDatabase(8 + round % 4, 0.35, &rng, /*allow_loops=*/true);
+    const ConjunctiveQuery q =
+        RandomGraphCQ(/*num_vars=*/2 + round % 4, /*num_atoms=*/3 + round % 3,
+                      &rng, /*num_free=*/round % 3);
+    ExpectCrossEngineAgreement(q, db);
+  }
+}
+
+TEST(CrossEngineTest, RandomCyclicWorkloadQueries) {
+  Rng rng(31337);
+  for (int round = 0; round < 8; ++round) {
+    const Database db = RandomCycleChordDatabase(9, 6, &rng);
+    const ConjunctiveQuery q =
+        RandomCyclicGraphCQ(/*cycle_len=*/3 + round % 2, /*extra_atoms=*/2,
+                            &rng);
+    ExpectCrossEngineAgreement(q, db);
+  }
+}
+
+TEST(PlannerTest, AcyclicGoesToYannakakis) {
+  const PlanDecision d = PlanQuery(IntroQ2Approx());
+  EXPECT_EQ(d.kind, EngineKind::kYannakakis);
+  EXPECT_TRUE(d.acyclic);
+  EXPECT_EQ(d.width, -1);  // width not needed for acyclic queries
+  EXPECT_FALSE(d.reason.empty());
+}
+
+TEST(PlannerTest, SmallTreewidthGoesToTreewidthDP) {
+  // The triangle is cyclic with (min-fill) width 2 <= default max_width 3.
+  const PlanDecision d = PlanQuery(IntroQ1());
+  EXPECT_EQ(d.kind, EngineKind::kTreewidth);
+  EXPECT_FALSE(d.acyclic);
+  EXPECT_EQ(d.width, 2);
+}
+
+TEST(PlannerTest, WidthBudgetFallsBackToNaive) {
+  PlannerOptions opts;
+  opts.max_width = 1;
+  const PlanDecision d = PlanQuery(IntroQ1(), opts);  // width 2 > 1
+  EXPECT_EQ(d.kind, EngineKind::kNaive);
+  EXPECT_EQ(d.width, 2);
+}
+
+TEST(PlannerTest, PlanEngineMatchesPlanQuery) {
+  for (const ConjunctiveQuery& q : {IntroQ1(), IntroQ2(), IntroQ2Approx()}) {
+    const std::unique_ptr<Engine> e = PlanEngine(q);
+    EXPECT_EQ(e->kind(), PlanQuery(q).kind);
+    EXPECT_TRUE(e->Supports(q));
+  }
+}
+
+TEST(PlannerTest, PlannedEngineIsExactOnEveryQuery) {
+  // Whatever the planner picks must produce the reference answer.
+  Rng rng(4242);
+  const Database db = RandomDigraphDatabase(9, 0.3, &rng);
+  for (const ConjunctiveQuery& q :
+       {IntroQ1(), IntroQ2(), IntroQ2Approx(), IntroQ3(), Prop59Query()}) {
+    const std::unique_ptr<Engine> e = PlanEngine(q);
+    EXPECT_TRUE(e->Evaluate(q, db) == EvaluateNaive(q, db))
+        << "planned engine " << e->name() << " wrong on " << PrintQuery(q);
+  }
+}
+
+TEST(BatchEvaluatorTest, ForcedEngineIsUsedWhenSupported) {
+  Rng rng(5);
+  const Database db = RandomDigraphDatabase(8, 0.3, &rng);
+  std::vector<BatchJob> jobs;
+  jobs.push_back({IntroQ1(), &db});        // cyclic: cannot force Yannakakis
+  jobs.push_back({IntroQ2Approx(), &db});  // acyclic: force applies
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.forced_engine = EngineKind::kYannakakis;
+  const std::vector<BatchResult> results = BatchEvaluator(opts).Run(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].engine, EngineKind::kYannakakis);  // planner fallback
+  EXPECT_EQ(results[1].engine, EngineKind::kYannakakis);
+  EXPECT_TRUE(results[0].answers == EvaluateNaive(IntroQ1(), db));
+  EXPECT_TRUE(results[1].answers == EvaluateNaive(IntroQ2Approx(), db));
+}
+
+TEST(BatchEvaluatorTest, StatsAreFilled) {
+  Rng rng(11);
+  const Database db = RandomDigraphDatabase(10, 0.3, &rng);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({IntroQ2(), &db});
+  BatchOptions opts;
+  opts.num_threads = 3;
+  BatchStats stats;
+  const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+  EXPECT_EQ(results.size(), 6u);
+  EXPECT_EQ(stats.jobs, 6);
+  EXPECT_EQ(stats.threads_used, 3);
+  EXPECT_GE(stats.wall_ms, 0.0);
+  EXPECT_GE(stats.total_eval_ms, 0.0);
+  EXPECT_GE(stats.max_job_ms, 0.0);
+  EXPECT_LE(stats.max_job_ms, stats.total_eval_ms + 1e3);
+  for (const BatchResult& r : results) {
+    EXPECT_GE(r.eval_ms, 0.0);
+    EXPECT_FALSE(r.plan.reason.empty());
+  }
+}
+
+TEST(BatchEvaluatorTest, EmptyBatch) {
+  BatchStats stats;
+  const auto results = BatchEvaluator().Run({}, &stats);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(stats.jobs, 0);
+  EXPECT_EQ(stats.threads_used, 0);
+}
+
+}  // namespace
+}  // namespace cqa
