@@ -1,7 +1,10 @@
 // Batch-evaluation throughput: the planner-driven BatchEvaluator fanning a
 // mixed CQ workload across a thread pool, versus sequential evaluation of
-// the same jobs. Also reports the planner's engine mix. Pass --quick for a
-// reduced run (CI smoke test).
+// the same jobs; plus a scan-vs-index series running each engine over the
+// same forced-engine workload with indexing off and on (the answers must be
+// identical — the speedup column is the point of the RelationIndex layer).
+// Pass --quick for a reduced run (CI smoke test) and --csv <path> to mirror
+// all tables into a CSV artifact.
 
 #include <vector>
 
@@ -14,6 +17,10 @@
 
 namespace cqa {
 namespace {
+
+// Set to false whenever a series prints identical=NO; main exits nonzero so
+// the CI bench-smoke step fails on answer divergence, not just visibly.
+bool g_all_identical = true;
 
 std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs, int num_jobs,
                                Rng* rng) {
@@ -36,8 +43,9 @@ std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs, int num_jobs,
   return jobs;
 }
 
-void RunSeries(bool quick) {
+void RunThreadScaling(bool quick) {
   using bench::Fmt;
+  bench::SetCsvSection("thread_scaling");
   Rng rng(12345);
   std::vector<Database> dbs;
   const int n = quick ? 12 : 24;
@@ -48,8 +56,8 @@ void RunSeries(bool quick) {
   const std::vector<BatchJob> jobs = MakeJobs(dbs, num_jobs, &rng);
 
   bench::PrintRow({"threads", "jobs", "wall_ms", "sum_eval_ms", "max_job_ms",
-                   "identical"});
-  bench::PrintRule(6);
+                   "plan_hits", "identical"});
+  bench::PrintRule(7);
 
   BatchOptions seq_opts;
   seq_opts.num_threads = 1;
@@ -57,7 +65,7 @@ void RunSeries(bool quick) {
   const auto reference = BatchEvaluator(seq_opts).Run(jobs, &seq_stats);
   bench::PrintRow({Fmt(1), Fmt(seq_stats.jobs), Fmt(seq_stats.wall_ms),
                    Fmt(seq_stats.total_eval_ms), Fmt(seq_stats.max_job_ms),
-                   "ref"});
+                   Fmt(seq_stats.plan_cache_hits), "ref"});
 
   for (const int threads : quick ? std::vector<int>{4}
                                  : std::vector<int>{2, 4, 8}) {
@@ -70,9 +78,10 @@ void RunSeries(bool quick) {
       identical = results[i].answers == reference[i].answers &&
                   results[i].engine == reference[i].engine;
     }
+    g_all_identical &= identical;
     bench::PrintRow({Fmt(threads), Fmt(stats.jobs), Fmt(stats.wall_ms),
                      Fmt(stats.total_eval_ms), Fmt(stats.max_job_ms),
-                     identical ? "yes" : "NO"});
+                     Fmt(stats.plan_cache_hits), identical ? "yes" : "NO"});
   }
 
   int mix[3] = {0, 0, 0};
@@ -81,15 +90,160 @@ void RunSeries(bool quick) {
               mix[0], mix[1], mix[2]);
 }
 
+// Q(x) :- E(x, y1), ..., E(x, yk): acyclic, output-bearing, star-shaped —
+// the pattern the projection cache and pristine-leaf probes shine on.
+ConjunctiveQuery StarQuery(int k) {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  for (int i = 0; i < k; ++i) {
+    const int y = q.AddVariable();
+    q.AddAtom(0, {x, y});
+  }
+  q.SetFreeVariables({x});
+  return q;
+}
+
+// Q(x0[, xlen]) :- E(x0, x1), ..., E(x{len-1}, xlen).
+ConjunctiveQuery PathQuery(int len, int num_free) {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int first = q.AddVariables(len + 1);
+  for (int i = 0; i < len; ++i) q.AddAtom(0, {first + i, first + i + 1});
+  std::vector<int> free_vars;
+  if (num_free >= 1) free_vars.push_back(first);
+  if (num_free >= 2) free_vars.push_back(first + len);
+  q.SetFreeVariables(free_vars);
+  return q;
+}
+
+// Q(x, z) :- E(x, y), E(y, z), E(z, x): cyclic with output, so the naive
+// engine must enumerate every triangle (no Boolean early exit).
+ConjunctiveQuery TriangleWithOutput() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  const int z = q.AddVariable("z");
+  q.AddAtom(0, {x, y});
+  q.AddAtom(0, {y, z});
+  q.AddAtom(0, {z, x});
+  q.SetFreeVariables({x, z});
+  return q;
+}
+
+void RunScanVsIndex(bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("scan_vs_index");
+  std::printf(
+      "\nScan vs indexed evaluation, per engine (forced), 1 thread.\n"
+      "Same jobs, indexing off/on; answers must be identical.\n\n");
+
+  Rng rng(4242);
+  const int n = quick ? 130 : 400;
+  const Database db = RandomDigraphDatabase(n, 8.0 / n, &rng);
+  // The treewidth bag product is cubic in the candidate count: use a
+  // smaller substrate so the scan side finishes in bench time.
+  const int n_tw = quick ? 130 : 200;
+  const Database db_tw = RandomDigraphDatabase(n_tw, 8.0 / n_tw, &rng);
+
+  struct Series {
+    EngineKind kind;
+    std::vector<BatchJob> jobs;
+  };
+  std::vector<Series> series;
+  {
+    Series s{EngineKind::kNaive, {}};
+    const int num = quick ? 6 : 16;
+    for (int i = 0; i < num; ++i) s.jobs.push_back({TriangleWithOutput(), &db});
+    series.push_back(std::move(s));
+  }
+  {
+    Series s{EngineKind::kYannakakis, {}};
+    const int num = quick ? 24 : 64;
+    for (int i = 0; i < num; ++i) {
+      switch (i % 4) {
+        case 0:
+          s.jobs.push_back({StarQuery(2), &db});
+          break;
+        case 1:
+          s.jobs.push_back({StarQuery(3), &db});
+          break;
+        case 2:
+          s.jobs.push_back({StarQuery(4), &db});
+          break;
+        default:
+          s.jobs.push_back({PathQuery(4, 1), &db});
+          break;
+      }
+    }
+    series.push_back(std::move(s));
+  }
+  {
+    Series s{EngineKind::kTreewidth, {}};
+    const int num = quick ? 3 : 8;
+    for (int i = 0; i < num; ++i) {
+      s.jobs.push_back({RandomCyclicGraphCQ(3, 1, &rng), &db_tw});
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::printf("database: %d elements, %lld facts (treewidth: %d / %lld)\n\n",
+              n, db.NumFacts(), n_tw, db_tw.NumFacts());
+  // No plan_hits column here: forced-engine runs bypass the planner (and
+  // hence the plan cache) entirely; see the thread-scaling table for it.
+  bench::PrintRow({"engine", "mode", "jobs", "wall_ms", "speedup", "probes",
+                   "hits", "identical"},
+                  12);
+  bench::PrintRule(8, 12);
+
+  for (const Series& s : series) {
+    BatchOptions scan_opts;
+    scan_opts.num_threads = 1;
+    scan_opts.forced_engine = s.kind;
+    scan_opts.engine.use_index = false;
+    BatchStats scan_stats;
+    const auto scan = BatchEvaluator(scan_opts).Run(s.jobs, &scan_stats);
+
+    BatchOptions idx_opts = scan_opts;
+    idx_opts.engine.use_index = true;
+    BatchStats idx_stats;
+    const auto indexed = BatchEvaluator(idx_opts).Run(s.jobs, &idx_stats);
+
+    bool identical = scan.size() == indexed.size();
+    for (size_t i = 0; identical && i < scan.size(); ++i) {
+      identical = scan[i].answers == indexed[i].answers;
+    }
+    g_all_identical &= identical;
+    const double speedup =
+        idx_stats.wall_ms > 1e-9 ? scan_stats.wall_ms / idx_stats.wall_ms
+                                 : 0.0;
+    bench::PrintRow({EngineKindName(s.kind), "scan",
+                     Fmt(static_cast<int>(s.jobs.size())),
+                     Fmt(scan_stats.wall_ms), "1.00", "0", "0", "ref"},
+                    12);
+    bench::PrintRow(
+        {EngineKindName(s.kind), "indexed",
+         Fmt(static_cast<int>(s.jobs.size())), Fmt(idx_stats.wall_ms),
+         Fmt(speedup), Fmt(idx_stats.eval.index_probes),
+         Fmt(idx_stats.eval.index_hits), identical ? "yes" : "NO"},
+        12);
+  }
+}
+
 }  // namespace
 }  // namespace cqa
 
 int main(int argc, char** argv) {
   const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
   std::printf(
       "Batch evaluation engine: planner-selected engines over a %s mixed "
       "workload, parallel vs sequential (identical column must be yes)\n\n",
       quick ? "quick" : "full");
-  cqa::RunSeries(quick);
+  cqa::RunThreadScaling(quick);
+  cqa::RunScanVsIndex(quick);
+  cqa::bench::CloseCsv();
+  if (!cqa::g_all_identical) {
+    std::fprintf(stderr, "FAILED: some series reported identical=NO\n");
+    return 1;
+  }
   return 0;
 }

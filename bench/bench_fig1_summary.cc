@@ -26,6 +26,7 @@ struct ClassSpec {
 
 void RunClassRow(const QueryClass& cls, bool graph_vocab, bool quick) {
   using bench::Fmt;
+  bench::SetCsvSection(cls.name());
   std::printf("\n%s approximations (%s workload)\n", cls.name().c_str(),
               graph_vocab ? "graph" : "ternary");
   bench::PrintRow({"|vars|", "|atoms|", "queries", "exist%", "joins<=|Q|%",
@@ -70,6 +71,7 @@ void RunClassRow(const QueryClass& cls, bool graph_vocab, bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
   std::printf(
       "E1: Figure 1 — existence / size / time of approximations\n"
       "Paper: approximations always exist; graph-based sizes are bounded\n"
@@ -83,5 +85,6 @@ int main(int argc, char** argv) {
       "\nShape check vs Figure 1: existence 100%% in every row; graph-based\n"
       "rows keep joins <= |Q| at 100%%; hypergraph-based rows may exceed\n"
       "|Q| in joins but stay polynomial in variables (var ratio column).\n");
+  cqa::bench::CloseCsv();
   return 0;
 }

@@ -37,6 +37,7 @@ const char* ShortName(TableauClass c) {
 
 void DistributionSweep(bool quick) {
   using bench::Fmt;
+  bench::SetCsvSection("distribution");
   std::printf("\nClass distribution over random cyclic Boolean graph CQs\n");
   bench::PrintRow({"cycle_len", "extras", "queries", "not-bip", "bip-unbal",
                    "bip-bal", "ms"});
@@ -60,6 +61,7 @@ void DistributionSweep(bool quick) {
 
 void PredictionCheck(bool quick) {
   using bench::Fmt;
+  bench::SetCsvSection("predictions");
   std::printf(
       "\nTrichotomy predictions vs computed acyclic approximations\n");
   bench::PrintRow({"query", "class", "#approx", "shape_ok", "joins_drop",
@@ -119,6 +121,7 @@ void PredictionCheck(bool quick) {
 
 int main(int argc, char** argv) {
   const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
   std::printf(
       "E3: Theorem 5.1 trichotomy + Corollary 5.3 join decrease\n"
       "Predicted: not-bipartite -> only E(x,x); bipartite-unbalanced ->\n"
@@ -126,5 +129,6 @@ int main(int argc, char** argv) {
       "no E(x,y),E(y,x) pair; all with strictly fewer joins than Q.\n");
   cqa::DistributionSweep(quick);
   cqa::PredictionCheck(quick);
+  cqa::bench::CloseCsv();
   return 0;
 }

@@ -22,6 +22,45 @@ inline bool QuickMode(int argc, char** argv) {
   return false;
 }
 
+/// CSV mirror: when `--csv <path>` is on the command line, every PrintRow
+/// row is also appended to `<path>` as a CSV line, prefixed with the current
+/// section name, so CI can archive bench output as machine-readable
+/// artifacts. Call InitCsv at the top of main and CloseCsv before exit.
+inline FILE*& CsvStream() {
+  static FILE* stream = nullptr;
+  return stream;
+}
+
+inline std::string& CsvSection() {
+  static std::string section;
+  return section;
+}
+
+inline void InitCsv(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "warning: --csv needs a path argument\n");
+      return;
+    }
+    CsvStream() = std::fopen(argv[i + 1], "w");
+    if (CsvStream() == nullptr) {
+      std::fprintf(stderr, "warning: cannot open csv file %s\n", argv[i + 1]);
+    }
+    return;
+  }
+}
+
+/// Names the table the following PrintRow calls belong to (first CSV cell).
+inline void SetCsvSection(const std::string& name) { CsvSection() = name; }
+
+inline void CloseCsv() {
+  if (CsvStream() != nullptr) {
+    std::fclose(CsvStream());
+    CsvStream() = nullptr;
+  }
+}
+
 /// Milliseconds elapsed while running `fn`.
 template <typename Fn>
 double TimeMs(Fn&& fn) {
@@ -31,12 +70,20 @@ double TimeMs(Fn&& fn) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
-/// Prints a row of fixed-width cells.
+/// Prints a row of fixed-width cells (and mirrors it to the CSV file when
+/// one is open).
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
   for (const auto& cell : cells) {
     std::printf("%-*s", width, cell.c_str());
   }
   std::printf("\n");
+  if (CsvStream() != nullptr) {
+    std::fprintf(CsvStream(), "%s", CsvSection().c_str());
+    for (const auto& cell : cells) {
+      std::fprintf(CsvStream(), ",%s", cell.c_str());
+    }
+    std::fprintf(CsvStream(), "\n");
+  }
 }
 
 inline void PrintRule(size_t cells, int width = 14) {

@@ -47,7 +47,7 @@ int main() {
     t0 = std::chrono::steady_clock::now();
     const bool fast = EvaluateYannakakisBoolean(approx, follows);
     const double approx_ms = MsSince(t0);
-    std::printf("%-10d %-10d %-12.2f %-12.2f %-10.1f %-8s\n", users,
+    std::printf("%-10d %-10lld %-12.2f %-12.2f %-10.1f %-8s\n", users,
                 follows.NumFacts(), exact_ms, approx_ms,
                 exact_ms / (approx_ms > 0.001 ? approx_ms : 0.001),
                 (!fast || exact) ? "yes" : "NO");

@@ -44,7 +44,9 @@ const std::vector<Tuple>& Database::facts(RelationId rel) const {
   return facts_[rel];
 }
 
-int Database::NumFacts() const { return static_cast<int>(fact_set_.size()); }
+long long Database::NumFacts() const {
+  return static_cast<long long>(fact_set_.size());
+}
 
 bool Database::IsContainedIn(const Database& other) const {
   CQA_CHECK(*vocab_ == *other.vocab_);

@@ -52,8 +52,10 @@ class Database {
   /// All facts of `rel`, in insertion order.
   const std::vector<Tuple>& facts(RelationId rel) const;
 
-  /// Total number of facts across all relations.
-  int NumFacts() const;
+  /// Total number of facts across all relations. Wide on purpose: generated
+  /// workloads can exceed the int range, and the counters/stats fed from
+  /// this value must not overflow.
+  long long NumFacts() const;
 
   /// True if every relation of this database is a subset of `other`'s
   /// (requires equal vocabularies; element identity is literal).

@@ -1,0 +1,252 @@
+#include "data/index.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+// Per-entry overhead estimates for the budget accounting: hash-node and
+// small-vector bookkeeping on typical 64-bit standard libraries.
+constexpr size_t kNodeOverhead = 48;
+constexpr size_t kVectorOverhead = 24;
+
+size_t TupleBytes(size_t length) {
+  return kVectorOverhead + length * sizeof(Element);
+}
+
+}  // namespace
+
+BoundMask MaskOfPositions(const std::vector<int>& positions) {
+  BoundMask mask = 0;
+  for (const int p : positions) {
+    CQA_CHECK(p >= 0 && p < 32);
+    mask |= BoundMask{1} << p;
+  }
+  return mask;
+}
+
+std::vector<int> PositionsOfMask(BoundMask mask, int arity) {
+  CQA_CHECK(arity >= 0 && arity <= 32);
+  CQA_CHECK(arity == 32 || (mask >> arity) == 0);
+  std::vector<int> positions;
+  for (int p = 0; p < arity; ++p) {
+    if ((mask >> p) & 1) positions.push_back(p);
+  }
+  return positions;
+}
+
+RelationIndex::RelationIndex(const Database& db, RelationId rel,
+                             BoundMask mask)
+    : rel_(rel),
+      mask_(mask),
+      positions_(PositionsOfMask(mask, db.vocab()->arity(rel))) {
+  const std::vector<Tuple>& facts = db.facts(rel);
+  num_facts_ = facts.size();
+  buckets_.reserve(facts.size());
+  for (size_t id = 0; id < facts.size(); ++id) {
+    buckets_[KeyOf(facts[id])].push_back(static_cast<int>(id));
+  }
+  bytes_ = kVectorOverhead;
+  for (const auto& [key, bucket] : buckets_) {
+    bytes_ += kNodeOverhead + TupleBytes(key.size()) + kVectorOverhead +
+              bucket.size() * sizeof(int);
+  }
+}
+
+Tuple RelationIndex::KeyOf(const Tuple& fact) const {
+  Tuple key(positions_.size());
+  for (size_t i = 0; i < positions_.size(); ++i) key[i] = fact[positions_[i]];
+  return key;
+}
+
+const std::vector<int>* RelationIndex::Probe(const Tuple& key) const {
+  const auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+IndexedDatabase::IndexedDatabase(const Database& db, IndexOptions options)
+    : db_(&db), options_(options) {}
+
+bool IndexedDatabase::ReserveBytes(size_t cost) const {
+  // Caller holds mu_.
+  if (static_cast<size_t>(stats_.bytes) + cost > options_.max_bytes) {
+    ++stats_.budget_rejections;
+    return false;
+  }
+  stats_.bytes += static_cast<long long>(cost);
+  return true;
+}
+
+const RelationIndex* IndexedDatabase::Index(RelationId rel, BoundMask mask,
+                                            bool* built) const {
+  if (built != nullptr) *built = false;
+  if (!options_.enabled) return nullptr;
+  CQA_CHECK(rel >= 0 && rel < db_->vocab()->num_relations());
+  if (db_->vocab()->arity(rel) > kMaxIndexableArity) return nullptr;
+  const uint64_t key = (static_cast<uint64_t>(rel) << 32) | mask;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = indexes_.find(key);
+    if (it != indexes_.end()) {
+      // A null entry records an earlier budget rejection: don't rebuild.
+      if (it->second == nullptr) {
+        ++stats_.budget_rejections;
+        return nullptr;
+      }
+      ++stats_.index_reuses;
+      return it->second.get();
+    }
+    // True lower bound on the final footprint (every fact id lands in
+    // exactly one bucket): reject before the transient build, so max_bytes
+    // also bounds the allocation the build itself would make.
+    const size_t lower =
+        kVectorOverhead + db_->facts(rel).size() * sizeof(int);
+    if (static_cast<size_t>(stats_.bytes) + lower > options_.max_bytes) {
+      ++stats_.budget_rejections;
+      indexes_.emplace(key, nullptr);
+      return nullptr;
+    }
+  }
+  // Build outside the lock: concurrent threads may race to build the same
+  // index (duplicate work, at most once per key), but cache hits on other
+  // keys never stall behind an O(|facts|) scan.
+  auto index = std::make_unique<RelationIndex>(*db_, rel, mask);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = indexes_.find(key);
+  if (it != indexes_.end()) {  // another thread won the race
+    if (it->second == nullptr) {
+      ++stats_.budget_rejections;
+      return nullptr;
+    }
+    ++stats_.index_reuses;
+    return it->second.get();
+  }
+  if (!ReserveBytes(index->ApproxBytes())) {
+    indexes_.emplace(key, nullptr);
+    return nullptr;
+  }
+  ++stats_.index_builds;
+  if (built != nullptr) *built = true;
+  return indexes_.emplace(key, std::move(index)).first->second.get();
+}
+
+const std::vector<Tuple>* IndexedDatabase::ProjectedRows(
+    RelationId rel, const std::vector<int>& out_cols, int num_out,
+    bool* built) const {
+  if (built != nullptr) *built = false;
+  if (!options_.enabled) return nullptr;
+  CQA_CHECK(rel >= 0 && rel < db_->vocab()->num_relations());
+  CQA_CHECK(static_cast<int>(out_cols.size()) == db_->vocab()->arity(rel));
+  std::vector<int> key;
+  key.reserve(out_cols.size() + 2);
+  key.push_back(rel);
+  key.push_back(num_out);
+  key.insert(key.end(), out_cols.begin(), out_cols.end());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = projections_.find(key);
+    if (it != projections_.end()) {
+      if (it->second == nullptr) {
+        ++stats_.budget_rejections;
+        return nullptr;
+      }
+      ++stats_.projection_reuses;
+      return it->second.get();
+    }
+  }
+  auto rows = std::make_unique<std::vector<Tuple>>();  // outside the lock
+  std::unordered_set<Tuple, VectorHash> seen;
+  for (const Tuple& fact : db_->facts(rel)) {
+    Tuple row(num_out, -1);
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const int col = out_cols[i];
+      CQA_CHECK(col >= 0 && col < num_out);
+      if (row[col] >= 0 && row[col] != fact[i]) {
+        ok = false;
+        break;
+      }
+      row[col] = fact[i];
+    }
+    if (ok && seen.insert(row).second) rows->push_back(std::move(row));
+  }
+  rows->shrink_to_fit();
+  size_t cost = kVectorOverhead;
+  for (const Tuple& row : *rows) cost += TupleBytes(row.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = projections_.find(key);
+  if (it != projections_.end()) {  // another thread won the race
+    if (it->second == nullptr) {
+      ++stats_.budget_rejections;
+      return nullptr;
+    }
+    ++stats_.projection_reuses;
+    return it->second.get();
+  }
+  if (!ReserveBytes(cost)) {
+    projections_.emplace(std::move(key), nullptr);
+    return nullptr;
+  }
+  ++stats_.projection_builds;
+  if (built != nullptr) *built = true;
+  return projections_.emplace(std::move(key), std::move(rows))
+      .first->second.get();
+}
+
+const std::vector<Element>* IndexedDatabase::ColumnValues(RelationId rel,
+                                                          int pos,
+                                                          bool* built) const {
+  if (built != nullptr) *built = false;
+  if (!options_.enabled) return nullptr;
+  CQA_CHECK(rel >= 0 && rel < db_->vocab()->num_relations());
+  CQA_CHECK(pos >= 0 && pos < db_->vocab()->arity(rel));
+  const uint64_t key = (static_cast<uint64_t>(rel) << 32) |
+                       static_cast<uint32_t>(pos);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = columns_.find(key);
+    if (it != columns_.end()) {
+      if (it->second == nullptr) {
+        ++stats_.budget_rejections;
+        return nullptr;
+      }
+      ++stats_.column_reuses;
+      return it->second.get();
+    }
+  }
+  auto values = std::make_unique<std::vector<Element>>();  // outside the lock
+  values->reserve(db_->facts(rel).size());
+  for (const Tuple& fact : db_->facts(rel)) values->push_back(fact[pos]);
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+  values->shrink_to_fit();  // duplicate-heavy columns keep no dead capacity
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = columns_.find(key);
+  if (it != columns_.end()) {  // another thread won the race
+    if (it->second == nullptr) {
+      ++stats_.budget_rejections;
+      return nullptr;
+    }
+    ++stats_.column_reuses;
+    return it->second.get();
+  }
+  if (!ReserveBytes(kVectorOverhead + values->size() * sizeof(Element))) {
+    columns_.emplace(key, nullptr);
+    return nullptr;
+  }
+  ++stats_.column_builds;
+  if (built != nullptr) *built = true;
+  return columns_.emplace(key, std::move(values)).first->second.get();
+}
+
+IndexCacheStats IndexedDatabase::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cqa

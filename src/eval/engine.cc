@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "base/check.h"
+#include "base/hash.h"
 #include "cq/properties.h"
 #include "decomp/treewidth.h"
 #include "eval/naive.h"
@@ -26,9 +29,13 @@ class NaiveEngine : public Engine {
  public:
   EngineKind kind() const override { return EngineKind::kNaive; }
   bool Supports(const ConjunctiveQuery&) const override { return true; }
-  AnswerSet Evaluate(const ConjunctiveQuery& q,
-                     const Database& db) const override {
-    return EvaluateNaive(q, db);
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
+                     EvalStats* stats) const override {
+    return EvaluateNaive(q, db, stats);
+  }
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
+                     EvalStats* stats) const override {
+    return EvaluateNaive(q, idb, stats);
   }
 };
 
@@ -38,10 +45,15 @@ class YannakakisEngine : public Engine {
   bool Supports(const ConjunctiveQuery& q) const override {
     return IsAcyclicQuery(q);
   }
-  AnswerSet Evaluate(const ConjunctiveQuery& q,
-                     const Database& db) const override {
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
+                     EvalStats*) const override {
     CQA_CHECK(Supports(q));
     return EvaluateYannakakis(q, db);
+  }
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
+                     EvalStats* stats) const override {
+    CQA_CHECK(Supports(q));
+    return EvaluateYannakakis(q, idb, stats);
   }
 };
 
@@ -49,9 +61,13 @@ class TreewidthEngine : public Engine {
  public:
   EngineKind kind() const override { return EngineKind::kTreewidth; }
   bool Supports(const ConjunctiveQuery&) const override { return true; }
-  AnswerSet Evaluate(const ConjunctiveQuery& q,
-                     const Database& db) const override {
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
+                     EvalStats*) const override {
     return EvaluateTreewidth(q, db);
+  }
+  AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
+                     EvalStats* stats) const override {
+    return EvaluateTreewidth(q, idb, stats);
   }
 };
 
@@ -113,6 +129,26 @@ std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
   return MakeEngine(PlanQuery(q, opts).kind);
 }
 
+std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q) {
+  std::vector<int> rename(q.num_variables(), -1);
+  int next = 0;
+  const auto canon = [&](int v) {
+    if (rename[v] < 0) rename[v] = next++;
+    return rename[v];
+  };
+  std::vector<int> key;
+  key.reserve(4 * q.atoms().size() + q.free_variables().size() + 2);
+  key.push_back(static_cast<int>(q.atoms().size()));
+  for (const Atom& atom : q.atoms()) {
+    key.push_back(atom.rel);
+    key.push_back(static_cast<int>(atom.vars.size()));
+    for (const int v : atom.vars) key.push_back(canon(v));
+  }
+  key.push_back(-1);  // separator: atoms | free tuple
+  for (const int v : q.free_variables()) key.push_back(canon(v));
+  return key;
+}
+
 BatchEvaluator::BatchEvaluator(BatchOptions options)
     : options_(std::move(options)) {}
 
@@ -131,6 +167,28 @@ std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
     return *engines[static_cast<int>(kind)];
   };
 
+  // One immutable index cache per distinct database, shared by all worker
+  // threads: indexes are built once (under the view's lock) and probed
+  // concurrently afterwards.
+  std::unordered_map<const Database*, std::unique_ptr<IndexedDatabase>>
+      indexed;
+  if (options_.engine.use_index) {
+    for (const BatchJob& job : jobs) {
+      CQA_CHECK(job.db != nullptr);
+      auto& slot = indexed[job.db];
+      if (slot == nullptr) {
+        slot = std::make_unique<IndexedDatabase>(
+            *job.db, options_.engine.ToIndexOptions());
+      }
+    }
+  }
+
+  // Plan cache: repeated query shapes plan once per batch. Keyed by the
+  // canonical shape (not its hash alone), so collisions are impossible.
+  std::mutex plan_mu;
+  std::unordered_map<std::vector<int>, PlanDecision, VectorHash> plan_cache;
+  std::atomic<long long> plan_cache_hits{0};
+
   const auto run_job = [&](size_t i) {
     const BatchJob& job = jobs[i];
     CQA_CHECK(job.db != nullptr);
@@ -142,13 +200,36 @@ std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
       out.plan.kind = *options_.forced_engine;
       out.plan.reason = "forced by BatchOptions";
     } else {
-      out.plan = PlanQuery(job.query, options_.planner);
+      const std::vector<int> key = CanonicalQueryKey(job.query);
+      bool cached = false;
+      {
+        std::lock_guard<std::mutex> lock(plan_mu);
+        const auto it = plan_cache.find(key);
+        if (it != plan_cache.end()) {
+          out.plan = it->second;
+          cached = true;
+        }
+      }
+      if (!cached) {
+        out.plan = PlanQuery(job.query, options_.planner);
+        std::lock_guard<std::mutex> lock(plan_mu);
+        plan_cache.emplace(key, out.plan);
+      } else {
+        out.plan_cached = true;
+        plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     out.engine = out.plan.kind;
     out.plan_ms = MsSince(plan_start);
 
     const auto eval_start = std::chrono::steady_clock::now();
-    out.answers = engine_for(out.engine).Evaluate(job.query, *job.db);
+    const Engine& engine = engine_for(out.engine);
+    if (options_.engine.use_index) {
+      const IndexedDatabase& idb = *indexed.at(job.db);
+      out.answers = engine.Evaluate(job.query, idb, &out.eval);
+    } else {
+      out.answers = engine.Evaluate(job.query, *job.db, &out.eval);
+    }
     out.eval_ms = MsSince(eval_start);
   };
 
@@ -184,9 +265,14 @@ std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
     stats->wall_ms = MsSince(run_start);
     stats->jobs = static_cast<int>(jobs.size());
     stats->threads_used = jobs.empty() ? 0 : std::max(threads, 1);
+    stats->plan_cache_hits = plan_cache_hits.load();
     for (const BatchResult& r : results) {
       stats->total_eval_ms += r.eval_ms;
       stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
+      stats->eval.Add(r.eval);
+    }
+    for (const auto& [db, idb] : indexed) {
+      stats->index_bytes += idb->stats().bytes;
     }
   }
   return results;

@@ -3,7 +3,11 @@
 // automatic planner and a multi-threaded batch evaluator. This is the seam
 // production features (sharding, caching, async serving) plug into: callers
 // submit (query, database) jobs and get AnswerSets plus per-job stats back,
-// without caring which algorithm ran.
+// without caring which algorithm ran. Every engine has two matching modes:
+// scan (the paper-faithful baseline) and indexed (RelationIndex probes via a
+// shared IndexedDatabase view); the batch evaluator shares one immutable
+// index cache per database across its worker threads and caches planner
+// decisions by canonical query shape.
 
 #ifndef CQA_EVAL_ENGINE_H_
 #define CQA_EVAL_ENGINE_H_
@@ -15,7 +19,9 @@
 
 #include "cq/cq.h"
 #include "data/database.h"
+#include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_stats.h"
 
 namespace cqa {
 
@@ -29,6 +35,22 @@ enum class EngineKind {
 /// Stable display name ("naive", "yannakakis", "treewidth").
 const char* EngineKindName(EngineKind kind);
 
+/// Evaluation-mode knobs shared by all engines.
+struct EngineOptions {
+  /// Evaluate through RelationIndex probes (same answers, different speed).
+  bool use_index = true;
+  /// Memory budget for the per-database index cache; once exceeded, further
+  /// structures are not built and evaluation falls back to scanning.
+  size_t index_max_bytes = size_t{1} << 30;
+
+  IndexOptions ToIndexOptions() const {
+    IndexOptions opts;
+    opts.enabled = use_index;
+    opts.max_bytes = index_max_bytes;
+    return opts;
+  }
+};
+
 /// A single evaluation algorithm behind a uniform interface.
 class Engine {
  public:
@@ -41,9 +63,15 @@ class Engine {
   /// the others accept every CQ).
   virtual bool Supports(const ConjunctiveQuery& q) const = 0;
 
-  /// Computes Q(D). CHECK-fails if !Supports(q).
+  /// Computes Q(D) by the scan-based path. CHECK-fails if !Supports(q).
+  virtual AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
+                             EvalStats* stats = nullptr) const = 0;
+
+  /// Computes Q(D) probing `idb`'s cached indexes (building them lazily).
+  /// Identical answers to the scan path. CHECK-fails if !Supports(q).
   virtual AnswerSet Evaluate(const ConjunctiveQuery& q,
-                             const Database& db) const = 0;
+                             const IndexedDatabase& idb,
+                             EvalStats* stats = nullptr) const = 0;
 };
 
 /// Engine factory.
@@ -78,6 +106,13 @@ PlanDecision PlanQuery(const ConjunctiveQuery& q,
 std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
                                    const PlannerOptions& opts = {});
 
+/// The canonical shape key the batch plan cache uses: atoms in query order
+/// with variables renamed by first occurrence, then the renamed free tuple.
+/// Queries that differ only in variable numbering share a key (planning
+/// depends on structure only); atom order is preserved, so it is a cheap
+/// shape key, not a full isomorphism canonical form.
+std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q);
+
 /// One unit of batch work. `db` is borrowed and must outlive the run; many
 /// jobs may share one database.
 struct BatchJob {
@@ -90,8 +125,10 @@ struct BatchResult {
   AnswerSet answers = AnswerSet(0);
   EngineKind engine = EngineKind::kNaive;  ///< engine that produced `answers`
   PlanDecision plan;                       ///< planner verdict (if planned)
-  double plan_ms = 0.0;                    ///< planning wall time
-  double eval_ms = 0.0;                    ///< evaluation wall time
+  bool plan_cached = false;  ///< plan came from the batch plan cache
+  EvalStats eval;            ///< per-job evaluation counters
+  double plan_ms = 0.0;      ///< planning wall time
+  double eval_ms = 0.0;      ///< evaluation wall time
 };
 
 /// Aggregate timing over a batch run.
@@ -101,6 +138,9 @@ struct BatchStats {
   double max_job_ms = 0.0;     ///< slowest single job (plan + eval)
   int jobs = 0;
   int threads_used = 0;
+  long long plan_cache_hits = 0;  ///< jobs planned from the cache
+  EvalStats eval;                 ///< summed per-job evaluation counters
+  long long index_bytes = 0;      ///< footprint of the shared index caches
 };
 
 /// Batch evaluator options.
@@ -111,11 +151,15 @@ struct BatchOptions {
   /// (jobs the engine does not Support fall back to the planner).
   std::optional<EngineKind> forced_engine;
   PlannerOptions planner;
+  EngineOptions engine;
 };
 
 /// Fans a vector of jobs across a std::thread pool. Results are indexed like
 /// the input jobs and are bit-identical to a sequential run: each evaluator
-/// is deterministic and jobs never share mutable state.
+/// is deterministic and jobs never share mutable state. When indexing is on,
+/// one immutable IndexedDatabase per distinct database is shared by all
+/// worker threads; planner decisions are cached by CanonicalQueryKey so
+/// repeated query shapes plan once.
 class BatchEvaluator {
  public:
   explicit BatchEvaluator(BatchOptions options = {});

@@ -10,10 +10,19 @@ namespace {
 struct NaiveContext {
   const ConjunctiveQuery* q;
   const Database* db;
+  const IndexedDatabase* idb = nullptr;  // null = scan-based matching
   std::vector<int> atom_order;
   std::vector<Element> assignment;  // -1 = unbound
+  // Per depth: the bound-position mask of the atom (0 = scan), the
+  // variables supplying the probe key (aligned with the index's
+  // bound_positions()), and the index itself — fetched lazily on first
+  // reach of the depth, so searches that exit early never pay for builds.
+  std::vector<BoundMask> depth_mask;
+  std::vector<std::vector<int>> depth_key_vars;
+  std::vector<const RelationIndex*> depth_index;
+  std::vector<char> depth_fetched;
   AnswerSet* answers;
-  NaiveStats* stats;
+  EvalStats* stats;
   bool boolean_early_exit = false;
   bool found = false;
 };
@@ -47,6 +56,42 @@ std::vector<int> OrderAtoms(const ConjunctiveQuery& q) {
   return order;
 }
 
+// The set of variables bound before each depth is fixed by the atom order
+// (plus any pre-bound assignment), so the (relation, bound-set) pair of
+// every depth is known up front. Only the masks are computed here; the
+// indexes themselves are fetched lazily when the search first reaches the
+// depth (see Backtrack).
+void PrepareIndexes(NaiveContext* ctx) {
+  const size_t depths = ctx->atom_order.size();
+  ctx->depth_mask.assign(depths, 0);
+  ctx->depth_key_vars.assign(depths, {});
+  ctx->depth_index.assign(depths, nullptr);
+  ctx->depth_fetched.assign(depths, 0);
+  if (ctx->idb == nullptr) return;
+  std::vector<bool> bound(ctx->q->num_variables(), false);
+  for (int v = 0; v < ctx->q->num_variables(); ++v) {
+    bound[v] = ctx->assignment[v] >= 0;
+  }
+  for (size_t d = 0; d < depths; ++d) {
+    const Atom& atom = ctx->q->atoms()[ctx->atom_order[d]];
+    std::vector<int> positions;
+    std::vector<int> key_vars;
+    if (static_cast<int>(atom.vars.size()) <= kMaxIndexableArity) {
+      for (size_t p = 0; p < atom.vars.size(); ++p) {
+        if (bound[atom.vars[p]]) {
+          positions.push_back(static_cast<int>(p));
+          key_vars.push_back(atom.vars[p]);
+        }
+      }
+    }
+    if (!positions.empty()) {
+      ctx->depth_mask[d] = MaskOfPositions(positions);
+      ctx->depth_key_vars[d] = std::move(key_vars);
+    }
+    for (const int v : atom.vars) bound[v] = true;
+  }
+}
+
 void Backtrack(NaiveContext* ctx, size_t depth) {
   if (ctx->stats != nullptr) ++ctx->stats->nodes;
   if (ctx->found && ctx->boolean_early_exit) return;
@@ -62,7 +107,37 @@ void Backtrack(NaiveContext* ctx, size_t depth) {
     return;
   }
   const Atom& atom = ctx->q->atoms()[ctx->atom_order[depth]];
-  for (const Tuple& fact : ctx->db->facts(atom.rel)) {
+  const std::vector<Tuple>& facts = ctx->db->facts(atom.rel);
+
+  // Candidate facts: a bucket probe when an index covers this depth's bound
+  // positions, the full fact list otherwise.
+  const std::vector<int>* bucket = nullptr;
+  const RelationIndex* index = nullptr;
+  if (ctx->depth_mask[depth] != 0) {
+    if (!ctx->depth_fetched[depth]) {
+      bool built = false;
+      ctx->depth_index[depth] =
+          ctx->idb->Index(atom.rel, ctx->depth_mask[depth], &built);
+      ctx->depth_fetched[depth] = 1;
+      if (ctx->stats != nullptr && built) ++ctx->stats->index_builds;
+    }
+    index = ctx->depth_index[depth];
+  }
+  if (index != nullptr) {
+    const std::vector<int>& key_vars = ctx->depth_key_vars[depth];
+    Tuple key(key_vars.size());
+    for (size_t i = 0; i < key_vars.size(); ++i) {
+      key[i] = ctx->assignment[key_vars[i]];
+    }
+    if (ctx->stats != nullptr) ++ctx->stats->index_probes;
+    bucket = index->Probe(key);
+    if (bucket == nullptr) return;  // no fact matches the bound positions
+    if (ctx->stats != nullptr) ++ctx->stats->index_hits;
+  }
+
+  const size_t candidates = index != nullptr ? bucket->size() : facts.size();
+  for (size_t c = 0; c < candidates; ++c) {
+    const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
     // Try to unify the atom with this fact.
     std::vector<int> newly_bound;
     bool ok = true;
@@ -84,36 +159,60 @@ void Backtrack(NaiveContext* ctx, size_t depth) {
   }
 }
 
-}  // namespace
-
-AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
-                        NaiveStats* stats) {
+AnswerSet RunNaive(const ConjunctiveQuery& q, const Database& db,
+                   const IndexedDatabase* idb, EvalStats* stats) {
   q.Validate();
   AnswerSet answers(static_cast<int>(q.free_variables().size()));
   NaiveContext ctx;
   ctx.q = &q;
   ctx.db = &db;
+  ctx.idb = idb;
   ctx.atom_order = OrderAtoms(q);
   ctx.assignment.assign(q.num_variables(), -1);
   ctx.answers = &answers;
   ctx.stats = stats;
+  PrepareIndexes(&ctx);
   Backtrack(&ctx, 0);
   return answers;
 }
 
-bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
-                          NaiveStats* stats) {
+bool RunNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
+                     const IndexedDatabase* idb, EvalStats* stats) {
   q.Validate();
   NaiveContext ctx;
   ctx.q = &q;
   ctx.db = &db;
+  ctx.idb = idb;
   ctx.atom_order = OrderAtoms(q);
   ctx.assignment.assign(q.num_variables(), -1);
   ctx.answers = nullptr;
   ctx.stats = stats;
   ctx.boolean_early_exit = true;
+  PrepareIndexes(&ctx);
   Backtrack(&ctx, 0);
   return ctx.found;
+}
+
+}  // namespace
+
+AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
+                        EvalStats* stats) {
+  return RunNaive(q, db, /*idb=*/nullptr, stats);
+}
+
+AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const IndexedDatabase& idb,
+                        EvalStats* stats) {
+  return RunNaive(q, idb.db(), &idb, stats);
+}
+
+bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
+                          EvalStats* stats) {
+  return RunNaiveBoolean(q, db, /*idb=*/nullptr, stats);
+}
+
+bool EvaluateNaiveBoolean(const ConjunctiveQuery& q,
+                          const IndexedDatabase& idb, EvalStats* stats) {
+  return RunNaiveBoolean(q, idb.db(), &idb, stats);
 }
 
 bool AnswerContains(const ConjunctiveQuery& q, const Database& db,
@@ -135,6 +234,7 @@ bool AnswerContains(const ConjunctiveQuery& q, const Database& db,
   ctx.answers = nullptr;
   ctx.stats = nullptr;
   ctx.boolean_early_exit = true;
+  PrepareIndexes(&ctx);
   Backtrack(&ctx, 0);
   return ctx.found;
 }

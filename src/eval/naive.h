@@ -1,30 +1,44 @@
 // The baseline evaluation engine: backtracking join with combined
 // complexity |D|^O(|Q|) (paper, Introduction). This is the comparator the
-// approximations are designed to beat; it is intentionally generic and
-// index-light.
+// approximations are designed to beat. Two matching modes share one search:
+// the scan mode tries every fact of the current atom's relation, while the
+// indexed mode probes a RelationIndex for the atom's bound positions and
+// tries only the facts that can still match (same answers, same enumeration
+// order restricted to survivors).
 
 #ifndef CQA_EVAL_NAIVE_H_
 #define CQA_EVAL_NAIVE_H_
 
 #include "cq/cq.h"
 #include "data/database.h"
+#include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_stats.h"
 
 namespace cqa {
 
-/// Statistics of a naive evaluation run.
-struct NaiveStats {
-  long long nodes = 0;  ///< search-tree nodes explored
-};
+/// Backwards-compatible name for the naive evaluator's counters.
+using NaiveStats = EvalStats;
 
 /// Computes Q(D) by backtracking over atoms (connected order, scan-based
 /// matching). Exact but exponential in |Q|.
 AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
-                        NaiveStats* stats = nullptr);
+                        EvalStats* stats = nullptr);
+
+/// Indexed variant: probes `idb` for the bound positions of each atom
+/// (built lazily, cached on the view). Falls back to scanning per atom when
+/// the view declines to index (disabled / over budget / nothing bound).
+AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const IndexedDatabase& idb,
+                        EvalStats* stats = nullptr);
 
 /// Boolean early-exit variant: stops at the first witness.
 bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
-                          NaiveStats* stats = nullptr);
+                          EvalStats* stats = nullptr);
+
+/// Indexed Boolean early-exit variant.
+bool EvaluateNaiveBoolean(const ConjunctiveQuery& q,
+                          const IndexedDatabase& idb,
+                          EvalStats* stats = nullptr);
 
 /// Membership test: is `answer` in Q(D)?
 bool AnswerContains(const ConjunctiveQuery& q, const Database& db,

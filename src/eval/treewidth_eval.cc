@@ -13,27 +13,45 @@ namespace cqa {
 namespace {
 
 // Candidate values per variable: elements occurring at the variable's
-// positions in its atoms' relations (intersection across occurrences).
+// positions in its atoms' relations (intersection across occurrences). With
+// a view, per-column value lists come from its cache (built once per
+// (relation, position), shared across queries and jobs).
 std::vector<std::vector<Element>> VariableCandidates(
-    const ConjunctiveQuery& q, const Database& db) {
+    const ConjunctiveQuery& q, const Database& db, const IndexedDatabase* idb,
+    EvalStats* stats) {
   const int n = q.num_variables();
   std::vector<std::vector<Element>> candidates(n);
   std::vector<bool> seeded(n, false);
   for (const Atom& atom : q.atoms()) {
-    const auto& facts = db.facts(atom.rel);
     for (size_t pos = 0; pos < atom.vars.size(); ++pos) {
       const int v = atom.vars[pos];
-      std::vector<Element> values;
-      for (const Tuple& t : facts) values.push_back(t[pos]);
-      std::sort(values.begin(), values.end());
-      values.erase(std::unique(values.begin(), values.end()), values.end());
+      std::vector<Element> local;
+      const std::vector<Element>* values = nullptr;
+      if (idb != nullptr) {
+        bool built = false;
+        values =
+            idb->ColumnValues(atom.rel, static_cast<int>(pos), &built);
+        if (stats != nullptr && values != nullptr) {
+          if (built) {
+            ++stats->index_builds;
+          } else {
+            ++stats->table_reuses;
+          }
+        }
+      }
+      if (values == nullptr) {
+        for (const Tuple& t : db.facts(atom.rel)) local.push_back(t[pos]);
+        std::sort(local.begin(), local.end());
+        local.erase(std::unique(local.begin(), local.end()), local.end());
+        values = &local;
+      }
       if (!seeded[v]) {
-        candidates[v] = std::move(values);
+        candidates[v] = *values;
         seeded[v] = true;
       } else {
         std::vector<Element> merged;
         std::set_intersection(candidates[v].begin(), candidates[v].end(),
-                              values.begin(), values.end(),
+                              values->begin(), values->end(),
                               std::back_inserter(merged));
         candidates[v] = std::move(merged);
       }
@@ -75,10 +93,143 @@ VarTable BagTable(const std::vector<int>& bag,
   return out;
 }
 
-}  // namespace
+// Indexed bag materialization: a mini backtracking search over the bag's
+// atoms (probing the relation index for the positions bound so far, exactly
+// like the naive engine) followed by candidate enumeration of bag variables
+// no in-bag atom constrains. The resulting table may be a superset of the
+// scan-based bag table (scan also filters atom-bound variables through their
+// global candidate lists), but the join over all bags — and hence the final
+// answer set — is identical: every satisfying assignment passes both.
+VarTable IndexedBagTable(const std::vector<int>& bag,
+                         const std::vector<const Atom*>& bag_atoms,
+                         const std::vector<std::vector<Element>>& candidates,
+                         const IndexedDatabase& idb, EvalStats* stats) {
+  const Database& db = idb.db();
+  VarTable out;
+  out.vars = bag;
 
-AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
-                            const TreeDecomposition& td) {
+  const auto rank_of = [&](int v) {
+    const auto it = std::lower_bound(bag.begin(), bag.end(), v);
+    CQA_CHECK(it != bag.end() && *it == v);
+    return static_cast<size_t>(it - bag.begin());
+  };
+
+  // Greedy connected atom order within the bag (most bound vars first).
+  const int m = static_cast<int>(bag_atoms.size());
+  std::vector<bool> used(m, false);
+  std::vector<bool> bound(bag.size(), false);
+  std::vector<int> order;
+  order.reserve(m);
+  for (int step = 0; step < m; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const int v : bag_atoms[i]->vars) {
+        if (bound[rank_of(v)]) score += 2;
+      }
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const int v : bag_atoms[best]->vars) bound[rank_of(v)] = true;
+  }
+
+  // Per-depth indexes over the positions bound at entry (cf. eval/naive).
+  std::vector<const RelationIndex*> depth_index(m, nullptr);
+  std::vector<std::vector<size_t>> depth_key_ranks(m);
+  std::fill(bound.begin(), bound.end(), false);
+  for (int d = 0; d < m; ++d) {
+    const Atom& atom = *bag_atoms[order[d]];
+    if (static_cast<int>(atom.vars.size()) > kMaxIndexableArity) {
+      for (const int v : atom.vars) bound[rank_of(v)] = true;
+      continue;  // too wide for a bound mask: scan this atom
+    }
+    std::vector<int> positions;
+    std::vector<size_t> key_ranks;
+    for (size_t p = 0; p < atom.vars.size(); ++p) {
+      if (bound[rank_of(atom.vars[p])]) {
+        positions.push_back(static_cast<int>(p));
+        key_ranks.push_back(rank_of(atom.vars[p]));
+      }
+    }
+    if (!positions.empty()) {
+      bool built = false;
+      depth_index[d] =
+          idb.Index(atom.rel, MaskOfPositions(positions), &built);
+      depth_key_ranks[d] = std::move(key_ranks);
+      if (stats != nullptr && built) ++stats->index_builds;
+    }
+    for (const int v : atom.vars) bound[rank_of(v)] = true;
+  }
+
+  // Bag variables no in-bag atom constrains: enumerated from candidates.
+  std::vector<size_t> leftover;
+  for (size_t r = 0; r < bag.size(); ++r) {
+    if (!bound[r]) leftover.push_back(r);
+  }
+
+  Tuple row(bag.size(), -1);
+  std::function<void(size_t)> fill_leftover = [&](size_t i) {
+    if (i == leftover.size()) {
+      out.rows.push_back(row);
+      return;
+    }
+    for (const Element e : candidates[bag[leftover[i]]]) {
+      row[leftover[i]] = e;
+      fill_leftover(i + 1);
+    }
+    row[leftover[i]] = -1;
+  };
+  std::function<void(size_t)> search = [&](size_t depth) {
+    if (stats != nullptr) ++stats->nodes;
+    if (depth == static_cast<size_t>(m)) {
+      fill_leftover(0);
+      return;
+    }
+    const Atom& atom = *bag_atoms[order[depth]];
+    const std::vector<Tuple>& facts = db.facts(atom.rel);
+    const std::vector<int>* bucket = nullptr;
+    const RelationIndex* index = depth_index[depth];
+    if (index != nullptr) {
+      const std::vector<size_t>& key_ranks = depth_key_ranks[depth];
+      Tuple key(key_ranks.size());
+      for (size_t i = 0; i < key_ranks.size(); ++i) key[i] = row[key_ranks[i]];
+      if (stats != nullptr) ++stats->index_probes;
+      bucket = index->Probe(key);
+      if (bucket == nullptr) return;
+      if (stats != nullptr) ++stats->index_hits;
+    }
+    const size_t n_cand = index != nullptr ? bucket->size() : facts.size();
+    for (size_t c = 0; c < n_cand; ++c) {
+      const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
+      std::vector<size_t> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < fact.size(); ++i) {
+        const size_t r = rank_of(atom.vars[i]);
+        if (row[r] < 0) {
+          row[r] = fact[i];
+          newly_bound.push_back(r);
+        } else if (row[r] != fact[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) search(depth + 1);
+      for (const size_t r : newly_bound) row[r] = -1;
+    }
+  };
+  search(0);
+  return out;
+}
+
+AnswerSet RunTreewidth(const ConjunctiveQuery& q, const Database& db,
+                       const IndexedDatabase* idb,
+                       const TreeDecomposition& td, EvalStats* stats) {
   q.Validate();
   CQA_CHECK(ValidateTreeDecomposition(td, GraphOfQuery(q)));
   const int b = static_cast<int>(td.bags.size());
@@ -102,10 +253,13 @@ AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
     atoms_of_bag[chosen].push_back(&atom);
   }
 
-  const auto candidates = VariableCandidates(q, db);
+  const auto candidates = VariableCandidates(q, db, idb, stats);
   std::vector<VarTable> tables(b);
   for (int i = 0; i < b; ++i) {
-    tables[i] = BagTable(td.bags[i], atoms_of_bag[i], candidates, db);
+    tables[i] = idb != nullptr
+                    ? IndexedBagTable(td.bags[i], atoms_of_bag[i], candidates,
+                                      *idb, stats)
+                    : BagTable(td.bags[i], atoms_of_bag[i], candidates, db);
   }
 
   // Orient the decomposition forest.
@@ -134,11 +288,31 @@ AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
       }
     }
   }
-  return EvaluateJoinForest(std::move(tables), parent, q.free_variables());
+  return EvaluateJoinForest(std::move(tables), parent, q.free_variables(),
+                            idb, stats);
+}
+
+}  // namespace
+
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
+                            const TreeDecomposition& td) {
+  return RunTreewidth(q, db, /*idb=*/nullptr, td, /*stats=*/nullptr);
 }
 
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db) {
   return EvaluateTreewidth(q, db, MinFillDecomposition(GraphOfQuery(q)));
+}
+
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
+                            const IndexedDatabase& idb,
+                            const TreeDecomposition& td, EvalStats* stats) {
+  return RunTreewidth(q, idb.db(), &idb, td, stats);
+}
+
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
+                            const IndexedDatabase& idb, EvalStats* stats) {
+  return EvaluateTreewidth(q, idb, MinFillDecomposition(GraphOfQuery(q)),
+                           stats);
 }
 
 }  // namespace cqa

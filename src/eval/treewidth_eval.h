@@ -1,15 +1,20 @@
 // Bounded-treewidth CQ evaluation (paper, Introduction; [11, 16, 30]):
 // materialize a table per bag of a tree decomposition of G(Q)
 // (O(|D|^{k+1}) work for width k), then run the acyclic join-forest DP over
-// the decomposition tree.
+// the decomposition tree. The indexed variant materializes bags by a
+// backtracking search that probes relation indexes for the bound positions
+// of each in-bag atom (instead of enumerating the candidate product) and
+// draws per-column candidate values from the view's cache.
 
 #ifndef CQA_EVAL_TREEWIDTH_EVAL_H_
 #define CQA_EVAL_TREEWIDTH_EVAL_H_
 
 #include "cq/cq.h"
 #include "data/database.h"
+#include "data/index.h"
 #include "decomp/tree_decomposition.h"
 #include "eval/answer_set.h"
+#include "eval/eval_stats.h"
 
 namespace cqa {
 
@@ -20,6 +25,15 @@ AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
 
 /// Convenience: builds a min-fill decomposition internally.
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db);
+
+/// Indexed variants: same answers as the scan versions on every input.
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
+                            const IndexedDatabase& idb,
+                            const TreeDecomposition& td,
+                            EvalStats* stats = nullptr);
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
+                            const IndexedDatabase& idb,
+                            EvalStats* stats = nullptr);
 
 }  // namespace cqa
 

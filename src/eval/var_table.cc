@@ -78,41 +78,116 @@ VarTable AtomMatches(const Atom& atom, const Database& db) {
     if (ok) out.rows.push_back(std::move(row));
   }
   DedupRows(&out);
+  // Repeat-free atoms leave the table pristine: record where each variable
+  // sits in the fact so semijoins can probe a relation index later.
+  if (out.vars.size() == atom.vars.size()) {
+    out.source_rel = atom.rel;
+    out.source_pos.resize(out.vars.size());
+    for (size_t i = 0; i < atom.vars.size(); ++i) {
+      out.source_pos[pos_of_var[i]] = static_cast<int>(i);
+    }
+  }
   return out;
 }
 
 VarTable IntersectSameVars(const VarTable& a, const VarTable& b) {
   CQA_CHECK(a.vars == b.vars);
-  std::unordered_set<Tuple, VectorHash> in_b(b.rows.begin(), b.rows.end());
+  std::unordered_set<Tuple, VectorHash> in_b(b.Rows().begin(),
+                                             b.Rows().end());
   VarTable out;
   out.vars = a.vars;
-  for (const Tuple& row : a.rows) {
+  for (const Tuple& row : a.Rows()) {
     if (in_b.count(row) > 0) out.rows.push_back(row);
   }
   return out;
 }
 
-bool SemijoinInPlace(VarTable* a, const VarTable& b) {
+namespace {
+
+// Replaces a's rows with the surviving subset (noted by index). No-op —
+// keeping borrows and pristine sources intact — when nothing was removed.
+bool ApplySurvivors(VarTable* a, const std::vector<size_t>& kept_idx) {
+  const std::vector<Tuple>& rows = a->Rows();
+  if (kept_idx.size() == rows.size()) return false;
+  std::vector<Tuple> kept;
+  kept.reserve(kept_idx.size());
+  if (a->borrowed != nullptr) {
+    for (const size_t i : kept_idx) kept.push_back((*a->borrowed)[i]);
+    a->borrowed = nullptr;
+  } else {
+    for (const size_t i : kept_idx) kept.push_back(std::move(a->rows[i]));
+  }
+  a->rows = std::move(kept);
+  a->ClearSource();
+  return true;
+}
+
+}  // namespace
+
+bool SemijoinInPlace(VarTable* a, const VarTable& b,
+                     const IndexedDatabase* idb, EvalStats* stats) {
   const std::vector<int> shared = SharedVars(a->vars, b.vars);
   if (shared.empty()) {
     // Degenerate semijoin: keep a iff b nonempty.
-    if (!b.rows.empty()) return false;
-    const bool removed = !a->rows.empty();
+    if (!b.Rows().empty()) return false;
+    const bool removed = !a->Rows().empty();
     a->rows.clear();
+    a->borrowed = nullptr;
+    if (removed) a->ClearSource();
     return removed;
   }
+
+  // Probe path: b is a pristine atom table, so "agrees with some row of b"
+  // is "some fact of b's relation has these values at the shared positions"
+  // — one index probe per row of a, no key set over b.
+  if (idb != nullptr && b.source_rel >= 0 &&
+      idb->db().vocab()->arity(b.source_rel) <= kMaxIndexableArity) {
+    const std::vector<int> rank_b = PositionsOf(shared, b.vars);
+    // Key components must follow ascending fact position; carry the shared
+    // var along so a's probe key can be assembled in the same order.
+    std::vector<std::pair<int, int>> pos_and_var;  // (fact position, var)
+    pos_and_var.reserve(shared.size());
+    for (size_t i = 0; i < shared.size(); ++i) {
+      pos_and_var.emplace_back(b.source_pos[rank_b[i]], shared[i]);
+    }
+    std::sort(pos_and_var.begin(), pos_and_var.end());
+    std::vector<int> positions;
+    std::vector<int> key_vars;
+    for (const auto& [pos, var] : pos_and_var) {
+      positions.push_back(pos);
+      key_vars.push_back(var);
+    }
+    bool built = false;
+    const RelationIndex* index =
+        idb->Index(b.source_rel, MaskOfPositions(positions), &built);
+    if (index != nullptr) {
+      if (stats != nullptr && built) ++stats->index_builds;
+      const std::vector<int> pos_a = PositionsOf(key_vars, a->vars);
+      const std::vector<Tuple>& rows = a->Rows();
+      std::vector<size_t> kept_idx;
+      kept_idx.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (stats != nullptr) ++stats->index_probes;
+        if (index->Probe(Select(rows[i], pos_a)) != nullptr) {
+          if (stats != nullptr) ++stats->index_hits;
+          kept_idx.push_back(i);
+        }
+      }
+      return ApplySurvivors(a, kept_idx);
+    }
+  }
+
   const std::vector<int> pos_a = PositionsOf(shared, a->vars);
   const std::vector<int> pos_b = PositionsOf(shared, b.vars);
   std::unordered_set<Tuple, VectorHash> keys;
-  for (const Tuple& row : b.rows) keys.insert(Select(row, pos_b));
-  std::vector<Tuple> kept;
-  kept.reserve(a->rows.size());
-  for (Tuple& row : a->rows) {
-    if (keys.count(Select(row, pos_a)) > 0) kept.push_back(std::move(row));
+  for (const Tuple& row : b.Rows()) keys.insert(Select(row, pos_b));
+  const std::vector<Tuple>& rows = a->Rows();
+  std::vector<size_t> kept_idx;
+  kept_idx.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (keys.count(Select(rows[i], pos_a)) > 0) kept_idx.push_back(i);
   }
-  const bool removed = kept.size() != a->rows.size();
-  a->rows = std::move(kept);
-  return removed;
+  return ApplySurvivors(a, kept_idx);
 }
 
 VarTable JoinProject(const VarTable& a, const VarTable& b,
@@ -125,7 +200,7 @@ VarTable JoinProject(const VarTable& a, const VarTable& b,
   const std::vector<int> pos_b = PositionsOf(shared, b.vars);
   // Hash b by its shared-variable key.
   std::unordered_map<Tuple, std::vector<const Tuple*>, VectorHash> index;
-  for (const Tuple& row : b.rows) {
+  for (const Tuple& row : b.Rows()) {
     index[Select(row, pos_b)].push_back(&row);
   }
   // For composing output rows.
@@ -135,7 +210,7 @@ VarTable JoinProject(const VarTable& a, const VarTable& b,
   VarTable out;
   out.vars = keep_vars;
   Tuple combined(all_vars.size());
-  for (const Tuple& row_a : a.rows) {
+  for (const Tuple& row_a : a.Rows()) {
     const auto it = index.find(Select(row_a, pos_a));
     if (it == index.end()) continue;
     for (const Tuple* row_b : it->second) {
@@ -156,15 +231,16 @@ VarTable Project(const VarTable& a, const std::vector<int>& keep_vars) {
   const std::vector<int> pos = PositionsOf(keep_vars, a.vars);
   VarTable out;
   out.vars = keep_vars;
-  out.rows.reserve(a.rows.size());
-  for (const Tuple& row : a.rows) out.rows.push_back(Select(row, pos));
+  out.rows.reserve(a.Rows().size());
+  for (const Tuple& row : a.Rows()) out.rows.push_back(Select(row, pos));
   DedupRows(&out);
   return out;
 }
 
 AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
                              const std::vector<int>& parent,
-                             const std::vector<int>& free_tuple) {
+                             const std::vector<int>& free_tuple,
+                             const IndexedDatabase* idb, EvalStats* stats) {
   const int n = static_cast<int>(tables.size());
   CQA_CHECK(static_cast<int>(parent.size()) == n);
   AnswerSet answers(static_cast<int>(free_tuple.size()));
@@ -201,13 +277,17 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
   // downward pass.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int u = *it;
-    if (parent[u] >= 0) SemijoinInPlace(&tables[parent[u]], tables[u]);
+    if (parent[u] >= 0) {
+      SemijoinInPlace(&tables[parent[u]], tables[u], idb, stats);
+    }
   }
   for (const int u : order) {
-    for (const int c : children[u]) SemijoinInPlace(&tables[c], tables[u]);
+    for (const int c : children[u]) {
+      SemijoinInPlace(&tables[c], tables[u], idb, stats);
+    }
   }
   for (const int r : roots) {
-    if (tables[r].rows.empty()) return answers;  // no matches at all
+    if (tables[r].Rows().empty()) return answers;  // no matches at all
   }
 
   // Bottom-up join-project: at node u keep (free vars in u's subtree) ∪
@@ -224,9 +304,35 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
       subtree_vars[u] = std::move(merged);
     }
   }
+  // A subtree only needs to enter the join-project DP if it contributes an
+  // output variable beyond its parent's scope: after the full reduction the
+  // forest is globally consistent (Beeri–Fagin–Maier–Yannakakis), so every
+  // surviving parent row extends into such a subtree and joining it would
+  // neither filter rows nor bind new output variables.
+  std::vector<bool> needed(n, false);
+  for (const int u : order) {  // parents before children
+    if (parent[u] < 0) {
+      needed[u] = true;
+      continue;
+    }
+    if (!needed[parent[u]]) continue;
+    std::vector<int> out;
+    std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                          free_vars.begin(), free_vars.end(),
+                          std::back_inserter(out));
+    const auto& up = tables[parent[u]].vars;
+    for (const int v : out) {
+      if (!std::binary_search(up.begin(), up.end(), v)) {
+        needed[u] = true;
+        break;
+      }
+    }
+  }
+
   std::vector<VarTable> solved(n);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int u = *it;
+    if (!needed[u]) continue;
     // Keep: free vars within subtree(u), plus vars shared with parent.
     std::vector<int> keep;
     std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
@@ -245,6 +351,7 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
     }
     VarTable acc = tables[u];
     for (const int c : children[u]) {
+      if (!needed[c]) continue;
       std::vector<int> step_keep;
       std::set_union(keep.begin(), keep.end(), acc.vars.begin(),
                      acc.vars.end(), std::back_inserter(step_keep));
@@ -278,7 +385,7 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
     const auto it = std::lower_bound(free_vars.begin(), free_vars.end(), v);
     tuple_pos.push_back(static_cast<int>(it - free_vars.begin()));
   }
-  for (const Tuple& row : result.rows) {
+  for (const Tuple& row : result.Rows()) {
     Tuple answer(free_tuple.size());
     for (size_t i = 0; i < tuple_pos.size(); ++i) {
       answer[i] = row[tuple_pos[i]];

@@ -10,14 +10,40 @@
 
 #include "cq/cq.h"
 #include "data/database.h"
+#include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_stats.h"
 
 namespace cqa {
 
-/// A relation over a sorted list of distinct query variables.
+/// A relation over a sorted list of distinct query variables. Rows are
+/// either owned (`rows`) or borrowed copy-on-write from a longer-lived cache
+/// (`borrowed`, e.g. IndexedDatabase's projection cache): read through
+/// Rows(); the first actual mutation materializes owned rows.
 struct VarTable {
   std::vector<int> vars;    ///< sorted, distinct
   std::vector<Tuple> rows;  ///< aligned with `vars`, deduplicated
+  /// When set, the table's rows live in an external cache that outlives the
+  /// evaluation; `rows` is ignored until a mutation detaches the borrow.
+  const std::vector<Tuple>* borrowed = nullptr;
+
+  const std::vector<Tuple>& Rows() const {
+    return borrowed != nullptr ? *borrowed : rows;
+  }
+
+  /// When `source_rel >= 0`, the rows are still exactly the unreduced match
+  /// table of a repeat-free atom of that relation: vars[i] occurs at fact
+  /// position source_pos[i]. Semijoins against such a pristine table can
+  /// probe a RelationIndex keyed by the shared variables' fact positions
+  /// instead of materializing a key set. Any mutation of the rows must call
+  /// ClearSource().
+  RelationId source_rel = -1;
+  std::vector<int> source_pos;
+
+  void ClearSource() {
+    source_rel = -1;
+    source_pos.clear();
+  }
 };
 
 /// The matches of a single atom in `db` as a table over the atom's distinct
@@ -28,8 +54,12 @@ VarTable AtomMatches(const Atom& atom, const Database& db);
 VarTable IntersectSameVars(const VarTable& a, const VarTable& b);
 
 /// Semijoin a ⋉ b: keeps rows of `a` that agree with some row of `b` on the
-/// shared variables. Returns true if rows were removed.
-bool SemijoinInPlace(VarTable* a, const VarTable& b);
+/// shared variables. Returns true if rows were removed. When `idb` is given
+/// and `b` is pristine (source_rel set), the filter probes the relation
+/// index for b's shared positions instead of building a key set over b.
+bool SemijoinInPlace(VarTable* a, const VarTable& b,
+                     const IndexedDatabase* idb = nullptr,
+                     EvalStats* stats = nullptr);
 
 /// Natural join followed by projection onto `keep_vars` (sorted, must be a
 /// subset of the union of the inputs' variables). Rows deduplicated.
@@ -47,9 +77,13 @@ VarTable Project(const VarTable& a, const std::vector<int>& keep_vars);
 ///    may repeat variables).
 /// Complexity: O(|D|·|Q|) up to output size for acyclic inputs — the
 /// Yannakakis bound the paper's approximations are designed to exploit.
+/// With `idb`, semijoins against pristine atom tables become index probes
+/// (same answers; `stats`, optional, counts the probes).
 AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
                              const std::vector<int>& parent,
-                             const std::vector<int>& free_tuple);
+                             const std::vector<int>& free_tuple,
+                             const IndexedDatabase* idb = nullptr,
+                             EvalStats* stats = nullptr);
 
 }  // namespace cqa
 

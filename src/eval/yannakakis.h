@@ -1,20 +1,32 @@
 // Yannakakis' algorithm for acyclic conjunctive queries [43]: semijoin full
 // reduction over a join tree followed by bottom-up join-project. Combined
 // complexity O(|D| · |Q|) up to output size — the bound that makes acyclic
-// approximations worth computing (paper, Introduction).
+// approximations worth computing (paper, Introduction). The indexed variant
+// pulls its per-atom tables from the IndexedDatabase projection cache
+// (shared across a batch, built once per atom shape) and runs the semijoin
+// reduction with relation-index probes where tables are still pristine.
 
 #ifndef CQA_EVAL_YANNAKAKIS_H_
 #define CQA_EVAL_YANNAKAKIS_H_
 
 #include "cq/cq.h"
 #include "data/database.h"
+#include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_stats.h"
 
 namespace cqa {
 
 /// Computes Q(D) for an acyclic q (CHECK-fails on cyclic queries; test with
 /// IsAcyclicQuery first).
 AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db);
+
+/// Indexed variant: atom tables come from the view's cached projections and
+/// the semijoin passes probe relation indexes (same answers as the scan
+/// variant on every input).
+AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q,
+                             const IndexedDatabase& idb,
+                             EvalStats* stats = nullptr);
 
 /// Boolean variant (full reduction only; no output enumeration).
 bool EvaluateYannakakisBoolean(const ConjunctiveQuery& q, const Database& db);

@@ -204,5 +204,109 @@ TEST(BatchEvaluatorTest, EmptyBatch) {
   EXPECT_EQ(stats.threads_used, 0);
 }
 
+// Indexing must be invisible except for speed: the same batch, run with
+// indexes on and off, must produce identical engines and answer sets, both
+// matching the naive reference.
+TEST(BatchEvaluatorTest, IndexedAndScanRunsAgree) {
+  Rng rng(60221023);
+  std::vector<Database> dbs;
+  dbs.push_back(RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true));
+  dbs.push_back(RandomCycleChordDatabase(11, 5, &rng));
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 16; ++i) {
+    const Database* db = &dbs[i % dbs.size()];
+    if (i % 3 == 0) {
+      jobs.push_back({RandomCyclicGraphCQ(3, 2, &rng), db});
+    } else {
+      jobs.push_back({RandomGraphCQ(2 + i % 4, 3 + i % 3, &rng, i % 3), db});
+    }
+  }
+
+  BatchOptions indexed_opts;
+  indexed_opts.num_threads = 4;
+  indexed_opts.engine.use_index = true;
+  BatchOptions scan_opts;
+  scan_opts.num_threads = 4;
+  scan_opts.engine.use_index = false;
+
+  BatchStats indexed_stats, scan_stats;
+  const auto indexed = BatchEvaluator(indexed_opts).Run(jobs, &indexed_stats);
+  const auto scan = BatchEvaluator(scan_opts).Run(jobs, &scan_stats);
+  ASSERT_EQ(indexed.size(), scan.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(indexed[i].engine, scan[i].engine) << "job " << i;
+    EXPECT_TRUE(indexed[i].answers == scan[i].answers) << "job " << i;
+    EXPECT_TRUE(indexed[i].answers ==
+                EvaluateNaive(jobs[i].query, *jobs[i].db))
+        << "job " << i;
+  }
+  EXPECT_GT(indexed_stats.eval.index_probes, 0);
+  EXPECT_GT(indexed_stats.index_bytes, 0);
+  EXPECT_EQ(scan_stats.eval.index_probes, 0);
+  EXPECT_EQ(scan_stats.index_bytes, 0);
+}
+
+TEST(CanonicalQueryKeyTest, RenamingInvariantShapeSensitive) {
+  const VocabularyPtr g = G();
+  ConjunctiveQuery a(g);
+  const int ax = a.AddVariable("x"), ay = a.AddVariable("y");
+  a.AddAtom(0, {ax, ay});
+  a.AddAtom(0, {ay, ax});
+  a.SetFreeVariables({ax});
+  // Same shape, variables created in the opposite order.
+  ConjunctiveQuery b(g);
+  const int by = b.AddVariable("y"), bx = b.AddVariable("x");
+  b.AddAtom(0, {bx, by});
+  b.AddAtom(0, {by, bx});
+  b.SetFreeVariables({bx});
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+  // A genuinely different shape must differ.
+  ConjunctiveQuery c(g);
+  const int cx = c.AddVariable("x"), cy = c.AddVariable("y");
+  c.AddAtom(0, {cx, cy});
+  c.AddAtom(0, {cx, cy});
+  c.SetFreeVariables({cx});
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));
+}
+
+TEST(BatchEvaluatorTest, PlanCacheHitsOnRepeatedShapes) {
+  Rng rng(5150);
+  const Database db = RandomDigraphDatabase(9, 0.3, &rng);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 9; ++i) {
+    jobs.push_back({i % 2 == 0 ? IntroQ2() : IntroQ1(), &db});
+  }
+  BatchOptions opts;
+  opts.num_threads = 1;  // deterministic hit count: 2 misses, 7 hits
+  BatchStats stats;
+  const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+  EXPECT_EQ(stats.plan_cache_hits, 7);
+  EXPECT_FALSE(results[0].plan_cached);
+  EXPECT_FALSE(results[1].plan_cached);
+  for (size_t i = 2; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].plan_cached) << "job " << i;
+  }
+  // Cached plans carry the full decision of the original.
+  EXPECT_EQ(results[2].plan.kind, results[0].plan.kind);
+  EXPECT_EQ(results[2].plan.reason, results[0].plan.reason);
+  // Answers are unaffected by plan caching.
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].answers ==
+                EvaluateNaive(jobs[i].query, *jobs[i].db));
+  }
+}
+
+TEST(BatchEvaluatorTest, ForcedEngineSkipsPlanCache) {
+  Rng rng(5);
+  const Database db = RandomDigraphDatabase(8, 0.3, &rng);
+  std::vector<BatchJob> jobs(4, BatchJob{IntroQ2Approx(), &db});
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.forced_engine = EngineKind::kYannakakis;
+  BatchStats stats;
+  BatchEvaluator(opts).Run(jobs, &stats);
+  EXPECT_EQ(stats.plan_cache_hits, 0);
+}
+
 }  // namespace
 }  // namespace cqa
