@@ -1,0 +1,229 @@
+// Cross-batch caching: the same batch evaluated repeatedly through one
+// shared EvalCache (warm) versus through a fresh cache every time (cold).
+// Warm batches must produce identical answers while reusing the cold run's
+// index views and plans — the wall-time ratio is the point of promoting the
+// per-run caches to a process-lifetime LRU. A second series drives the same
+// jobs through the streaming Submit seam and checks the futures deliver
+// exactly the blocking Run's answers. Pass --quick for a reduced run (CI
+// smoke test) and --csv <path> to mirror the tables into a CSV artifact.
+// Exits nonzero when any answers diverge or a warm batch fails to hit the
+// cache.
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/cache.h"
+#include "eval/engine.h"
+
+namespace cqa {
+namespace {
+
+bool g_all_ok = true;
+
+// Q(x) :- E(x, y1), ..., E(x, yk): acyclic, projection-cache-friendly.
+ConjunctiveQuery StarQuery(int k) {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  for (int i = 0; i < k; ++i) {
+    const int y = q.AddVariable();
+    q.AddAtom(0, {x, y});
+  }
+  q.SetFreeVariables({x});
+  return q;
+}
+
+// Q(x0) :- E(x0, x1), ..., E(x{len-1}, xlen).
+ConjunctiveQuery PathQuery(int len) {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int first = q.AddVariables(len + 1);
+  for (int i = 0; i < len; ++i) q.AddAtom(0, {first + i, first + i + 1});
+  q.SetFreeVariables({first});
+  return q;
+}
+
+// Q(x, y) :- E(x, y), E(y, x): cyclic (width 1), digon enumeration.
+ConjunctiveQuery DigonQuery() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  q.AddAtom(0, {x, y});
+  q.AddAtom(0, {y, x});
+  q.SetFreeVariables({x, y});
+  return q;
+}
+
+// The serving-loop shape: a handful of query templates repeated over a
+// couple of shared databases — plan shapes and index views recur heavily.
+// All templates evaluate in about O(|facts|) probes once structures exist,
+// so the cold batch is dominated by exactly the index/projection builds the
+// shared cache amortizes away.
+std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs,
+                               int num_jobs) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(num_jobs);
+  for (int i = 0; i < num_jobs; ++i) {
+    const Database* db = &dbs[i % dbs.size()];
+    switch (i % 4) {
+      case 0:
+        jobs.push_back({StarQuery(2 + i % 3), db});
+        break;
+      case 1:
+        jobs.push_back({PathQuery(3 + i % 2), db});
+        break;
+      case 2:
+        jobs.push_back({DigonQuery(), db});
+        break;
+      default:
+        jobs.push_back({StarQuery(5), db});
+        break;
+    }
+  }
+  return jobs;
+}
+
+bool SameAnswers(const std::vector<BatchResult>& a,
+                 const std::vector<BatchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].answers == b[i].answers)) return false;
+  }
+  return true;
+}
+
+void RunWarmVsCold(const std::vector<BatchJob>& jobs, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("warm_vs_cold");
+  std::printf(
+      "Warm vs cold batches: one shared EvalCache across batches (warm) vs\n"
+      "a fresh cache per batch (cold). Identical answers required.\n\n");
+  bench::PrintRow({"batch", "wall_ms", "speedup", "idx_hits", "idx_miss",
+                   "cross_plan", "intra_plan", "identical"},
+                  12);
+  bench::PrintRule(8, 12);
+
+  BatchOptions base;
+  base.num_threads = quick ? 2 : 4;
+
+  // Cold reference: every batch pays the full build cost again.
+  BatchOptions cold_opts = base;
+  cold_opts.cache = std::make_shared<EvalCache>();
+  BatchStats cold_stats;
+  const auto reference = BatchEvaluator(cold_opts).Run(jobs, &cold_stats);
+  bench::PrintRow({"cold", Fmt(cold_stats.wall_ms), "1.00",
+                   Fmt(cold_stats.index_cache_hits),
+                   Fmt(cold_stats.index_cache_misses),
+                   Fmt(cold_stats.cross_plan_hits),
+                   Fmt(cold_stats.plan_cache_hits), "ref"},
+                  12);
+
+  // Warm series: batch after batch through one long-lived cache.
+  BatchOptions warm_opts = base;
+  warm_opts.cache = std::make_shared<EvalCache>();
+  const BatchEvaluator warm(warm_opts);
+  const int warm_batches = quick ? 3 : 6;
+  long long total_hits = 0;
+  for (int b = 0; b < warm_batches; ++b) {
+    BatchStats stats;
+    const auto results = warm.Run(jobs, &stats);
+    const bool identical = SameAnswers(results, reference);
+    g_all_ok &= identical;
+    total_hits += stats.index_cache_hits + stats.cross_plan_hits;
+    const double speedup =
+        stats.wall_ms > 1e-9 ? cold_stats.wall_ms / stats.wall_ms : 0.0;
+    bench::PrintRow(
+        {"warm" + std::to_string(b + 1), Fmt(stats.wall_ms), Fmt(speedup),
+         Fmt(stats.index_cache_hits), Fmt(stats.index_cache_misses),
+         Fmt(stats.cross_plan_hits), Fmt(stats.plan_cache_hits),
+         identical ? "yes" : "NO"},
+        12);
+  }
+  // The first warm batch is itself cold; every later one must hit.
+  if (total_hits <= 0) {
+    std::fprintf(stderr, "FAILED: warm batches never hit the shared cache\n");
+    g_all_ok = false;
+  }
+
+  const EvalCacheStats cache_stats = warm_opts.cache->stats();
+  std::printf(
+      "\nshared cache after warm series: views=%lld (%lld bytes), "
+      "index hits/misses=%lld/%lld, plan hits/misses=%lld/%lld, "
+      "evictions=%lld\n",
+      cache_stats.index_entries, cache_stats.index_bytes,
+      cache_stats.index_hits, cache_stats.index_misses, cache_stats.plan_hits,
+      cache_stats.plan_misses, cache_stats.index_evictions);
+}
+
+void RunStreaming(const std::vector<BatchJob>& jobs, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("streaming");
+  std::printf(
+      "\nStreaming Submit vs blocking Run over the same shared cache:\n"
+      "futures must deliver exactly the blocking answers.\n\n");
+
+  BatchOptions opts;
+  opts.num_threads = quick ? 2 : 4;
+  opts.cache = std::make_shared<EvalCache>();
+  BatchEvaluator evaluator(opts);
+
+  BatchStats run_stats;
+  const auto reference = evaluator.Run(jobs, &run_stats);
+
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(jobs.size());
+  const double submit_ms = bench::TimeMs([&] {
+    for (const BatchJob& job : jobs) futures.push_back(evaluator.Submit(job));
+    evaluator.Drain();
+  });
+
+  bool identical = true;
+  long long shared_plan_hits = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const BatchResult result = futures[i].get();
+    identical &= result.answers == reference[i].answers;
+    if (result.plan_source == PlanSource::kSharedCache) ++shared_plan_hits;
+  }
+  g_all_ok &= identical;
+  evaluator.Shutdown();
+
+  bench::PrintRow({"mode", "jobs", "wall_ms", "shared_plan_hits", "identical"},
+                  18);
+  bench::PrintRule(5, 18);
+  bench::PrintRow({"blocking_run", Fmt(static_cast<int>(jobs.size())),
+                   Fmt(run_stats.wall_ms), "-", "ref"},
+                  18);
+  bench::PrintRow({"streaming_submit", Fmt(static_cast<int>(jobs.size())),
+                   Fmt(submit_ms), Fmt(shared_plan_hits),
+                   identical ? "yes" : "NO"},
+                  18);
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
+  std::printf("Cross-batch LRU caching + streaming serving seam (%s mode)\n\n",
+              quick ? "quick" : "full");
+
+  cqa::Rng rng(20260726);
+  std::vector<cqa::Database> dbs;
+  const int n = quick ? 1500 : 6000;
+  dbs.push_back(cqa::RandomDigraphDatabase(n, 6.0 / n, &rng));
+  dbs.push_back(cqa::RandomCycleChordDatabase(n, n / 3, &rng));
+  const std::vector<cqa::BatchJob> jobs = cqa::MakeJobs(dbs, quick ? 12 : 24);
+
+  cqa::RunWarmVsCold(jobs, quick);
+  cqa::RunStreaming(jobs, quick);
+  cqa::bench::CloseCsv();
+  if (!cqa::g_all_ok) {
+    std::fprintf(stderr,
+                 "FAILED: answer divergence or no cross-batch cache hits\n");
+    return 1;
+  }
+  return 0;
+}

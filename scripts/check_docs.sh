@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs consistency check, run by the CI docs job:
+#  1. README.md and docs/ARCHITECTURE.md must exist and be non-empty.
+#  2. Every module directory under src/ must be mentioned in the
+#     architecture doc (as `src/<module>`), so the layer map cannot
+#     silently rot when a module is added.
+#  3. README must link to the architecture doc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for f in README.md docs/ARCHITECTURE.md; do
+  if [ ! -s "$f" ]; then
+    echo "MISSING: $f (required documentation)"
+    fail=1
+  fi
+done
+[ "$fail" -ne 0 ] && exit "$fail"
+
+for dir in src/*/; do
+  mod="$(basename "$dir")"
+  if ! grep -q "src/$mod" docs/ARCHITECTURE.md; then
+    echo "STALE: docs/ARCHITECTURE.md does not mention module src/$mod"
+    fail=1
+  fi
+done
+
+if ! grep -q "docs/ARCHITECTURE.md" README.md; then
+  echo "STALE: README.md does not link to docs/ARCHITECTURE.md"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs check OK: README + ARCHITECTURE present, all $(ls -d src/*/ | wc -l) modules mentioned"
+fi
+exit "$fail"

@@ -16,12 +16,13 @@ Database::Database(VocabularyPtr vocab, int num_elements)
   facts_.resize(vocab_->num_relations());
 }
 
-Element Database::AddElement() { return num_elements_++; }
+Element Database::AddElement() { return AddElements(1); }
 
 Element Database::AddElements(int k) {
   CQA_CHECK(k >= 0);
   const Element first = num_elements_;
   num_elements_ += k;
+  if (k > 0) ++version_;
   return first;
 }
 
@@ -32,6 +33,7 @@ bool Database::AddFact(RelationId rel, Tuple tuple) {
   FactKey key{rel, tuple};
   if (!fact_set_.insert(key).second) return false;
   facts_[rel].push_back(std::move(tuple));
+  ++version_;
   return true;
 }
 
@@ -46,6 +48,25 @@ const std::vector<Tuple>& Database::facts(RelationId rel) const {
 
 long long Database::NumFacts() const {
   return static_cast<long long>(fact_set_.size());
+}
+
+uint64_t Database::Fingerprint() const {
+  // Per-relation, facts are folded in with a commutative combine (wrapping
+  // sum of per-fact hashes), so insertion order does not matter; relations
+  // themselves are folded in order, which is canonical (the vocabulary fixes
+  // relation ids).
+  uint64_t h = HashCombine(static_cast<size_t>(num_elements_),
+                           static_cast<size_t>(vocab_->num_relations()));
+  for (RelationId r = 0; r < vocab_->num_relations(); ++r) {
+    uint64_t rel_sum = 0;
+    for (const Tuple& t : facts_[r]) {
+      rel_sum += static_cast<uint64_t>(HashVector(t));
+    }
+    h = HashCombine(h, HashCombine(static_cast<size_t>(vocab_->arity(r)),
+                                   static_cast<size_t>(rel_sum)));
+    h = HashCombine(h, facts_[r].size());
+  }
+  return h;
 }
 
 bool Database::IsContainedIn(const Database& other) const {

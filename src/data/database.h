@@ -6,6 +6,7 @@
 #ifndef CQA_DATA_DATABASE_H_
 #define CQA_DATA_DATABASE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -56,6 +57,22 @@ class Database {
   /// workloads can exceed the int range, and the counters/stats fed from
   /// this value must not overflow.
   long long NumFacts() const;
+
+  /// Mutation counter: bumped every time the database gains an element or a
+  /// (new) fact. Caches that hold structures derived from this database
+  /// (IndexedDatabase views in an EvalCache) record the version they were
+  /// built at and treat a mismatch as staleness; no-op mutations (duplicate
+  /// facts) do not bump it.
+  uint64_t version() const { return version_; }
+
+  /// Order-independent content fingerprint: a 64-bit hash of the vocabulary
+  /// shape, universe size, and the *set* of facts of every relation. Two
+  /// databases with the same content fingerprint-collide deliberately even
+  /// when their facts were inserted in different orders, so content-keyed
+  /// caches can share derived structures across database objects. O(total
+  /// facts) per call — callers that need it repeatedly should memoize it
+  /// against version().
+  uint64_t Fingerprint() const;
 
   /// True if every relation of this database is a subset of `other`'s
   /// (requires equal vocabularies; element identity is literal).
@@ -109,6 +126,7 @@ class Database {
 
   VocabularyPtr vocab_;
   int num_elements_ = 0;
+  uint64_t version_ = 0;
   std::vector<std::vector<Tuple>> facts_;
   std::unordered_set<FactKey, FactKeyHash> fact_set_;
   std::vector<std::string> names_;  // may be shorter than num_elements_

@@ -31,8 +31,24 @@
 // All caches share one memory budget (IndexOptions::max_bytes, approximate).
 // When building a structure would exceed it, the cache returns nullptr and
 // the caller falls back to scanning; evaluation stays correct either way.
-// The underlying Database must outlive the view and must not gain facts
-// while indexes are alive.
+//
+// Ownership and thread-safety contracts
+// -------------------------------------
+//  - An IndexedDatabase *borrows* its Database: the Database must outlive
+//    the view, and must not gain facts/elements while the view is in use
+//    (structures hold fact ids into db.facts(rel)). Cross-batch mutation is
+//    handled one layer up: eval/cache.h keys views by content fingerprint
+//    and invalidates on Database::version() mismatch.
+//  - The view owns every structure it builds and never frees one while it
+//    is alive: pointers returned by Index/ProjectedRows/ColumnValues stay
+//    valid for the lifetime of the view (which is why EvalCache hands views
+//    out as shared_ptr — eviction cannot tear structures out from under an
+//    in-flight evaluation).
+//  - Any number of threads may share one view. Each structure is built
+//    exactly once under the view's internal lock (concurrent first uses may
+//    race to build a duplicate; the loser's copy is discarded) and is
+//    immutable afterwards, so *probing* a returned pointer needs no
+//    synchronization. Nobody outside the view may mutate a structure.
 
 #ifndef CQA_DATA_INDEX_H_
 #define CQA_DATA_INDEX_H_

@@ -1,0 +1,149 @@
+#include "eval/cache.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace cqa {
+
+EvalCache::EvalCache(EvalCacheOptions options) : options_(options) {}
+
+uint64_t EvalCache::FingerprintOfLocked(const Database& db) {
+  FingerprintMemo& memo = fp_memo_[&db];
+  if (memo.fingerprint == 0 || memo.version != db.version() ||
+      memo.num_facts != db.NumFacts() ||
+      memo.num_elements != db.num_elements()) {
+    memo.version = db.version();
+    memo.num_facts = db.NumFacts();
+    memo.num_elements = db.num_elements();
+    memo.fingerprint = db.Fingerprint();
+  }
+  return memo.fingerprint;
+}
+
+std::shared_ptr<const IndexedDatabase> EvalCache::AcquireIndexed(
+    const Database& db, bool* hit) {
+  if (hit != nullptr) *hit = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t fp = FingerprintOfLocked(db);
+  const auto it = index_map_.find(fp);
+  if (it != index_map_.end()) {
+    IndexEntry& entry = *it->second;
+    if (entry.source->version() != entry.source_version) {
+      // The source database gained facts/elements since the view was built:
+      // a content-equal twin must not be served the stale view.
+      ++stats_.index_invalidations;
+      index_lru_.erase(it->second);
+      index_map_.erase(it);
+    } else if (entry.num_facts != db.NumFacts() ||
+               entry.num_elements != db.num_elements()) {
+      // 64-bit fingerprint collision between different contents: serve a
+      // correct one-off view, leave the cached entry alone.
+      ++stats_.index_misses;
+      return std::make_shared<IndexedDatabase>(db, options_.index);
+    } else {
+      ++stats_.index_hits;
+      index_lru_.splice(index_lru_.begin(), index_lru_, it->second);
+      if (hit != nullptr) *hit = true;
+      EnforceIndexBudgetLocked();
+      return index_lru_.front().view;
+    }
+  }
+  ++stats_.index_misses;
+  auto view = std::make_shared<IndexedDatabase>(db, options_.index);
+  index_lru_.push_front(IndexEntry{fp, &db, db.version(), db.NumFacts(),
+                                   db.num_elements(), view});
+  index_map_[fp] = index_lru_.begin();
+  EnforceIndexBudgetLocked();
+  return view;
+}
+
+void EvalCache::EnforceIndexBudgetLocked() {
+  long long bytes = 0;
+  for (const IndexEntry& entry : index_lru_) {
+    bytes += entry.view->stats().bytes;
+  }
+  while (static_cast<size_t>(bytes) > options_.max_index_bytes &&
+         index_lru_.size() > 1) {
+    const IndexEntry& victim = index_lru_.back();
+    bytes -= victim.view->stats().bytes;
+    ++stats_.index_evictions;
+    index_map_.erase(victim.fingerprint);
+    index_lru_.pop_back();
+  }
+  stats_.index_bytes = bytes;
+  stats_.index_entries = static_cast<long long>(index_lru_.size());
+}
+
+bool EvalCache::LookupPlan(const std::vector<int>& key, PlanDecision* plan) {
+  CQA_CHECK(plan != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plan_map_.find(key);
+  if (it == plan_map_.end()) {
+    ++stats_.plan_misses;
+    return false;
+  }
+  ++stats_.plan_hits;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  *plan = plan_lru_.front().plan;
+  return true;
+}
+
+void EvalCache::StorePlan(const std::vector<int>& key,
+                          const PlanDecision& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = plan_map_.find(key);
+  if (it != plan_map_.end()) {
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    plan_lru_.front().plan = plan;
+  } else {
+    plan_lru_.push_front(PlanEntry{key, plan});
+    plan_map_[key] = plan_lru_.begin();
+  }
+  while (plan_lru_.size() > options_.max_plan_entries) {
+    ++stats_.plan_evictions;
+    plan_map_.erase(plan_lru_.back().key);
+    plan_lru_.pop_back();
+  }
+  stats_.plan_entries = static_cast<long long>(plan_lru_.size());
+}
+
+void EvalCache::Invalidate(const Database& db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fp_memo_.erase(&db);
+  for (auto it = index_lru_.begin(); it != index_lru_.end();) {
+    if (it->source == &db) {
+      ++stats_.index_invalidations;
+      index_map_.erase(it->fingerprint);
+      it = index_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EnforceIndexBudgetLocked();
+}
+
+void EvalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fp_memo_.clear();
+  index_map_.clear();
+  index_lru_.clear();
+  plan_map_.clear();
+  plan_lru_.clear();
+  stats_.index_entries = 0;
+  stats_.index_bytes = 0;
+  stats_.plan_entries = 0;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  long long bytes = 0;
+  for (const IndexEntry& entry : index_lru_) {
+    bytes += entry.view->stats().bytes;
+  }
+  stats_.index_bytes = bytes;
+  stats_.index_entries = static_cast<long long>(index_lru_.size());
+  return stats_;
+}
+
+}  // namespace cqa

@@ -1,0 +1,190 @@
+// EvalCache: the process-lifetime caching subsystem that amortizes index and
+// planning work across batches (and across content-identical databases).
+//
+// What is cached, and under which key
+// -----------------------------------
+//  - IndexedDatabase views, keyed by Database::Fingerprint() (an
+//    order-independent 64-bit content hash). A serving loop that evaluates
+//    batch after batch against the same database — or against different
+//    Database objects holding the same facts — builds each RelationIndex /
+//    projection / column table once for the cache's lifetime instead of once
+//    per BatchEvaluator::Run.
+//  - PlanDecisions, keyed by the planner-options-qualified canonical query
+//    shape (PlanCacheKey): queries that differ only in variable numbering
+//    share one planning verdict forever, not just within one batch.
+//
+// Eviction and invalidation
+// -------------------------
+// Both caches are LRU. The index cache is byte-budgeted
+// (EvalCacheOptions::max_index_bytes): after every acquisition the summed
+// approximate footprint of the cached views is re-polled (views grow lazily
+// as evaluators request new structures) and least-recently-used entries are
+// dropped until the budget holds again; the most recently acquired view is
+// never evicted, so a single oversized database still gets one cached view
+// (bounded by its own IndexOptions::max_bytes). The plan cache is
+// entry-count-bounded (max_plan_entries) — decisions are a few dozen bytes.
+//
+// Every cached view records the source Database's version() at build time.
+// A lookup that lands on an entry whose source database has since gained
+// facts (version mismatch) invalidates the entry and rebuilds — a mutated
+// database can never serve stale answers. (In the common case mutation also
+// changes the fingerprint, so the stale entry is simply never found again
+// and ages out via LRU; the version check closes the cross-database case
+// where a content-equal twin would otherwise hit the stale entry.)
+//
+// Ownership and thread-safety contracts
+// -------------------------------------
+//  - EvalCache is fully thread-safe: any number of worker threads may call
+//    any method concurrently; all state is guarded by one internal mutex,
+//    and the returned IndexedDatabase views are themselves thread-safe.
+//  - AcquireIndexed returns shared ownership. Evicting or invalidating an
+//    entry never tears a view out from under an in-flight job: the job's
+//    shared_ptr keeps the view alive until it finishes.
+//  - The cache does NOT own source databases, and content sharing makes
+//    their lifetime contract wider than the entry's: a view built from
+//    database A may be serving jobs submitted with a content-equal twin B
+//    (the view probes A's storage). A must therefore stay alive until
+//    every view built from it is gone — call Invalidate(A) (or Clear()),
+//    AND let in-flight jobs holding such views finish (e.g.
+//    BatchEvaluator::Drain()), before freeing A. Destroying a database the
+//    cache has seen without that sequence is undefined behavior.
+//  - Databases must not be mutated while an evaluation over one of their
+//    views is in flight (the same contract data/index.h states); mutating
+//    *between* batches is fine and is exactly what invalidation handles.
+//
+// Fingerprints are O(total facts) to compute, so the cache memoizes them
+// per source database against its version(): steady-state acquisitions cost
+// one O(1) map probe, not a rehash of the database.
+
+#ifndef CQA_EVAL_CACHE_H_
+#define CQA_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "data/database.h"
+#include "data/index.h"
+#include "eval/engine.h"
+
+namespace cqa {
+
+/// Knobs for the shared cross-batch cache.
+struct EvalCacheOptions {
+  /// Byte budget across all cached IndexedDatabase views (approximate,
+  /// re-polled after every acquisition because views grow lazily). The most
+  /// recently used view survives even when it alone exceeds the budget.
+  size_t max_index_bytes = size_t{256} << 20;
+  /// Entry bound on the plan LRU (plans are tiny; count, not bytes).
+  size_t max_plan_entries = 4096;
+  /// Build policy for cached views (per-view budget, master switch). This —
+  /// not the per-batch EngineOptions — governs views served by this cache.
+  IndexOptions index;
+};
+
+/// Cumulative counters (snapshot via EvalCache::stats).
+struct EvalCacheStats {
+  long long index_hits = 0;           ///< AcquireIndexed served from cache
+  long long index_misses = 0;         ///< AcquireIndexed built a fresh view
+  long long index_evictions = 0;      ///< views dropped by the byte budget
+  long long index_invalidations = 0;  ///< views dropped by version mismatch
+  long long index_entries = 0;        ///< current number of cached views
+  long long index_bytes = 0;          ///< current approximate footprint
+  long long plan_hits = 0;            ///< LookupPlan found the key
+  long long plan_misses = 0;          ///< LookupPlan missed
+  long long plan_evictions = 0;       ///< plans dropped by max_plan_entries
+  long long plan_entries = 0;         ///< current number of cached plans
+};
+
+/// The shared cross-batch cache. See the file comment for the contracts.
+class EvalCache {
+ public:
+  explicit EvalCache(EvalCacheOptions options = {});
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// The cached view of `db`'s content, building (and caching) one on miss.
+  /// `hit` (optional out) reports whether the view came from the cache.
+  /// On the rare fingerprint collision (same hash, different NumFacts or
+  /// universe size) a fresh uncached view is returned instead — never a
+  /// wrong one.
+  std::shared_ptr<const IndexedDatabase> AcquireIndexed(const Database& db,
+                                                        bool* hit = nullptr);
+
+  /// Copies the cached decision for `key` into `plan` and refreshes its LRU
+  /// position; false on miss. Keys come from PlanCacheKey (engine.h).
+  bool LookupPlan(const std::vector<int>& key, PlanDecision* plan);
+
+  /// Inserts (or refreshes) `key -> plan`, evicting LRU entries beyond
+  /// max_plan_entries.
+  void StorePlan(const std::vector<int>& key, const PlanDecision& plan);
+
+  /// Drops every cached view built from `db` (by identity) and its
+  /// fingerprint memo. Call before destroying a Database this cache has
+  /// seen; in-flight jobs may still hold evicted views, so also let them
+  /// finish before freeing `db`'s storage (see the file comment). Plans are
+  /// query-only and are not affected.
+  void Invalidate(const Database& db);
+
+  /// Drops all cached views and plans; cumulative counters survive.
+  void Clear();
+
+  /// Snapshot of the counters (index_bytes is re-polled).
+  EvalCacheStats stats() const;
+
+  const EvalCacheOptions& options() const { return options_; }
+
+ private:
+  struct IndexEntry {
+    uint64_t fingerprint = 0;
+    const Database* source = nullptr;  ///< for version validation only
+    uint64_t source_version = 0;
+    long long num_facts = 0;  ///< collision guard
+    int num_elements = 0;     ///< collision guard
+    std::shared_ptr<const IndexedDatabase> view;
+  };
+  using IndexList = std::list<IndexEntry>;  // front = most recently used
+  struct PlanEntry {
+    std::vector<int> key;
+    PlanDecision plan;
+  };
+  using PlanList = std::list<PlanEntry>;  // front = most recently used
+
+  // Re-polls view footprints and evicts LRU views until the byte budget
+  // holds (keeping at least the MRU entry). Caller holds mu_.
+  void EnforceIndexBudgetLocked();
+
+  // db.Fingerprint() memoized against db.version(). Caller holds mu_.
+  uint64_t FingerprintOfLocked(const Database& db);
+
+  // Keyed by database address; version + content counts guard against a new
+  // database reusing a freed address (callers should still Invalidate before
+  // destroying — see the file comment — but a stale memo must never survive
+  // an address reuse the guards can detect).
+  struct FingerprintMemo {
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;
+    long long num_facts = 0;
+    int num_elements = 0;
+  };
+
+  EvalCacheOptions options_;
+
+  mutable std::mutex mu_;
+  IndexList index_lru_;
+  std::unordered_map<uint64_t, IndexList::iterator> index_map_;
+  std::unordered_map<const Database*, FingerprintMemo> fp_memo_;
+  PlanList plan_lru_;
+  std::unordered_map<std::vector<int>, PlanList::iterator, VectorHash>
+      plan_map_;
+  mutable EvalCacheStats stats_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_CACHE_H_

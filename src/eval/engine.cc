@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -12,6 +10,7 @@
 #include "base/hash.h"
 #include "cq/properties.h"
 #include "decomp/treewidth.h"
+#include "eval/cache.h"
 #include "eval/naive.h"
 #include "eval/treewidth_eval.h"
 #include "eval/yannakakis.h"
@@ -70,6 +69,81 @@ class TreewidthEngine : public Engine {
     return EvaluateTreewidth(q, idb, stats);
   }
 };
+
+// One stateless instance of every engine; safe to share across threads.
+struct EngineSet {
+  EngineSet()
+      : engines{MakeEngine(EngineKind::kNaive),
+                MakeEngine(EngineKind::kYannakakis),
+                MakeEngine(EngineKind::kTreewidth)} {}
+  const Engine& For(EngineKind kind) const {
+    return *engines[static_cast<int>(kind)];
+  }
+  std::unique_ptr<Engine> engines[3];
+};
+
+// The per-Run plan cache (intra-batch tier).
+struct BatchPlanCache {
+  std::mutex mu;
+  std::unordered_map<std::vector<int>, PlanDecision, VectorHash> map;
+};
+
+// Plans and evaluates one job into `out`. Plan lookups go per-run cache
+// first (intra-batch reuse), then the shared EvalCache (cross-batch hit),
+// then the planner; either cache pointer may be null. `idb` null means the
+// scan path.
+void ExecuteJob(const BatchJob& job, const BatchOptions& options,
+                const EngineSet& engines, const IndexedDatabase* idb,
+                BatchPlanCache* batch_cache, EvalCache* shared_cache,
+                BatchResult* out) {
+  const auto plan_start = std::chrono::steady_clock::now();
+  if (options.forced_engine.has_value() &&
+      engines.For(*options.forced_engine).Supports(job.query)) {
+    out->plan.kind = *options.forced_engine;
+    out->plan.reason = "forced by BatchOptions";
+  } else {
+    const std::vector<int> key = PlanCacheKey(job.query, options.planner);
+    bool resolved = false;
+    if (batch_cache != nullptr) {
+      std::lock_guard<std::mutex> lock(batch_cache->mu);
+      const auto it = batch_cache->map.find(key);
+      if (it != batch_cache->map.end()) {
+        out->plan = it->second;
+        out->plan_source = PlanSource::kBatchCache;
+        resolved = true;
+      }
+    }
+    if (!resolved && shared_cache != nullptr &&
+        shared_cache->LookupPlan(key, &out->plan)) {
+      out->plan_source = PlanSource::kSharedCache;
+      resolved = true;
+      if (batch_cache != nullptr) {
+        std::lock_guard<std::mutex> lock(batch_cache->mu);
+        batch_cache->map.emplace(key, out->plan);
+      }
+    }
+    if (!resolved) {
+      out->plan = PlanQuery(job.query, options.planner);
+      out->plan_source = PlanSource::kPlanned;
+      if (batch_cache != nullptr) {
+        std::lock_guard<std::mutex> lock(batch_cache->mu);
+        batch_cache->map.emplace(key, out->plan);
+      }
+      if (shared_cache != nullptr) shared_cache->StorePlan(key, out->plan);
+    }
+  }
+  out->engine = out->plan.kind;
+  out->plan_ms = MsSince(plan_start);
+
+  const auto eval_start = std::chrono::steady_clock::now();
+  const Engine& engine = engines.For(out->engine);
+  if (idb != nullptr) {
+    out->answers = engine.Evaluate(job.query, *idb, &out->eval);
+  } else {
+    out->answers = engine.Evaluate(job.query, *job.db, &out->eval);
+  }
+  out->eval_ms = MsSince(eval_start);
+}
 
 }  // namespace
 
@@ -149,88 +223,63 @@ std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q) {
   return key;
 }
 
+std::vector<int> PlanCacheKey(const ConjunctiveQuery& q,
+                              const PlannerOptions& opts) {
+  std::vector<int> key = CanonicalQueryKey(q);
+  key.push_back(-2);  // separator: shape | planner knobs
+  key.push_back(opts.max_width);
+  return key;
+}
+
 BatchEvaluator::BatchEvaluator(BatchOptions options)
     : options_(std::move(options)) {}
+
+BatchEvaluator::~BatchEvaluator() { Shutdown(); }
 
 std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
                                              BatchStats* stats) const {
   const auto run_start = std::chrono::steady_clock::now();
 
   std::vector<BatchResult> results(jobs.size());
+  const EngineSet engines;
+  EvalCache* const shared_cache = options_.cache.get();
 
-  // One engine instance per kind, shared across threads: engines are
-  // stateless, so concurrent Evaluate calls are safe.
-  const std::unique_ptr<Engine> engines[] = {
-      MakeEngine(EngineKind::kNaive), MakeEngine(EngineKind::kYannakakis),
-      MakeEngine(EngineKind::kTreewidth)};
-  const auto engine_for = [&](EngineKind kind) -> const Engine& {
-    return *engines[static_cast<int>(kind)];
-  };
-
-  // One immutable index cache per distinct database, shared by all worker
-  // threads: indexes are built once (under the view's lock) and probed
-  // concurrently afterwards.
-  std::unordered_map<const Database*, std::unique_ptr<IndexedDatabase>>
-      indexed;
+  // One immutable index view per distinct database, shared by all worker
+  // threads: structures are built once (under the view's lock) and probed
+  // concurrently afterwards. With a shared EvalCache the views come from —
+  // and outlive the run in — the cache; the shared_ptr keeps a view usable
+  // even if the cache evicts it mid-run.
+  std::unordered_map<const Database*, std::shared_ptr<const IndexedDatabase>>
+      views;
+  long long view_hits = 0, view_misses = 0;
   if (options_.engine.use_index) {
     for (const BatchJob& job : jobs) {
       CQA_CHECK(job.db != nullptr);
-      auto& slot = indexed[job.db];
+      auto& slot = views[job.db];
       if (slot == nullptr) {
-        slot = std::make_unique<IndexedDatabase>(
-            *job.db, options_.engine.ToIndexOptions());
+        if (shared_cache != nullptr) {
+          bool hit = false;
+          slot = shared_cache->AcquireIndexed(*job.db, &hit);
+          ++(hit ? view_hits : view_misses);
+        } else {
+          slot = std::make_shared<IndexedDatabase>(
+              *job.db, options_.engine.ToIndexOptions());
+        }
       }
     }
   }
 
-  // Plan cache: repeated query shapes plan once per batch. Keyed by the
-  // canonical shape (not its hash alone), so collisions are impossible.
-  std::mutex plan_mu;
-  std::unordered_map<std::vector<int>, PlanDecision, VectorHash> plan_cache;
-  std::atomic<long long> plan_cache_hits{0};
+  // Intra-batch plan tier; shapes already decided by the shared cache are
+  // copied in on first touch so later jobs count as intra-batch reuses.
+  BatchPlanCache batch_plans;
 
   const auto run_job = [&](size_t i) {
     const BatchJob& job = jobs[i];
     CQA_CHECK(job.db != nullptr);
-    BatchResult& out = results[i];
-
-    const auto plan_start = std::chrono::steady_clock::now();
-    if (options_.forced_engine.has_value() &&
-        engine_for(*options_.forced_engine).Supports(job.query)) {
-      out.plan.kind = *options_.forced_engine;
-      out.plan.reason = "forced by BatchOptions";
-    } else {
-      const std::vector<int> key = CanonicalQueryKey(job.query);
-      bool cached = false;
-      {
-        std::lock_guard<std::mutex> lock(plan_mu);
-        const auto it = plan_cache.find(key);
-        if (it != plan_cache.end()) {
-          out.plan = it->second;
-          cached = true;
-        }
-      }
-      if (!cached) {
-        out.plan = PlanQuery(job.query, options_.planner);
-        std::lock_guard<std::mutex> lock(plan_mu);
-        plan_cache.emplace(key, out.plan);
-      } else {
-        out.plan_cached = true;
-        plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    out.engine = out.plan.kind;
-    out.plan_ms = MsSince(plan_start);
-
-    const auto eval_start = std::chrono::steady_clock::now();
-    const Engine& engine = engine_for(out.engine);
-    if (options_.engine.use_index) {
-      const IndexedDatabase& idb = *indexed.at(job.db);
-      out.answers = engine.Evaluate(job.query, idb, &out.eval);
-    } else {
-      out.answers = engine.Evaluate(job.query, *job.db, &out.eval);
-    }
-    out.eval_ms = MsSince(eval_start);
+    const IndexedDatabase* idb =
+        options_.engine.use_index ? views.at(job.db).get() : nullptr;
+    ExecuteJob(job, options_, engines, idb, &batch_plans, shared_cache,
+               &results[i]);
   };
 
   int threads = options_.num_threads;
@@ -265,17 +314,96 @@ std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
     stats->wall_ms = MsSince(run_start);
     stats->jobs = static_cast<int>(jobs.size());
     stats->threads_used = jobs.empty() ? 0 : std::max(threads, 1);
-    stats->plan_cache_hits = plan_cache_hits.load();
+    stats->index_cache_hits = view_hits;
+    stats->index_cache_misses = view_misses;
     for (const BatchResult& r : results) {
       stats->total_eval_ms += r.eval_ms;
       stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
       stats->eval.Add(r.eval);
+      if (r.plan_source == PlanSource::kBatchCache) ++stats->plan_cache_hits;
+      if (r.plan_source == PlanSource::kSharedCache) ++stats->cross_plan_hits;
     }
-    for (const auto& [db, idb] : indexed) {
-      stats->index_bytes += idb->stats().bytes;
+    for (const auto& [db, view] : views) {
+      stats->index_bytes += view->stats().bytes;
     }
   }
   return results;
+}
+
+std::future<BatchResult> BatchEvaluator::Submit(BatchJob job) {
+  CQA_CHECK(job.db != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  CQA_CHECK(!stopping_);  // Submit after Shutdown is a caller bug
+  if (options_.cache == nullptr && own_cache_ == nullptr) {
+    EvalCacheOptions cache_options;
+    cache_options.index = options_.engine.ToIndexOptions();
+    own_cache_ = std::make_shared<EvalCache>(cache_options);
+  }
+  if (workers_.empty()) {
+    int threads = options_.num_threads;
+    if (threads <= 0) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads <= 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers_.emplace_back(&BatchEvaluator::WorkerLoop, this);
+    }
+  }
+  queue_.push_back(Pending{std::move(job), std::promise<BatchResult>()});
+  std::future<BatchResult> future = queue_.back().promise.get_future();
+  ++in_flight_;
+  work_cv_.notify_one();
+  return future;
+}
+
+void BatchEvaluator::WorkerLoop() {
+  const EngineSet engines;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping, and all pending jobs are done
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    EvalCache* const cache =
+        options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
+    lock.unlock();
+
+    BatchResult result;
+    // The shared_ptr keeps the view alive for the whole job even if the
+    // cache evicts or invalidates it meanwhile.
+    std::shared_ptr<const IndexedDatabase> view;
+    if (options_.engine.use_index) {
+      view = cache->AcquireIndexed(*pending.job.db);
+    }
+    ExecuteJob(pending.job, options_, engines, view.get(),
+               /*batch_cache=*/nullptr, cache, &result);
+    pending.promise.set_value(std::move(result));
+
+    lock.lock();
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void BatchEvaluator::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void BatchEvaluator::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+EvalCache* BatchEvaluator::serving_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
 }
 
 }  // namespace cqa

@@ -5,16 +5,46 @@
 // submit (query, database) jobs and get AnswerSets plus per-job stats back,
 // without caring which algorithm ran. Every engine has two matching modes:
 // scan (the paper-faithful baseline) and indexed (RelationIndex probes via a
-// shared IndexedDatabase view); the batch evaluator shares one immutable
-// index cache per database across its worker threads and caches planner
-// decisions by canonical query shape.
+// shared IndexedDatabase view).
+//
+// Ownership and thread-safety contracts
+// -------------------------------------
+//  - Engine instances are stateless and immutable after construction: one
+//    instance may serve concurrent Evaluate calls from many threads.
+//  - BatchJob borrows its Database (and BatchEvaluator borrows the jobs);
+//    the caller keeps both alive until Run returns / the Submit future is
+//    ready, and must not mutate a database while jobs over it are in
+//    flight. Mutating between batches is fine — the cross-batch EvalCache
+//    (eval/cache.h) detects it via Database::version and rebuilds.
+//  - BatchEvaluator::Run is const and reentrant; it owns its transient
+//    thread pool and per-run caches, so several Run calls may proceed
+//    concurrently on one evaluator. Within a run, one immutable
+//    IndexedDatabase view per distinct database is shared by all workers,
+//    and planner decisions are reused across jobs of the same canonical
+//    shape. Results are deterministic: bit-identical to a sequential run.
+//  - When BatchOptions::cache is set, views and plans come from (and
+//    survive into) that shared EvalCache; the cache's own IndexOptions
+//    govern index building. The cache may be shared by many evaluators and
+//    threads.
+//  - Submit/Drain/Shutdown form the streaming seam. They are mutually
+//    thread-safe (any thread may submit), but unlike Run they mutate the
+//    evaluator (a persistent worker pool + queue), so a streaming evaluator
+//    must outlive its futures' producers, i.e. destroy it only after
+//    Shutdown or after all futures are ready. Job answers are identical to
+//    what a blocking Run of the same jobs would return; only completion
+//    order varies.
 
 #ifndef CQA_EVAL_ENGINE_H_
 #define CQA_EVAL_ENGINE_H_
 
+#include <condition_variable>
+#include <deque>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cq/cq.h"
@@ -24,6 +54,8 @@
 #include "eval/eval_stats.h"
 
 namespace cqa {
+
+class EvalCache;  // eval/cache.h
 
 /// The available evaluation algorithms.
 enum class EngineKind {
@@ -113,6 +145,19 @@ std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
 /// shape key, not a full isomorphism canonical form.
 std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q);
 
+/// The key plan caches use: CanonicalQueryKey qualified by the planner knobs
+/// that influenced the decision, so one cache can serve batches running with
+/// different PlannerOptions.
+std::vector<int> PlanCacheKey(const ConjunctiveQuery& q,
+                              const PlannerOptions& opts);
+
+/// Where a job's plan came from.
+enum class PlanSource {
+  kPlanned,      ///< the planner ran for this job
+  kBatchCache,   ///< reused a decision made earlier in the same Run()
+  kSharedCache,  ///< reused a decision from the cross-batch EvalCache
+};
+
 /// One unit of batch work. `db` is borrowed and must outlive the run; many
 /// jobs may share one database.
 struct BatchJob {
@@ -125,10 +170,13 @@ struct BatchResult {
   AnswerSet answers = AnswerSet(0);
   EngineKind engine = EngineKind::kNaive;  ///< engine that produced `answers`
   PlanDecision plan;                       ///< planner verdict (if planned)
-  bool plan_cached = false;  ///< plan came from the batch plan cache
-  EvalStats eval;            ///< per-job evaluation counters
-  double plan_ms = 0.0;      ///< planning wall time
-  double eval_ms = 0.0;      ///< evaluation wall time
+  PlanSource plan_source = PlanSource::kPlanned;  ///< where the plan came from
+  EvalStats eval;        ///< per-job evaluation counters
+  double plan_ms = 0.0;  ///< planning wall time
+  double eval_ms = 0.0;  ///< evaluation wall time
+
+  /// True when the plan came from a cache (either tier).
+  bool plan_cached() const { return plan_source != PlanSource::kPlanned; }
 };
 
 /// Aggregate timing over a batch run.
@@ -138,9 +186,18 @@ struct BatchStats {
   double max_job_ms = 0.0;     ///< slowest single job (plan + eval)
   int jobs = 0;
   int threads_used = 0;
-  long long plan_cache_hits = 0;  ///< jobs planned from the cache
-  EvalStats eval;                 ///< summed per-job evaluation counters
-  long long index_bytes = 0;      ///< footprint of the shared index caches
+  /// Jobs whose plan was an *intra-batch reuse*: a decision made earlier in
+  /// this same Run(). Cross-batch hits are counted separately below.
+  long long plan_cache_hits = 0;
+  /// Jobs whose plan came from the shared EvalCache (a different batch — or
+  /// streaming job — planned this shape first).
+  long long cross_plan_hits = 0;
+  /// Distinct-database view acquisitions served by the shared EvalCache /
+  /// built fresh into it. Both stay 0 when BatchOptions::cache is unset.
+  long long index_cache_hits = 0;
+  long long index_cache_misses = 0;
+  EvalStats eval;             ///< summed per-job evaluation counters
+  long long index_bytes = 0;  ///< footprint of the index views this run used
 };
 
 /// Batch evaluator options.
@@ -152,26 +209,77 @@ struct BatchOptions {
   std::optional<EngineKind> forced_engine;
   PlannerOptions planner;
   EngineOptions engine;
+  /// Cross-batch cache (eval/cache.h). When set, index views and plans are
+  /// looked up there first and stored back, so they outlive this run; the
+  /// cache's IndexOptions override EngineOptions' index knobs. When unset,
+  /// Run() keeps today's per-run caches and Submit() lazily creates a
+  /// private EvalCache so streaming still amortizes across jobs.
+  std::shared_ptr<EvalCache> cache;
 };
 
 /// Fans a vector of jobs across a std::thread pool. Results are indexed like
 /// the input jobs and are bit-identical to a sequential run: each evaluator
 /// is deterministic and jobs never share mutable state. When indexing is on,
 /// one immutable IndexedDatabase per distinct database is shared by all
-/// worker threads; planner decisions are cached by CanonicalQueryKey so
-/// repeated query shapes plan once.
+/// worker threads; planner decisions are cached by canonical query shape so
+/// repeated shapes plan once. Also carries the streaming seam: Submit feeds
+/// a persistent worker pool one job at a time and returns a future, so a
+/// server loop can trickle work in continuously while batch Run() stays
+/// available (and deterministic) for tests.
 class BatchEvaluator {
  public:
   explicit BatchEvaluator(BatchOptions options = {});
+
+  /// Joins the streaming workers (running Submit futures complete first).
+  ~BatchEvaluator();
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
 
   /// Runs all jobs; `stats` (optional) receives aggregate timing.
   std::vector<BatchResult> Run(const std::vector<BatchJob>& jobs,
                                BatchStats* stats = nullptr) const;
 
+  /// Streaming submission: enqueues one job on the persistent worker pool
+  /// (started lazily on first call) and returns a future for its result.
+  /// The job's answers equal what Run({job}) would produce. Thread-safe.
+  /// CHECK-fails after Shutdown(). Plans and (when indexing is on) views go
+  /// through BatchOptions::cache, or through a private EvalCache created on
+  /// first Submit when none was configured.
+  std::future<BatchResult> Submit(BatchJob job);
+
+  /// Blocks until every submitted job has completed. Thread-safe.
+  void Drain();
+
+  /// Drains outstanding jobs, then stops and joins the worker pool.
+  /// Idempotent; afterwards Submit CHECK-fails. Thread-safe.
+  void Shutdown();
+
+  /// The cache streaming jobs go through: BatchOptions::cache when set,
+  /// else the private cache (nullptr before the first Submit creates it).
+  EvalCache* serving_cache() const;
+
   const BatchOptions& options() const { return options_; }
 
  private:
+  struct Pending {
+    BatchJob job;
+    std::promise<BatchResult> promise;
+  };
+
+  void WorkerLoop();
+
   BatchOptions options_;
+
+  // Streaming state (untouched by Run, which is const and self-contained).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: job or shutdown
+  std::condition_variable idle_cv_;  ///< signals Drain: in_flight_ hit 0
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<EvalCache> own_cache_;  ///< lazy fallback serving cache
+  long long in_flight_ = 0;               ///< queued + executing jobs
+  bool stopping_ = false;
 };
 
 }  // namespace cqa

@@ -281,10 +281,10 @@ TEST(BatchEvaluatorTest, PlanCacheHitsOnRepeatedShapes) {
   BatchStats stats;
   const auto results = BatchEvaluator(opts).Run(jobs, &stats);
   EXPECT_EQ(stats.plan_cache_hits, 7);
-  EXPECT_FALSE(results[0].plan_cached);
-  EXPECT_FALSE(results[1].plan_cached);
+  EXPECT_FALSE(results[0].plan_cached());
+  EXPECT_FALSE(results[1].plan_cached());
   for (size_t i = 2; i < results.size(); ++i) {
-    EXPECT_TRUE(results[i].plan_cached) << "job " << i;
+    EXPECT_TRUE(results[i].plan_cached()) << "job " << i;
   }
   // Cached plans carry the full decision of the original.
   EXPECT_EQ(results[2].plan.kind, results[0].plan.kind);

@@ -1,0 +1,377 @@
+// EvalCache and streaming-serving tests: database version/fingerprint
+// semantics, cross-batch index/plan reuse with the stat tiers separated,
+// LRU eviction under byte pressure (without breaking in-flight views),
+// invalidation when a database gains facts, and Submit/Drain/Shutdown
+// returning exactly the answers a blocking Run produces.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/database.h"
+#include "data/generators.h"
+#include "data/index.h"
+#include "eval/cache.h"
+#include "eval/engine.h"
+#include "eval/naive.h"
+#include "gadgets/intro.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+// E-edges only; the insertion order of `edges` is preserved.
+Database GraphDb(int n, const std::vector<std::pair<int, int>>& edges) {
+  Database db(Vocabulary::Graph(), n);
+  for (const auto& [u, v] : edges) db.AddFact(0, {u, v});
+  return db;
+}
+
+// Q(x, y) :- E(x, y): answers enumerate the edge set.
+ConjunctiveQuery EdgeQuery() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  q.AddAtom(0, {x, y});
+  q.SetFreeVariables({x, y});
+  return q;
+}
+
+TEST(DatabaseVersionTest, BumpsOnMutationsOnly) {
+  Database db(Vocabulary::Graph());
+  const uint64_t v0 = db.version();
+  db.AddElements(3);
+  EXPECT_GT(db.version(), v0);
+  const uint64_t v1 = db.version();
+  EXPECT_TRUE(db.AddFact(0, {0, 1}));
+  EXPECT_GT(db.version(), v1);
+  const uint64_t v2 = db.version();
+  EXPECT_FALSE(db.AddFact(0, {0, 1}));  // duplicate: no-op
+  EXPECT_EQ(db.version(), v2);
+  db.AddElements(0);  // no-op
+  EXPECT_EQ(db.version(), v2);
+}
+
+TEST(DatabaseFingerprintTest, OrderIndependentAndContentSensitive) {
+  const Database a = GraphDb(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Database b = GraphDb(4, {{2, 3}, {0, 1}, {1, 2}});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  const Database c = GraphDb(4, {{0, 1}, {1, 2}, {3, 2}});  // one edge flipped
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+
+  const Database d = GraphDb(5, {{0, 1}, {1, 2}, {2, 3}});  // extra element
+  EXPECT_NE(a.Fingerprint(), d.Fingerprint());
+
+  Database e = GraphDb(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(a.Fingerprint(), e.Fingerprint());
+  e.AddFact(0, {3, 0});
+  EXPECT_NE(a.Fingerprint(), e.Fingerprint());
+}
+
+TEST(EvalCacheTest, AcquireSharesViewsByContent) {
+  EvalCache cache;
+  const Database db1 = GraphDb(4, {{0, 1}, {1, 2}});
+  const Database db2 = GraphDb(4, {{1, 2}, {0, 1}});  // same content
+
+  bool hit = true;
+  const auto view1 = cache.AcquireIndexed(db1, &hit);
+  EXPECT_FALSE(hit);
+  const auto again = cache.AcquireIndexed(db1, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(view1.get(), again.get());
+  const auto twin = cache.AcquireIndexed(db2, &hit);
+  EXPECT_TRUE(hit);  // content-equal twin shares the view
+  EXPECT_EQ(view1.get(), twin.get());
+
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.index_hits, 2);
+  EXPECT_EQ(stats.index_misses, 1);
+  EXPECT_EQ(stats.index_entries, 1);
+}
+
+TEST(EvalCacheTest, CrossBatchStatsDistinguishTiersFromIntraBatchReuse) {
+  Rng rng(5150);
+  const Database db = RandomDigraphDatabase(9, 0.3, &rng);
+  std::vector<BatchJob> jobs;
+  for (int i = 0; i < 9; ++i) {
+    jobs.push_back({i % 2 == 0 ? IntroQ2() : IntroQ1(), &db});
+  }
+
+  BatchOptions opts;
+  opts.num_threads = 1;  // deterministic hit counts
+  opts.cache = std::make_shared<EvalCache>();
+  const BatchEvaluator evaluator(opts);
+
+  // Cold batch: nothing is in the shared cache yet — 2 plans are computed,
+  // 7 jobs reuse them intra-batch, the one view is built fresh.
+  BatchStats cold;
+  const auto first = evaluator.Run(jobs, &cold);
+  EXPECT_EQ(cold.plan_cache_hits, 7);
+  EXPECT_EQ(cold.cross_plan_hits, 0);
+  EXPECT_EQ(cold.index_cache_hits, 0);
+  EXPECT_EQ(cold.index_cache_misses, 1);
+
+  // Warm batch: both shapes hit the shared cache (2 cross-batch hits), the
+  // remaining 7 jobs are intra-batch reuses again, and the view is shared.
+  BatchStats warm;
+  const auto second = evaluator.Run(jobs, &warm);
+  EXPECT_EQ(warm.plan_cache_hits, 7);
+  EXPECT_EQ(warm.cross_plan_hits, 2);
+  EXPECT_EQ(warm.index_cache_hits, 1);
+  EXPECT_EQ(warm.index_cache_misses, 0);
+  EXPECT_EQ(second[0].plan_source, PlanSource::kSharedCache);
+  EXPECT_EQ(second[2].plan_source, PlanSource::kBatchCache);
+  EXPECT_TRUE(second[0].plan_cached());
+
+  // Warm answers are identical to cold ones and to ground truth.
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(first[i].answers == second[i].answers) << "job " << i;
+    EXPECT_TRUE(second[i].answers == EvaluateNaive(jobs[i].query, db))
+        << "job " << i;
+  }
+
+  const EvalCacheStats stats = opts.cache->stats();
+  EXPECT_EQ(stats.plan_hits, 2);
+  EXPECT_EQ(stats.index_hits, 1);
+  EXPECT_EQ(stats.index_entries, 1);
+}
+
+TEST(EvalCacheTest, EvictsUnderBytePressureWithoutBreakingInFlightViews) {
+  EvalCacheOptions options;
+  options.max_index_bytes = 1;  // any built structure overflows the budget
+  EvalCache cache(options);
+
+  const Database db1 = GraphDb(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Database db2 = GraphDb(4, {{3, 2}, {2, 1}});
+  const ConjunctiveQuery q = EdgeQuery();
+
+  // Build a structure in db1's view so it has a nonzero footprint (the
+  // trivial query alone may not need any index).
+  const auto view1 = cache.AcquireIndexed(db1);
+  ASSERT_NE(view1->Index(0, MaskOfPositions({0})), nullptr);
+  const AnswerSet before = EvaluateNaive(q, *view1);
+  EXPECT_EQ(before.size(), 3u);
+
+  // Acquiring db2 makes db1's view the LRU victim.
+  const auto view2 = cache.AcquireIndexed(db2);
+  EXPECT_NE(view1.get(), view2.get());
+  EvalCacheStats stats = cache.stats();
+  EXPECT_GE(stats.index_evictions, 1);
+  EXPECT_EQ(stats.index_entries, 1);  // only the MRU view survives
+
+  // The evicted view is alive as long as we hold it, and still correct.
+  const AnswerSet after = EvaluateNaive(q, *view1);
+  EXPECT_TRUE(before == after);
+
+  // Re-acquiring db1 is a miss now (the entry was evicted).
+  bool hit = true;
+  const auto rebuilt = cache.AcquireIndexed(db1, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(rebuilt.get(), view1.get());
+  EXPECT_TRUE(EvaluateNaive(q, *rebuilt) == before);
+}
+
+TEST(EvalCacheTest, FactInsertionBumpsVersionAndMissesStaleFingerprint) {
+  auto cache = std::make_shared<EvalCache>();
+  Database db = GraphDb(4, {{0, 1}, {1, 2}});
+  const ConjunctiveQuery q = EdgeQuery();
+
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.cache = cache;
+  const BatchEvaluator evaluator(opts);
+
+  const auto cold = evaluator.Run({{q, &db}});
+  EXPECT_EQ(cold[0].answers.size(), 2u);
+
+  // The database gains a fact: its version bumps, its fingerprint changes,
+  // and the next batch must see the new fact (a stale-view hit would not).
+  const uint64_t version_before = db.version();
+  db.AddFact(0, {2, 3});
+  EXPECT_GT(db.version(), version_before);
+
+  BatchStats stats;
+  const auto warm = evaluator.Run({{q, &db}}, &stats);
+  EXPECT_EQ(stats.index_cache_hits, 0);  // stale fingerprint missed
+  EXPECT_EQ(warm[0].answers.size(), 3u);
+  EXPECT_TRUE(warm[0].answers.Contains({2, 3}));
+  EXPECT_TRUE(warm[0].answers == EvaluateNaive(q, db));
+}
+
+TEST(EvalCacheTest, MutatedSourceInvalidatesEntryForContentEqualTwin) {
+  EvalCache cache;
+  Database original = GraphDb(4, {{0, 1}, {1, 2}});
+  const Database twin = GraphDb(4, {{0, 1}, {1, 2}});  // same content
+
+  const auto view = cache.AcquireIndexed(original);
+  (void)view;
+  // The source mutates; the cached entry (keyed by the *old* fingerprint)
+  // would now serve answers over the mutated database. The twin still
+  // fingerprints to the old key, so its lookup lands on the entry — the
+  // version check must invalidate it and rebuild from the twin.
+  original.AddFact(0, {2, 3});
+
+  bool hit = true;
+  const auto fresh = cache.AcquireIndexed(twin, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(fresh.get(), view.get());
+  EXPECT_EQ(cache.stats().index_invalidations, 1);
+  EXPECT_EQ(EvaluateNaive(EdgeQuery(), *fresh).size(), 2u);
+}
+
+TEST(EvalCacheTest, InvalidateDropsEntriesOfOneDatabase) {
+  EvalCache cache;
+  const Database db1 = GraphDb(3, {{0, 1}});
+  const Database db2 = GraphDb(3, {{1, 2}});
+  cache.AcquireIndexed(db1);
+  cache.AcquireIndexed(db2);
+  EXPECT_EQ(cache.stats().index_entries, 2);
+
+  cache.Invalidate(db1);
+  EXPECT_EQ(cache.stats().index_entries, 1);
+  bool hit = false;
+  cache.AcquireIndexed(db2, &hit);
+  EXPECT_TRUE(hit);  // the other database's entry survives
+  cache.AcquireIndexed(db1, &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST(EvalCacheTest, PlanLruEvictsBeyondEntryBound) {
+  EvalCacheOptions options;
+  options.max_plan_entries = 1;
+  EvalCache cache(options);
+
+  PlanDecision plan;
+  plan.kind = EngineKind::kNaive;
+  cache.StorePlan({1}, plan);
+  plan.kind = EngineKind::kTreewidth;
+  cache.StorePlan({2}, plan);  // evicts key {1}
+
+  PlanDecision out;
+  EXPECT_FALSE(cache.LookupPlan({1}, &out));
+  EXPECT_TRUE(cache.LookupPlan({2}, &out));
+  EXPECT_EQ(out.kind, EngineKind::kTreewidth);
+  const EvalCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.plan_evictions, 1);
+  EXPECT_EQ(stats.plan_entries, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming seam.
+
+struct Workload {
+  std::vector<Database> databases;
+  std::vector<BatchJob> jobs;
+};
+
+Workload MakeWorkload(uint64_t seed, int num_jobs) {
+  Workload w;
+  Rng rng(seed);
+  w.databases.push_back(
+      RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true));
+  w.databases.push_back(RandomCycleChordDatabase(12, 5, &rng));
+  for (int i = 0; i < num_jobs; ++i) {
+    const Database* db = &w.databases[i % w.databases.size()];
+    if (i % 3 == 0) {
+      w.jobs.push_back(
+          {RandomCyclicGraphCQ(/*cycle_len=*/3, /*extra_atoms=*/2, &rng), db});
+    } else {
+      w.jobs.push_back({RandomGraphCQ(/*num_vars=*/2 + i % 4,
+                                      /*num_atoms=*/3 + i % 3, &rng,
+                                      /*num_free=*/i % 3),
+                        db});
+    }
+  }
+  return w;
+}
+
+TEST(StreamingTest, SubmitMatchesBlockingRun) {
+  const Workload w = MakeWorkload(97, /*num_jobs=*/18);
+
+  BatchOptions blocking;
+  blocking.num_threads = 1;
+  const auto reference = BatchEvaluator(blocking).Run(w.jobs);
+
+  BatchOptions streaming;
+  streaming.num_threads = 4;
+  BatchEvaluator server(streaming);
+  std::vector<std::future<BatchResult>> futures;
+  futures.reserve(w.jobs.size());
+  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+
+  ASSERT_EQ(futures.size(), reference.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const BatchResult result = futures[i].get();
+    EXPECT_EQ(result.engine, reference[i].engine) << "job " << i;
+    EXPECT_TRUE(result.answers == reference[i].answers) << "job " << i;
+  }
+  // Streaming went through a serving cache (the private fallback here).
+  ASSERT_NE(server.serving_cache(), nullptr);
+  const EvalCacheStats stats = server.serving_cache()->stats();
+  EXPECT_GT(stats.plan_hits + stats.plan_misses, 0);
+  server.Shutdown();
+}
+
+TEST(StreamingTest, SubmitSharesOneEvalCacheWithBatchRuns) {
+  const Workload w = MakeWorkload(31337, /*num_jobs=*/12);
+
+  BatchOptions opts;
+  opts.num_threads = 2;
+  opts.cache = std::make_shared<EvalCache>();
+  BatchEvaluator evaluator(opts);
+
+  // A blocking run warms the shared cache; streamed jobs then hit it.
+  const auto reference = evaluator.Run(w.jobs);
+  std::vector<std::future<BatchResult>> futures;
+  for (const BatchJob& job : w.jobs) futures.push_back(evaluator.Submit(job));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const BatchResult result = futures[i].get();
+    EXPECT_TRUE(result.answers == reference[i].answers) << "job " << i;
+    EXPECT_EQ(result.plan_source, PlanSource::kSharedCache) << "job " << i;
+  }
+  EXPECT_EQ(evaluator.serving_cache(), opts.cache.get());
+  EXPECT_GT(opts.cache->stats().index_hits, 0);
+}
+
+TEST(StreamingTest, DrainWaitsForAllSubmittedJobs) {
+  const Workload w = MakeWorkload(7, /*num_jobs=*/9);
+  BatchOptions opts;
+  opts.num_threads = 3;
+  BatchEvaluator server(opts);
+  std::vector<std::future<BatchResult>> futures;
+  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+  server.Drain();
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(StreamingTest, ShutdownCompletesQueuedJobs) {
+  const Workload w = MakeWorkload(13, /*num_jobs=*/9);
+  BatchOptions blocking;
+  blocking.num_threads = 1;
+  const auto reference = BatchEvaluator(blocking).Run(w.jobs);
+
+  BatchOptions opts;
+  opts.num_threads = 2;
+  BatchEvaluator server(opts);
+  std::vector<std::future<BatchResult>> futures;
+  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+  server.Shutdown();  // no explicit Drain: queued jobs must still complete
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_TRUE(futures[i].get().answers == reference[i].answers)
+        << "job " << i;
+  }
+  server.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace cqa
