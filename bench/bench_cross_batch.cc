@@ -4,10 +4,13 @@
 // index views and plans — the wall-time ratio is the point of promoting the
 // per-run caches to a process-lifetime LRU. A second series drives the same
 // jobs through the streaming Submit seam and checks the futures deliver
-// exactly the blocking Run's answers. Pass --quick for a reduced run (CI
-// smoke test) and --csv <path> to mirror the tables into a CSV artifact.
-// Exits nonzero when any answers diverge or a warm batch fails to hit the
-// cache.
+// exactly the blocking answers. A third series exercises the
+// approximation-aware planner: bounds-mode requests on width-over-budget
+// queries, where the warm batches must reuse the *synthesized* plans from
+// the EvalCache plan tier (cross_plan_hits > 0 on approximated plans) and
+// every sandwich must satisfy under ⊆ exact ⊆ over. Pass --quick for a
+// reduced run (CI smoke test) and --csv <path> to mirror the tables into a
+// CSV artifact. Exits nonzero when any invariant fails.
 
 #include <future>
 #include <memory>
@@ -17,7 +20,8 @@
 #include "bench_util.h"
 #include "data/generators.h"
 #include "eval/cache.h"
-#include "eval/engine.h"
+#include "eval/service.h"
+#include "gadgets/workloads.h"
 
 namespace cqa {
 namespace {
@@ -56,14 +60,24 @@ ConjunctiveQuery DigonQuery() {
   return q;
 }
 
+// Q(x) :- E(x,y), E(y,z), E(z,u), E(u,x): the 4-cycle, width 2 — a second
+// over-budget shape so the plan tier holds several synthesized plans.
+ConjunctiveQuery FourCycleQuery() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariables(4);
+  for (int i = 0; i < 4; ++i) q.AddAtom(0, {x + i, x + (i + 1) % 4});
+  q.SetFreeVariables({x});
+  return q;
+}
+
 // The serving-loop shape: a handful of query templates repeated over a
 // couple of shared databases — plan shapes and index views recur heavily.
 // All templates evaluate in about O(|facts|) probes once structures exist,
 // so the cold batch is dominated by exactly the index/projection builds the
 // shared cache amortizes away.
-std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs,
-                               int num_jobs) {
-  std::vector<BatchJob> jobs;
+std::vector<EvalRequest> MakeJobs(const std::vector<Database>& dbs,
+                                  int num_jobs) {
+  std::vector<EvalRequest> jobs;
   jobs.reserve(num_jobs);
   for (int i = 0; i < num_jobs; ++i) {
     const Database* db = &dbs[i % dbs.size()];
@@ -85,8 +99,8 @@ std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs,
   return jobs;
 }
 
-bool SameAnswers(const std::vector<BatchResult>& a,
-                 const std::vector<BatchResult>& b) {
+bool SameAnswers(const std::vector<EvalResponse>& a,
+                 const std::vector<EvalResponse>& b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (!(a[i].answers == b[i].answers)) return false;
@@ -94,7 +108,7 @@ bool SameAnswers(const std::vector<BatchResult>& a,
   return true;
 }
 
-void RunWarmVsCold(const std::vector<BatchJob>& jobs, bool quick) {
+void RunWarmVsCold(const std::vector<EvalRequest>& jobs, bool quick) {
   using bench::Fmt;
   bench::SetCsvSection("warm_vs_cold");
   std::printf(
@@ -105,14 +119,15 @@ void RunWarmVsCold(const std::vector<BatchJob>& jobs, bool quick) {
                   12);
   bench::PrintRule(8, 12);
 
-  BatchOptions base;
+  EvalOptions base;
   base.num_threads = quick ? 2 : 4;
 
   // Cold reference: every batch pays the full build cost again.
-  BatchOptions cold_opts = base;
+  EvalOptions cold_opts = base;
   cold_opts.cache = std::make_shared<EvalCache>();
   BatchStats cold_stats;
-  const auto reference = BatchEvaluator(cold_opts).Run(jobs, &cold_stats);
+  const auto reference =
+      QueryService(cold_opts).EvaluateBatch(jobs, &cold_stats);
   bench::PrintRow({"cold", Fmt(cold_stats.wall_ms), "1.00",
                    Fmt(cold_stats.index_cache_hits),
                    Fmt(cold_stats.index_cache_misses),
@@ -121,14 +136,14 @@ void RunWarmVsCold(const std::vector<BatchJob>& jobs, bool quick) {
                   12);
 
   // Warm series: batch after batch through one long-lived cache.
-  BatchOptions warm_opts = base;
+  EvalOptions warm_opts = base;
   warm_opts.cache = std::make_shared<EvalCache>();
-  const BatchEvaluator warm(warm_opts);
+  const QueryService warm(warm_opts);
   const int warm_batches = quick ? 3 : 6;
   long long total_hits = 0;
   for (int b = 0; b < warm_batches; ++b) {
     BatchStats stats;
-    const auto results = warm.Run(jobs, &stats);
+    const auto results = warm.EvaluateBatch(jobs, &stats);
     const bool identical = SameAnswers(results, reference);
     g_all_ok &= identical;
     total_hits += stats.index_cache_hits + stats.cross_plan_hits;
@@ -157,48 +172,148 @@ void RunWarmVsCold(const std::vector<BatchJob>& jobs, bool quick) {
       cache_stats.plan_misses, cache_stats.index_evictions);
 }
 
-void RunStreaming(const std::vector<BatchJob>& jobs, bool quick) {
+void RunStreaming(const std::vector<EvalRequest>& jobs, bool quick) {
   using bench::Fmt;
   bench::SetCsvSection("streaming");
   std::printf(
-      "\nStreaming Submit vs blocking Run over the same shared cache:\n"
-      "futures must deliver exactly the blocking answers.\n\n");
+      "\nStreaming Submit vs blocking EvaluateBatch over the same shared "
+      "cache:\nfutures must deliver exactly the blocking answers.\n\n");
 
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = quick ? 2 : 4;
   opts.cache = std::make_shared<EvalCache>();
-  BatchEvaluator evaluator(opts);
+  QueryService service(opts);
 
   BatchStats run_stats;
-  const auto reference = evaluator.Run(jobs, &run_stats);
+  const auto reference = service.EvaluateBatch(jobs, &run_stats);
 
-  std::vector<std::future<BatchResult>> futures;
+  std::vector<std::future<EvalResponse>> futures;
   futures.reserve(jobs.size());
   const double submit_ms = bench::TimeMs([&] {
-    for (const BatchJob& job : jobs) futures.push_back(evaluator.Submit(job));
-    evaluator.Drain();
+    for (const EvalRequest& job : jobs) futures.push_back(service.Submit(job));
+    service.Drain();
   });
 
   bool identical = true;
   long long shared_plan_hits = 0;
   for (size_t i = 0; i < futures.size(); ++i) {
-    const BatchResult result = futures[i].get();
+    const EvalResponse result = futures[i].get();
     identical &= result.answers == reference[i].answers;
     if (result.plan_source == PlanSource::kSharedCache) ++shared_plan_hits;
   }
   g_all_ok &= identical;
-  evaluator.Shutdown();
+  service.Shutdown();
 
   bench::PrintRow({"mode", "jobs", "wall_ms", "shared_plan_hits", "identical"},
                   18);
   bench::PrintRule(5, 18);
-  bench::PrintRow({"blocking_run", Fmt(static_cast<int>(jobs.size())),
+  bench::PrintRow({"blocking_batch", Fmt(static_cast<int>(jobs.size())),
                    Fmt(run_stats.wall_ms), "-", "ref"},
                   18);
   bench::PrintRow({"streaming_submit", Fmt(static_cast<int>(jobs.size())),
                    Fmt(submit_ms), Fmt(shared_plan_hits),
                    identical ? "yes" : "NO"},
                   18);
+}
+
+// Bounds-mode serving on width-over-budget queries: the planner synthesizes
+// TW(1) rewrites once per query shape, the EvalCache plan tier carries them
+// across batches, and every response must sandwich the forced-exact answers.
+void RunApproxBounds(const std::vector<Database>& dbs, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("approx_bounds");
+  std::printf(
+      "\nApproximation-aware planning: bounds-mode requests on "
+      "width-over-budget\nqueries (width budget 1). Warm batches must reuse "
+      "the synthesized plans\n(cross_plan > 0) and satisfy under ⊆ exact ⊆ "
+      "over.\n\n");
+
+  EvalOptions opts;
+  opts.num_threads = quick ? 2 : 4;
+  opts.planner.width_budget = 1;
+
+  const int num_jobs = quick ? 8 : 16;
+  std::vector<EvalRequest> jobs, exact_jobs;
+  for (int i = 0; i < num_jobs; ++i) {
+    const Database* db = &dbs[i % dbs.size()];
+    const ConjunctiveQuery q =
+        i % 2 == 0 ? TriangleOutputCQ() : FourCycleQuery();
+    jobs.push_back({q, db, AnswerMode::kBounds});
+    exact_jobs.push_back({q, db, AnswerMode::kExact});
+  }
+
+  // Forced-exact reference (same width budget: the planner falls back to
+  // naive, which is exact by definition).
+  EvalOptions exact_opts = opts;
+  exact_opts.cache = std::make_shared<EvalCache>();
+  BatchStats exact_stats;
+  const auto exact =
+      QueryService(exact_opts).EvaluateBatch(exact_jobs, &exact_stats);
+
+  // Cold bounds reference: synthesis paid in full.
+  EvalOptions cold_opts = opts;
+  cold_opts.cache = std::make_shared<EvalCache>();
+  BatchStats cold_stats;
+  const auto cold_results =
+      QueryService(cold_opts).EvaluateBatch(jobs, &cold_stats);
+
+  // Warm series through one shared cache: synthesis amortized.
+  EvalOptions warm_opts = opts;
+  warm_opts.cache = std::make_shared<EvalCache>();
+  const QueryService warm(warm_opts);
+
+  bench::PrintRow({"batch", "wall_ms", "cross_plan", "approx_jobs", "certain",
+                   "possible", "exact", "sandwich"},
+                  12);
+  bench::PrintRule(8, 12);
+
+  const auto check_batch = [&](const char* label,
+                               const std::vector<EvalResponse>& results,
+                               const BatchStats& stats) {
+    long long certain = 0, possible = 0, exact_total = 0;
+    bool sandwich = true;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const EvalResponse& r = results[i];
+      if (!r.bounds.has_value()) {
+        sandwich = false;
+        continue;
+      }
+      certain += r.bounds->certain_count();
+      possible += r.bounds->possible_count();
+      exact_total += static_cast<long long>(exact[i].answers.size());
+      sandwich &= r.bounds->under.IsSubsetOf(exact[i].answers) &&
+                  exact[i].answers.IsSubsetOf(r.bounds->over);
+    }
+    g_all_ok &= sandwich;
+    bench::PrintRow({label, Fmt(stats.wall_ms), Fmt(stats.cross_plan_hits),
+                     Fmt(stats.approx_jobs), Fmt(certain), Fmt(possible),
+                     Fmt(exact_total), sandwich ? "yes" : "NO"},
+                    12);
+  };
+
+  check_batch("cold", cold_results, cold_stats);
+
+  const int warm_batches = quick ? 3 : 5;
+  long long warm_cross_hits = 0;
+  for (int b = 0; b < warm_batches; ++b) {
+    BatchStats stats;
+    const auto results = warm.EvaluateBatch(jobs, &stats);
+    if (b > 0) warm_cross_hits += stats.cross_plan_hits;
+    if (stats.approx_jobs != static_cast<long long>(jobs.size())) {
+      std::fprintf(stderr, "FAILED: not every bounds job was approximated\n");
+      g_all_ok = false;
+    }
+    check_batch(("warm" + std::to_string(b + 1)).c_str(), results, stats);
+    g_all_ok &= SameAnswers(results, cold_results);
+  }
+  // Acceptance: the second warm batch onwards serves the synthesized plans
+  // from the shared plan tier instead of re-running synthesis.
+  if (warm_cross_hits <= 0) {
+    std::fprintf(stderr,
+                 "FAILED: warm approximated batches never hit the shared "
+                 "plan tier\n");
+    g_all_ok = false;
+  }
 }
 
 }  // namespace
@@ -215,14 +330,17 @@ int main(int argc, char** argv) {
   const int n = quick ? 1500 : 6000;
   dbs.push_back(cqa::RandomDigraphDatabase(n, 6.0 / n, &rng));
   dbs.push_back(cqa::RandomCycleChordDatabase(n, n / 3, &rng));
-  const std::vector<cqa::BatchJob> jobs = cqa::MakeJobs(dbs, quick ? 12 : 24);
+  const std::vector<cqa::EvalRequest> jobs =
+      cqa::MakeJobs(dbs, quick ? 12 : 24);
 
   cqa::RunWarmVsCold(jobs, quick);
   cqa::RunStreaming(jobs, quick);
+  cqa::RunApproxBounds(dbs, quick);
   cqa::bench::CloseCsv();
   if (!cqa::g_all_ok) {
     std::fprintf(stderr,
-                 "FAILED: answer divergence or no cross-batch cache hits\n");
+                 "FAILED: answer divergence, missing cache hits, or a broken "
+                 "bounds sandwich\n");
     return 1;
   }
   return 0;

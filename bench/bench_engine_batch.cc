@@ -1,4 +1,4 @@
-// Batch-evaluation throughput: the planner-driven BatchEvaluator fanning a
+// Batch-evaluation throughput: the planner-driven QueryService fanning a
 // mixed CQ workload across a thread pool, versus sequential evaluation of
 // the same jobs; plus a scan-vs-index series running each engine over the
 // same forced-engine workload with indexing off and on (the answers must be
@@ -11,7 +11,7 @@
 #include "base/rng.h"
 #include "bench_util.h"
 #include "data/generators.h"
-#include "eval/engine.h"
+#include "eval/service.h"
 #include "gadgets/intro.h"
 #include "gadgets/workloads.h"
 
@@ -22,9 +22,9 @@ namespace {
 // the CI bench-smoke step fails on answer divergence, not just visibly.
 bool g_all_identical = true;
 
-std::vector<BatchJob> MakeJobs(const std::vector<Database>& dbs, int num_jobs,
+std::vector<EvalRequest> MakeJobs(const std::vector<Database>& dbs, int num_jobs,
                                Rng* rng) {
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   jobs.reserve(num_jobs);
   for (int i = 0; i < num_jobs; ++i) {
     const Database* db = &dbs[i % dbs.size()];
@@ -53,26 +53,26 @@ void RunThreadScaling(bool quick) {
   dbs.push_back(RandomCycleChordDatabase(n, n / 2, &rng));
 
   const int num_jobs = quick ? 12 : 48;
-  const std::vector<BatchJob> jobs = MakeJobs(dbs, num_jobs, &rng);
+  const std::vector<EvalRequest> jobs = MakeJobs(dbs, num_jobs, &rng);
 
   bench::PrintRow({"threads", "jobs", "wall_ms", "sum_eval_ms", "max_job_ms",
                    "plan_hits", "identical"});
   bench::PrintRule(7);
 
-  BatchOptions seq_opts;
+  EvalOptions seq_opts;
   seq_opts.num_threads = 1;
   BatchStats seq_stats;
-  const auto reference = BatchEvaluator(seq_opts).Run(jobs, &seq_stats);
+  const auto reference = QueryService(seq_opts).EvaluateBatch(jobs, &seq_stats);
   bench::PrintRow({Fmt(1), Fmt(seq_stats.jobs), Fmt(seq_stats.wall_ms),
                    Fmt(seq_stats.total_eval_ms), Fmt(seq_stats.max_job_ms),
                    Fmt(seq_stats.plan_cache_hits), "ref"});
 
   for (const int threads : quick ? std::vector<int>{4}
                                  : std::vector<int>{2, 4, 8}) {
-    BatchOptions opts;
+    EvalOptions opts;
     opts.num_threads = threads;
     BatchStats stats;
-    const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+    const auto results = QueryService(opts).EvaluateBatch(jobs, &stats);
     bool identical = results.size() == reference.size();
     for (size_t i = 0; identical && i < results.size(); ++i) {
       identical = results[i].answers == reference[i].answers &&
@@ -85,7 +85,7 @@ void RunThreadScaling(bool quick) {
   }
 
   int mix[3] = {0, 0, 0};
-  for (const BatchResult& r : reference) mix[static_cast<int>(r.engine)]++;
+  for (const EvalResponse& r : reference) mix[static_cast<int>(r.engine)]++;
   std::printf("\nplanner engine mix: naive=%d yannakakis=%d treewidth=%d\n",
               mix[0], mix[1], mix[2]);
 }
@@ -115,20 +115,6 @@ ConjunctiveQuery PathQuery(int len, int num_free) {
   return q;
 }
 
-// Q(x, z) :- E(x, y), E(y, z), E(z, x): cyclic with output, so the naive
-// engine must enumerate every triangle (no Boolean early exit).
-ConjunctiveQuery TriangleWithOutput() {
-  ConjunctiveQuery q(Vocabulary::Graph());
-  const int x = q.AddVariable("x");
-  const int y = q.AddVariable("y");
-  const int z = q.AddVariable("z");
-  q.AddAtom(0, {x, y});
-  q.AddAtom(0, {y, z});
-  q.AddAtom(0, {z, x});
-  q.SetFreeVariables({x, z});
-  return q;
-}
-
 void RunScanVsIndex(bool quick) {
   using bench::Fmt;
   bench::SetCsvSection("scan_vs_index");
@@ -146,13 +132,13 @@ void RunScanVsIndex(bool quick) {
 
   struct Series {
     EngineKind kind;
-    std::vector<BatchJob> jobs;
+    std::vector<EvalRequest> jobs;
   };
   std::vector<Series> series;
   {
     Series s{EngineKind::kNaive, {}};
     const int num = quick ? 6 : 16;
-    for (int i = 0; i < num; ++i) s.jobs.push_back({TriangleWithOutput(), &db});
+    for (int i = 0; i < num; ++i) s.jobs.push_back({TriangleOutputCQ(), &db});
     series.push_back(std::move(s));
   }
   {
@@ -195,17 +181,17 @@ void RunScanVsIndex(bool quick) {
   bench::PrintRule(8, 12);
 
   for (const Series& s : series) {
-    BatchOptions scan_opts;
+    EvalOptions scan_opts;
     scan_opts.num_threads = 1;
     scan_opts.forced_engine = s.kind;
     scan_opts.engine.use_index = false;
     BatchStats scan_stats;
-    const auto scan = BatchEvaluator(scan_opts).Run(s.jobs, &scan_stats);
+    const auto scan = QueryService(scan_opts).EvaluateBatch(s.jobs, &scan_stats);
 
-    BatchOptions idx_opts = scan_opts;
+    EvalOptions idx_opts = scan_opts;
     idx_opts.engine.use_index = true;
     BatchStats idx_stats;
-    const auto indexed = BatchEvaluator(idx_opts).Run(s.jobs, &idx_stats);
+    const auto indexed = QueryService(idx_opts).EvaluateBatch(s.jobs, &idx_stats);
 
     bool identical = scan.size() == indexed.size();
     for (size_t i = 0; identical && i < scan.size(); ++i) {

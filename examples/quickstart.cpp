@@ -1,5 +1,6 @@
 // Quickstart: parse a conjunctive query, compute its acyclic
-// approximation, and evaluate both on a small database.
+// approximation, then serve it through QueryService — the one serving API —
+// in exact and bounds answer modes.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
@@ -10,8 +11,7 @@
 #include "core/query_class.h"
 #include "cq/parse.h"
 #include "data/text.h"
-#include "eval/naive.h"
-#include "eval/yannakakis.h"
+#include "eval/service.h"
 
 int main() {
   using namespace cqa;
@@ -32,7 +32,6 @@ int main() {
   for (const auto& approx : result.approximations) {
     std::printf("  %s\n", PrintQuery(approx).c_str());
   }
-  const ConjunctiveQuery& approx = result.approximations.front();
 
   // 3. A small database: a triangle 0-1-2 plus a mutual-follow pair with a
   //    self-loop.
@@ -41,15 +40,28 @@ int main() {
                                  "E(u, v)\nE(v, u)\nE(u, u)\n",
                                  nullptr);
 
-  // 4. Evaluate: the exact engine on Q, Yannakakis on the approximation.
-  const AnswerSet exact = EvaluateNaive(q, db);
-  const AnswerSet fast = EvaluateYannakakis(approx, db);
-  std::printf("Q(D) answers:  %zu, approximation answers: %zu\n",
-              exact.size(), fast.size());
-  std::printf("Soundness (approx ⊆ exact): %s\n",
-              fast.IsSubsetOf(exact) ? "yes" : "NO");
-  for (const auto& t : fast.tuples()) {
-    std::printf("  approx answer: %s\n", db.ElementName(t[0]).c_str());
+  // 4. Serve it. One QueryService handles every mode; with a width budget
+  //    of 1 the triangle is over budget, so AnswerMode::kBounds makes the
+  //    planner rewrite it into the approximations above and answer with a
+  //    certain/possible sandwich — while kExact still pays for the truth.
+  EvalOptions options;
+  options.planner.width_budget = 1;
+  const QueryService service(options);
+
+  const EvalResponse exact = service.Evaluate({q, &db, AnswerMode::kExact});
+  const EvalResponse bounds = service.Evaluate({q, &db, AnswerMode::kBounds});
+  std::printf("Plan (bounds mode):   %s\n", bounds.plan.reason.c_str());
+  std::printf("Exact answers: %zu; bounds: certain %lld <= exact %zu <= "
+              "possible %lld\n",
+              exact.answers.size(), bounds.bounds->certain_count(),
+              exact.answers.size(), bounds.bounds->possible_count());
+  std::printf("Soundness (under ⊆ exact ⊆ over): %s\n",
+              bounds.bounds->under.IsSubsetOf(exact.answers) &&
+                      exact.answers.IsSubsetOf(bounds.bounds->over)
+                  ? "yes"
+                  : "NO");
+  for (const auto& t : bounds.bounds->under.tuples()) {
+    std::printf("  certain answer: %s\n", db.ElementName(t[0]).c_str());
   }
   return 0;
 }

@@ -5,6 +5,9 @@
 #     architecture doc (as `src/<module>`), so the layer map cannot
 #     silently rot when a module is added.
 #  3. README must link to the architecture doc.
+#  4. The architecture doc must keep its "Serving API" section (the
+#     QueryService request/response contract) and the README quickstart
+#     must speak the QueryService API, not the deprecated batch names.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,21 @@ done
 
 if ! grep -q "docs/ARCHITECTURE.md" README.md; then
   echo "STALE: README.md does not link to docs/ARCHITECTURE.md"
+  fail=1
+fi
+
+if ! grep -q "^## Serving API" docs/ARCHITECTURE.md; then
+  echo "STALE: docs/ARCHITECTURE.md lost its 'Serving API' section"
+  fail=1
+fi
+for term in QueryService AnswerMode EvalRequest; do
+  if ! grep -q "$term" docs/ARCHITECTURE.md; then
+    echo "STALE: docs/ARCHITECTURE.md does not mention $term"
+    fail=1
+  fi
+done
+if ! grep -q "QueryService" README.md; then
+  echo "STALE: README.md quickstart does not use QueryService"
   fail=1
 fi
 

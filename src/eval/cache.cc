@@ -75,29 +75,29 @@ void EvalCache::EnforceIndexBudgetLocked() {
   stats_.index_entries = static_cast<long long>(index_lru_.size());
 }
 
-bool EvalCache::LookupPlan(const std::vector<int>& key, PlanDecision* plan) {
-  CQA_CHECK(plan != nullptr);
+std::shared_ptr<const PlanDecision> EvalCache::LookupPlan(
+    const std::vector<int>& key) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = plan_map_.find(key);
   if (it == plan_map_.end()) {
     ++stats_.plan_misses;
-    return false;
+    return nullptr;
   }
   ++stats_.plan_hits;
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
-  *plan = plan_lru_.front().plan;
-  return true;
+  return plan_lru_.front().plan;
 }
 
 void EvalCache::StorePlan(const std::vector<int>& key,
-                          const PlanDecision& plan) {
+                          std::shared_ptr<const PlanDecision> plan) {
+  CQA_CHECK(plan != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = plan_map_.find(key);
   if (it != plan_map_.end()) {
     plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
-    plan_lru_.front().plan = plan;
+    plan_lru_.front().plan = std::move(plan);
   } else {
-    plan_lru_.push_front(PlanEntry{key, plan});
+    plan_lru_.push_front(PlanEntry{key, std::move(plan)});
     plan_map_[key] = plan_lru_.begin();
   }
   while (plan_lru_.size() > options_.max_plan_entries) {

@@ -8,10 +8,16 @@
 //    batch after batch against the same database — or against different
 //    Database objects holding the same facts — builds each RelationIndex /
 //    projection / column table once for the cache's lifetime instead of once
-//    per BatchEvaluator::Run.
-//  - PlanDecisions, keyed by the planner-options-qualified canonical query
-//    shape (PlanCacheKey): queries that differ only in variable numbering
-//    share one planning verdict forever, not just within one batch.
+//    per QueryService::EvaluateBatch.
+//  - PlanDecisions, keyed by the planner-options-and-mode-qualified
+//    canonical query shape (PlanCacheKey): queries that differ only in
+//    variable numbering share one planning verdict forever, not just within
+//    one batch. This tier is also where approximation synthesis amortizes:
+//    an approximate-mode plan for a width-over-budget query carries the
+//    synthesized TW(width_budget) rewrites (PlanDecision::under/over), so
+//    the Bell-number candidate enumeration behind them runs once per query
+//    shape x mode for the cache's lifetime — every later batch evaluates
+//    the cached rewrites directly.
 //
 // Eviction and invalidation
 // -------------------------
@@ -22,7 +28,8 @@
 // dropped until the budget holds again; the most recently acquired view is
 // never evicted, so a single oversized database still gets one cached view
 // (bounded by its own IndexOptions::max_bytes). The plan cache is
-// entry-count-bounded (max_plan_entries) — decisions are a few dozen bytes.
+// entry-count-bounded (max_plan_entries) — exact decisions are a few dozen
+// bytes, approximate ones add a handful of small rewritten queries.
 //
 // Every cached view records the source Database's version() at build time.
 // A lookup that lands on an entry whose source database has since gained
@@ -46,7 +53,7 @@
 //    (the view probes A's storage). A must therefore stay alive until
 //    every view built from it is gone — call Invalidate(A) (or Clear()),
 //    AND let in-flight jobs holding such views finish (e.g.
-//    BatchEvaluator::Drain()), before freeing A. Destroying a database the
+//    QueryService::Drain()), before freeing A. Destroying a database the
 //    cache has seen without that sequence is undefined behavior.
 //  - Databases must not be mutated while an evaluation over one of their
 //    views is in flight (the same contract data/index.h states); mutating
@@ -116,13 +123,17 @@ class EvalCache {
   std::shared_ptr<const IndexedDatabase> AcquireIndexed(const Database& db,
                                                         bool* hit = nullptr);
 
-  /// Copies the cached decision for `key` into `plan` and refreshes its LRU
-  /// position; false on miss. Keys come from PlanCacheKey (engine.h).
-  bool LookupPlan(const std::vector<int>& key, PlanDecision* plan);
+  /// The cached decision for `key` (shared and immutable — approximate
+  /// decisions carry whole synthesized rewrites, so a hit hands out a
+  /// pointer under the lock, never a deep copy), refreshing its LRU
+  /// position; nullptr on miss. Keys come from PlanCacheKey (engine.h).
+  std::shared_ptr<const PlanDecision> LookupPlan(const std::vector<int>& key);
 
   /// Inserts (or refreshes) `key -> plan`, evicting LRU entries beyond
-  /// max_plan_entries.
-  void StorePlan(const std::vector<int>& key, const PlanDecision& plan);
+  /// max_plan_entries. The cache shares ownership; the decision must not
+  /// be mutated afterwards.
+  void StorePlan(const std::vector<int>& key,
+                 std::shared_ptr<const PlanDecision> plan);
 
   /// Drops every cached view built from `db` (by identity) and its
   /// fingerprint memo. Call before destroying a Database this cache has
@@ -151,7 +162,7 @@ class EvalCache {
   using IndexList = std::list<IndexEntry>;  // front = most recently used
   struct PlanEntry {
     std::vector<int> key;
-    PlanDecision plan;
+    std::shared_ptr<const PlanDecision> plan;
   };
   using PlanList = std::list<PlanEntry>;  // front = most recently used
 

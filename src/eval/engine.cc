@@ -1,16 +1,13 @@
 #include "eval/engine.h"
 
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <unordered_map>
 #include <utility>
 
 #include "base/check.h"
-#include "base/hash.h"
+#include "core/approximator.h"
+#include "core/overapprox.h"
+#include "core/query_class.h"
 #include "cq/properties.h"
 #include "decomp/treewidth.h"
-#include "eval/cache.h"
 #include "eval/naive.h"
 #include "eval/treewidth_eval.h"
 #include "eval/yannakakis.h"
@@ -18,11 +15,6 @@
 
 namespace cqa {
 namespace {
-
-double MsSince(const std::chrono::steady_clock::time_point& start) {
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(end - start).count();
-}
 
 class NaiveEngine : public Engine {
  public:
@@ -70,79 +62,49 @@ class TreewidthEngine : public Engine {
   }
 };
 
-// One stateless instance of every engine; safe to share across threads.
-struct EngineSet {
-  EngineSet()
-      : engines{MakeEngine(EngineKind::kNaive),
-                MakeEngine(EngineKind::kYannakakis),
-                MakeEngine(EngineKind::kTreewidth)} {}
-  const Engine& For(EngineKind kind) const {
-    return *engines[static_cast<int>(kind)];
-  }
-  std::unique_ptr<Engine> engines[3];
-};
+// Plans one synthesized rewrite: the exact-path engine for a query that is
+// in TW(width_budget) by construction (min-fill may overshoot the exact
+// treewidth, so the planner verdict — not an assumption — decides).
+ApproxSubPlan PlanRewrite(ConjunctiveQuery rewrite,
+                          const PlannerOptions& opts) {
+  ApproxSubPlan sub{std::move(rewrite), EngineKind::kNaive};
+  sub.kind = PlanQuery(sub.query, opts, AnswerMode::kExact).kind;
+  return sub;
+}
 
-// The per-Run plan cache (intra-batch tier).
-struct BatchPlanCache {
-  std::mutex mu;
-  std::unordered_map<std::vector<int>, PlanDecision, VectorHash> map;
-};
+// Fills d.under / d.over with TW(width_budget) rewrites of q as `mode`
+// requires. Returns false (leaving d untouched beyond diagnostics) when a
+// required side produced no usable rewrite, so the caller can fall back to
+// exact evaluation.
+bool SynthesizeRewrites(const ConjunctiveQuery& q, const PlannerOptions& opts,
+                        AnswerMode mode, PlanDecision* d) {
+  const int class_width = opts.width_budget >= 1 ? opts.width_budget : 1;
+  const std::unique_ptr<QueryClass> cls = MakeTreewidthClass(class_width);
+  const bool want_under = mode == AnswerMode::kUnderApproximate ||
+                          mode == AnswerMode::kBounds;
+  const bool want_over = mode == AnswerMode::kOverApproximate ||
+                         mode == AnswerMode::kBounds;
 
-// Plans and evaluates one job into `out`. Plan lookups go per-run cache
-// first (intra-batch reuse), then the shared EvalCache (cross-batch hit),
-// then the planner; either cache pointer may be null. `idb` null means the
-// scan path.
-void ExecuteJob(const BatchJob& job, const BatchOptions& options,
-                const EngineSet& engines, const IndexedDatabase* idb,
-                BatchPlanCache* batch_cache, EvalCache* shared_cache,
-                BatchResult* out) {
-  const auto plan_start = std::chrono::steady_clock::now();
-  if (options.forced_engine.has_value() &&
-      engines.For(*options.forced_engine).Supports(job.query)) {
-    out->plan.kind = *options.forced_engine;
-    out->plan.reason = "forced by BatchOptions";
-  } else {
-    const std::vector<int> key = PlanCacheKey(job.query, options.planner);
-    bool resolved = false;
-    if (batch_cache != nullptr) {
-      std::lock_guard<std::mutex> lock(batch_cache->mu);
-      const auto it = batch_cache->map.find(key);
-      if (it != batch_cache->map.end()) {
-        out->plan = it->second;
-        out->plan_source = PlanSource::kBatchCache;
-        resolved = true;
-      }
+  std::vector<ApproxSubPlan> under, over;
+  if (want_under) {
+    ApproximationResult result = ComputeApproximations(q, *cls);
+    for (ConjunctiveQuery& approx : result.approximations) {
+      under.push_back(PlanRewrite(std::move(approx), opts));
+      if (static_cast<int>(under.size()) >= opts.max_rewrites) break;
     }
-    if (!resolved && shared_cache != nullptr &&
-        shared_cache->LookupPlan(key, &out->plan)) {
-      out->plan_source = PlanSource::kSharedCache;
-      resolved = true;
-      if (batch_cache != nullptr) {
-        std::lock_guard<std::mutex> lock(batch_cache->mu);
-        batch_cache->map.emplace(key, out->plan);
-      }
-    }
-    if (!resolved) {
-      out->plan = PlanQuery(job.query, options.planner);
-      out->plan_source = PlanSource::kPlanned;
-      if (batch_cache != nullptr) {
-        std::lock_guard<std::mutex> lock(batch_cache->mu);
-        batch_cache->map.emplace(key, out->plan);
-      }
-      if (shared_cache != nullptr) shared_cache->StorePlan(key, out->plan);
-    }
+    if (under.empty()) return false;
   }
-  out->engine = out->plan.kind;
-  out->plan_ms = MsSince(plan_start);
-
-  const auto eval_start = std::chrono::steady_clock::now();
-  const Engine& engine = engines.For(out->engine);
-  if (idb != nullptr) {
-    out->answers = engine.Evaluate(job.query, *idb, &out->eval);
-  } else {
-    out->answers = engine.Evaluate(job.query, *job.db, &out->eval);
+  if (want_over) {
+    OverapproximationResult result = ComputeOverapproximations(q, *cls);
+    for (ConjunctiveQuery& sub : result.overapproximations) {
+      over.push_back(PlanRewrite(std::move(sub), opts));
+      if (static_cast<int>(over.size()) >= opts.max_rewrites) break;
+    }
+    if (over.empty()) return false;
   }
-  out->eval_ms = MsSince(eval_start);
+  d->under = std::move(under);
+  d->over = std::move(over);
+  return true;
 }
 
 }  // namespace
@@ -155,6 +117,20 @@ const char* EngineKindName(EngineKind kind) {
       return "yannakakis";
     case EngineKind::kTreewidth:
       return "treewidth";
+  }
+  return "unknown";
+}
+
+const char* AnswerModeName(AnswerMode mode) {
+  switch (mode) {
+    case AnswerMode::kExact:
+      return "exact";
+    case AnswerMode::kOverApproximate:
+      return "over";
+    case AnswerMode::kUnderApproximate:
+      return "under";
+    case AnswerMode::kBounds:
+      return "bounds";
   }
   return "unknown";
 }
@@ -172,8 +148,10 @@ std::unique_ptr<Engine> MakeEngine(EngineKind kind) {
   return nullptr;
 }
 
-PlanDecision PlanQuery(const ConjunctiveQuery& q, const PlannerOptions& opts) {
+PlanDecision PlanQuery(const ConjunctiveQuery& q, const PlannerOptions& opts,
+                       AnswerMode mode) {
   PlanDecision d;
+  d.mode = mode;
   d.acyclic = IsAcyclicQuery(q);
   if (d.acyclic) {
     d.kind = EngineKind::kYannakakis;
@@ -186,15 +164,43 @@ PlanDecision PlanQuery(const ConjunctiveQuery& q, const PlannerOptions& opts) {
   // tables cost O(|D|^{min_fill_width+1}).
   const Digraph g = GraphOfQuery(q);
   d.width = WidthOfEliminationOrder(g, MinFillOrder(g));
-  if (d.width >= 0 && d.width <= opts.max_width) {
+  if (d.width >= 0 && d.width <= opts.width_budget) {
     d.kind = EngineKind::kTreewidth;
     d.reason = "cyclic, width bound " + std::to_string(d.width) +
-               " <= " + std::to_string(opts.max_width) + ": treewidth DP";
-  } else {
-    d.kind = EngineKind::kNaive;
-    d.reason = "cyclic, width bound " + std::to_string(d.width) + " > " +
-               std::to_string(opts.max_width) + ": naive backtracking";
+               " <= " + std::to_string(opts.width_budget) + ": treewidth DP";
+    return d;
   }
+
+  // Width over budget. Exact mode falls back to naive; approximate modes
+  // rewrite into TW(width_budget) approximations when the query is small
+  // enough to synthesize for (the enumeration is Bell(vars) / 2^atoms).
+  const std::string over_budget = "cyclic, width bound " +
+                                  std::to_string(d.width) + " > " +
+                                  std::to_string(opts.width_budget);
+  d.kind = EngineKind::kNaive;
+  if (mode == AnswerMode::kExact) {
+    d.reason = over_budget + ": naive backtracking";
+    return d;
+  }
+  if (q.num_variables() > opts.max_synthesis_vars ||
+      static_cast<int>(q.atoms().size()) > opts.max_synthesis_atoms) {
+    d.reason = over_budget + "; approximation synthesis skipped (query too " +
+               "large: " + std::to_string(q.num_variables()) + " vars, " +
+               std::to_string(q.atoms().size()) +
+               " atoms): exact naive fallback";
+    return d;
+  }
+  if (!SynthesizeRewrites(q, opts, mode, &d)) {
+    d.reason = over_budget +
+               "; no usable rewrite found: exact naive fallback";
+    return d;
+  }
+  d.approximate = true;
+  d.reason = over_budget + ": " + AnswerModeName(mode) + " via " +
+             std::to_string(d.under.size()) + " under / " +
+             std::to_string(d.over.size()) + " over TW(" +
+             std::to_string(opts.width_budget >= 1 ? opts.width_budget : 1) +
+             ") rewrites";
   return d;
 }
 
@@ -224,186 +230,15 @@ std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q) {
 }
 
 std::vector<int> PlanCacheKey(const ConjunctiveQuery& q,
-                              const PlannerOptions& opts) {
+                              const PlannerOptions& opts, AnswerMode mode) {
   std::vector<int> key = CanonicalQueryKey(q);
-  key.push_back(-2);  // separator: shape | planner knobs
-  key.push_back(opts.max_width);
+  key.push_back(-2);  // separator: shape | planner knobs + mode
+  key.push_back(opts.width_budget);
+  key.push_back(opts.max_rewrites);
+  key.push_back(opts.max_synthesis_vars);
+  key.push_back(opts.max_synthesis_atoms);
+  key.push_back(static_cast<int>(mode));
   return key;
-}
-
-BatchEvaluator::BatchEvaluator(BatchOptions options)
-    : options_(std::move(options)) {}
-
-BatchEvaluator::~BatchEvaluator() { Shutdown(); }
-
-std::vector<BatchResult> BatchEvaluator::Run(const std::vector<BatchJob>& jobs,
-                                             BatchStats* stats) const {
-  const auto run_start = std::chrono::steady_clock::now();
-
-  std::vector<BatchResult> results(jobs.size());
-  const EngineSet engines;
-  EvalCache* const shared_cache = options_.cache.get();
-
-  // One immutable index view per distinct database, shared by all worker
-  // threads: structures are built once (under the view's lock) and probed
-  // concurrently afterwards. With a shared EvalCache the views come from —
-  // and outlive the run in — the cache; the shared_ptr keeps a view usable
-  // even if the cache evicts it mid-run.
-  std::unordered_map<const Database*, std::shared_ptr<const IndexedDatabase>>
-      views;
-  long long view_hits = 0, view_misses = 0;
-  if (options_.engine.use_index) {
-    for (const BatchJob& job : jobs) {
-      CQA_CHECK(job.db != nullptr);
-      auto& slot = views[job.db];
-      if (slot == nullptr) {
-        if (shared_cache != nullptr) {
-          bool hit = false;
-          slot = shared_cache->AcquireIndexed(*job.db, &hit);
-          ++(hit ? view_hits : view_misses);
-        } else {
-          slot = std::make_shared<IndexedDatabase>(
-              *job.db, options_.engine.ToIndexOptions());
-        }
-      }
-    }
-  }
-
-  // Intra-batch plan tier; shapes already decided by the shared cache are
-  // copied in on first touch so later jobs count as intra-batch reuses.
-  BatchPlanCache batch_plans;
-
-  const auto run_job = [&](size_t i) {
-    const BatchJob& job = jobs[i];
-    CQA_CHECK(job.db != nullptr);
-    const IndexedDatabase* idb =
-        options_.engine.use_index ? views.at(job.db).get() : nullptr;
-    ExecuteJob(job, options_, engines, idb, &batch_plans, shared_cache,
-               &results[i]);
-  };
-
-  int threads = options_.num_threads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads <= 0) threads = 1;
-  }
-  threads = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(threads), jobs.size()));
-
-  if (threads <= 1) {
-    for (size_t i = 0; i < jobs.size(); ++i) run_job(i);
-  } else {
-    // Work-stealing by atomic index: deterministic output because every job
-    // writes only results[i] and evaluation itself is deterministic.
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (size_t i = next.fetch_add(1); i < jobs.size();
-             i = next.fetch_add(1)) {
-          run_job(i);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
-
-  if (stats != nullptr) {
-    *stats = BatchStats{};
-    stats->wall_ms = MsSince(run_start);
-    stats->jobs = static_cast<int>(jobs.size());
-    stats->threads_used = jobs.empty() ? 0 : std::max(threads, 1);
-    stats->index_cache_hits = view_hits;
-    stats->index_cache_misses = view_misses;
-    for (const BatchResult& r : results) {
-      stats->total_eval_ms += r.eval_ms;
-      stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
-      stats->eval.Add(r.eval);
-      if (r.plan_source == PlanSource::kBatchCache) ++stats->plan_cache_hits;
-      if (r.plan_source == PlanSource::kSharedCache) ++stats->cross_plan_hits;
-    }
-    for (const auto& [db, view] : views) {
-      stats->index_bytes += view->stats().bytes;
-    }
-  }
-  return results;
-}
-
-std::future<BatchResult> BatchEvaluator::Submit(BatchJob job) {
-  CQA_CHECK(job.db != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  CQA_CHECK(!stopping_);  // Submit after Shutdown is a caller bug
-  if (options_.cache == nullptr && own_cache_ == nullptr) {
-    EvalCacheOptions cache_options;
-    cache_options.index = options_.engine.ToIndexOptions();
-    own_cache_ = std::make_shared<EvalCache>(cache_options);
-  }
-  if (workers_.empty()) {
-    int threads = options_.num_threads;
-    if (threads <= 0) {
-      threads = static_cast<int>(std::thread::hardware_concurrency());
-      if (threads <= 0) threads = 1;
-    }
-    workers_.reserve(threads);
-    for (int t = 0; t < threads; ++t) {
-      workers_.emplace_back(&BatchEvaluator::WorkerLoop, this);
-    }
-  }
-  queue_.push_back(Pending{std::move(job), std::promise<BatchResult>()});
-  std::future<BatchResult> future = queue_.back().promise.get_future();
-  ++in_flight_;
-  work_cv_.notify_one();
-  return future;
-}
-
-void BatchEvaluator::WorkerLoop() {
-  const EngineSet engines;
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // stopping, and all pending jobs are done
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
-    EvalCache* const cache =
-        options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
-    lock.unlock();
-
-    BatchResult result;
-    // The shared_ptr keeps the view alive for the whole job even if the
-    // cache evicts or invalidates it meanwhile.
-    std::shared_ptr<const IndexedDatabase> view;
-    if (options_.engine.use_index) {
-      view = cache->AcquireIndexed(*pending.job.db);
-    }
-    ExecuteJob(pending.job, options_, engines, view.get(),
-               /*batch_cache=*/nullptr, cache, &result);
-    pending.promise.set_value(std::move(result));
-
-    lock.lock();
-    if (--in_flight_ == 0) idle_cv_.notify_all();
-  }
-}
-
-void BatchEvaluator::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
-}
-
-void BatchEvaluator::Shutdown() {
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    workers.swap(workers_);
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : workers) t.join();
-}
-
-EvalCache* BatchEvaluator::serving_cache() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
 }
 
 }  // namespace cqa

@@ -1,50 +1,37 @@
-// A uniform evaluation-engine layer over the three evaluators (naive
-// backtracking, Yannakakis for acyclic CQs, bounded-treewidth DP) plus an
-// automatic planner and a multi-threaded batch evaluator. This is the seam
-// production features (sharding, caching, async serving) plug into: callers
-// submit (query, database) jobs and get AnswerSets plus per-job stats back,
-// without caring which algorithm ran. Every engine has two matching modes:
-// scan (the paper-faithful baseline) and indexed (RelationIndex probes via a
-// shared IndexedDatabase view).
+// The evaluation-algorithm layer: the three evaluators (naive backtracking,
+// Yannakakis for acyclic CQs, bounded-treewidth DP) behind a uniform Engine
+// interface, plus the approximation-aware planner. This header is the
+// *algorithm* vocabulary; the *serving* vocabulary (EvalRequest/EvalResponse,
+// QueryService, batching, streaming, the legacy BatchEvaluator adapters)
+// lives in eval/service.h.
+//
+// Every engine has two matching modes: scan (the paper-faithful baseline)
+// and indexed (RelationIndex probes via a shared IndexedDatabase view).
+//
+// The planner (PlanQuery) implements the paper's serving story end to end:
+// acyclic queries go to Yannakakis, small-width cyclic queries to the
+// treewidth DP, and — the headline contribution (Barceló–Libkin–Romero,
+// PODS'12) — when a query's width exceeds the budget and the caller asked
+// for an approximate AnswerMode, the planner *rewrites* the query: it
+// synthesizes maximally contained TW(width_budget) under-approximations
+// (core/approximator, Theorem 4.1) and minimal containing subquery
+// over-approximations (core/overapprox), and the plan carries those
+// rewritten sub-queries with an engine picked for each. Synthesis depends
+// only on the query shape, so plans are cached per canonical shape x mode
+// (PlanCacheKey) and the synthesis cost is paid once across batches.
 //
 // Ownership and thread-safety contracts
 // -------------------------------------
 //  - Engine instances are stateless and immutable after construction: one
 //    instance may serve concurrent Evaluate calls from many threads.
-//  - BatchJob borrows its Database (and BatchEvaluator borrows the jobs);
-//    the caller keeps both alive until Run returns / the Submit future is
-//    ready, and must not mutate a database while jobs over it are in
-//    flight. Mutating between batches is fine — the cross-batch EvalCache
-//    (eval/cache.h) detects it via Database::version and rebuilds.
-//  - BatchEvaluator::Run is const and reentrant; it owns its transient
-//    thread pool and per-run caches, so several Run calls may proceed
-//    concurrently on one evaluator. Within a run, one immutable
-//    IndexedDatabase view per distinct database is shared by all workers,
-//    and planner decisions are reused across jobs of the same canonical
-//    shape. Results are deterministic: bit-identical to a sequential run.
-//  - When BatchOptions::cache is set, views and plans come from (and
-//    survive into) that shared EvalCache; the cache's own IndexOptions
-//    govern index building. The cache may be shared by many evaluators and
-//    threads.
-//  - Submit/Drain/Shutdown form the streaming seam. They are mutually
-//    thread-safe (any thread may submit), but unlike Run they mutate the
-//    evaluator (a persistent worker pool + queue), so a streaming evaluator
-//    must outlive its futures' producers, i.e. destroy it only after
-//    Shutdown or after all futures are ready. Job answers are identical to
-//    what a blocking Run of the same jobs would return; only completion
-//    order varies.
+//  - PlanQuery is a pure function of (query, options, mode); decisions are
+//    freely copyable and shareable across threads.
 
 #ifndef CQA_EVAL_ENGINE_H_
 #define CQA_EVAL_ENGINE_H_
 
-#include <condition_variable>
-#include <deque>
-#include <future>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "cq/cq.h"
@@ -55,8 +42,6 @@
 
 namespace cqa {
 
-class EvalCache;  // eval/cache.h
-
 /// The available evaluation algorithms.
 enum class EngineKind {
   kNaive,       ///< backtracking join, |D|^O(|Q|) (eval/naive)
@@ -66,6 +51,28 @@ enum class EngineKind {
 
 /// Stable display name ("naive", "yannakakis", "treewidth").
 const char* EngineKindName(EngineKind kind);
+
+/// What a request wants back (paper, Definition 3.1 / Section 7). Exact
+/// evaluation can be exponentially expensive on high-width queries; the
+/// approximate modes trade completeness for tractability:
+///  - kExact: Q(D) itself, whatever it costs.
+///  - kUnderApproximate: certain answers — the union of the maximally
+///    contained TW(width_budget) rewrites. Every returned tuple is in Q(D).
+///  - kOverApproximate: possible answers — the intersection of the minimal
+///    containing in-class subquery rewrites. Every tuple of Q(D) is
+///    returned (possibly with extras).
+///  - kBounds: both, as an AnswerBounds sandwich under ⊆ Q(D) ⊆ over.
+/// On queries the planner can evaluate exactly within budget, all four
+/// modes return the exact answers (the bounds collapse).
+enum class AnswerMode {
+  kExact,
+  kOverApproximate,
+  kUnderApproximate,
+  kBounds,
+};
+
+/// Stable display name ("exact", "over", "under", "bounds").
+const char* AnswerModeName(AnswerMode mode);
 
 /// Evaluation-mode knobs shared by all engines.
 struct EngineOptions {
@@ -109,177 +116,99 @@ class Engine {
 /// Engine factory.
 std::unique_ptr<Engine> MakeEngine(EngineKind kind);
 
-/// Why the planner picked an engine, plus the structural facts it computed.
-struct PlanDecision {
+/// One rewritten (approximation) query inside an approximate plan, with the
+/// engine the planner picked for it. Sub-queries are tractable by
+/// construction (they land in TW(width_budget)), so their engines are
+/// Yannakakis or the treewidth DP in the common case.
+struct ApproxSubPlan {
+  ConjunctiveQuery query;
   EngineKind kind = EngineKind::kNaive;
+};
+
+/// Planner knobs.
+struct PlannerOptions {
+  /// Width budget: use the treewidth engine when the established width
+  /// bound is <= this; beyond it the bag tables (O(|D|^{width+1})) are
+  /// considered too large. In AnswerMode::kExact the naive engine runs
+  /// instead; in the approximate modes the planner rewrites the query into
+  /// TW(width_budget) approximations (see PlanQuery).
+  int width_budget = 3;
+
+  /// Cap on the number of rewritten queries kept per side (under / over).
+  /// Fewer rewrites = cheaper evaluation, looser bounds.
+  int max_rewrites = 4;
+
+  /// Approximation synthesis enumerates variable partitions (Bell numbers)
+  /// and atom subsets (2^m); beyond these structural sizes the planner
+  /// skips synthesis and falls back to exact evaluation rather than stall.
+  int max_synthesis_vars = 8;
+  int max_synthesis_atoms = 16;
+};
+
+/// Why the planner picked an engine, plus the structural facts it computed.
+/// For approximate modes on width-over-budget queries the decision also
+/// carries the synthesized rewrites; the decision is shape-determined, so
+/// caches may serve one decision to every query of the same canonical shape
+/// (the rewrites' answers depend only on the shape, not on the original
+/// variable numbering).
+struct PlanDecision {
+  EngineKind kind = EngineKind::kNaive;  ///< engine for the exact path
   bool acyclic = false;  ///< H(Q) alpha-acyclic
   /// Width bound of G(Q) the planner established: the min-fill elimination
   /// width, i.e. the width of the decomposition the treewidth engine would
   /// actually evaluate over. -1 if not needed (acyclic queries go straight
   /// to Yannakakis).
   int width = -1;
+  /// The AnswerMode this plan was made for (part of the cache key).
+  AnswerMode mode = AnswerMode::kExact;
+  /// True when this plan answers via the rewrites below instead of `kind`:
+  /// the mode was approximate and the width exceeded the budget.
+  bool approximate = false;
+  /// Maximally contained TW(width_budget) rewrites (union = certain
+  /// answers). Nonempty iff `approximate` and the mode needs an under side.
+  std::vector<ApproxSubPlan> under;
+  /// Minimal containing in-class subquery rewrites (intersection = possible
+  /// answers). Nonempty iff `approximate` and the mode needs an over side.
+  std::vector<ApproxSubPlan> over;
   std::string reason;  ///< one-line human-readable justification
 };
 
-/// Planner knobs.
-struct PlannerOptions {
-  /// Use the treewidth engine when the established width bound is <= this;
-  /// beyond it the bag tables (O(|D|^{width+1})) are considered too large
-  /// and the naive engine runs instead.
-  int max_width = 3;
-};
-
 /// Picks an engine from the structure of `q` (paper, Sections 4 and 6):
-/// acyclic -> Yannakakis; else small treewidth -> treewidth DP; else naive.
+/// acyclic -> Yannakakis; else width bound <= budget -> treewidth DP; else
+/// naive. With an approximate `mode` and a width bound over budget, the
+/// planner instead synthesizes under-/over-approximation rewrites (as the
+/// mode requires) and returns an `approximate` plan; when synthesis is
+/// structurally infeasible (PlannerOptions::max_synthesis_*) or yields no
+/// usable rewrite, the plan falls back to exact naive evaluation and says
+/// so in `reason`.
 PlanDecision PlanQuery(const ConjunctiveQuery& q,
-                       const PlannerOptions& opts = {});
+                       const PlannerOptions& opts = {},
+                       AnswerMode mode = AnswerMode::kExact);
 
-/// Convenience: plan and instantiate in one step.
+/// Convenience: plan and instantiate the exact-path engine in one step.
 std::unique_ptr<Engine> PlanEngine(const ConjunctiveQuery& q,
                                    const PlannerOptions& opts = {});
 
-/// The canonical shape key the batch plan cache uses: atoms in query order
+/// The canonical shape key the plan caches use: atoms in query order
 /// with variables renamed by first occurrence, then the renamed free tuple.
 /// Queries that differ only in variable numbering share a key (planning
 /// depends on structure only); atom order is preserved, so it is a cheap
 /// shape key, not a full isomorphism canonical form.
 std::vector<int> CanonicalQueryKey(const ConjunctiveQuery& q);
 
-/// The key plan caches use: CanonicalQueryKey qualified by the planner knobs
-/// that influenced the decision, so one cache can serve batches running with
-/// different PlannerOptions.
+/// The key plan caches use: CanonicalQueryKey qualified by the planner
+/// knobs and the answer mode that influenced the decision, so one cache can
+/// serve batches running with different PlannerOptions and modes without
+/// ever crossing their plans.
 std::vector<int> PlanCacheKey(const ConjunctiveQuery& q,
-                              const PlannerOptions& opts);
+                              const PlannerOptions& opts,
+                              AnswerMode mode = AnswerMode::kExact);
 
-/// Where a job's plan came from.
+/// Where a request's plan came from.
 enum class PlanSource {
-  kPlanned,      ///< the planner ran for this job
-  kBatchCache,   ///< reused a decision made earlier in the same Run()
+  kPlanned,      ///< the planner ran for this request
+  kBatchCache,   ///< reused a decision made earlier in the same batch
   kSharedCache,  ///< reused a decision from the cross-batch EvalCache
-};
-
-/// One unit of batch work. `db` is borrowed and must outlive the run; many
-/// jobs may share one database.
-struct BatchJob {
-  ConjunctiveQuery query;
-  const Database* db = nullptr;
-};
-
-/// Outcome of one job.
-struct BatchResult {
-  AnswerSet answers = AnswerSet(0);
-  EngineKind engine = EngineKind::kNaive;  ///< engine that produced `answers`
-  PlanDecision plan;                       ///< planner verdict (if planned)
-  PlanSource plan_source = PlanSource::kPlanned;  ///< where the plan came from
-  EvalStats eval;        ///< per-job evaluation counters
-  double plan_ms = 0.0;  ///< planning wall time
-  double eval_ms = 0.0;  ///< evaluation wall time
-
-  /// True when the plan came from a cache (either tier).
-  bool plan_cached() const { return plan_source != PlanSource::kPlanned; }
-};
-
-/// Aggregate timing over a batch run.
-struct BatchStats {
-  double wall_ms = 0.0;        ///< end-to-end wall time of Run()
-  double total_eval_ms = 0.0;  ///< sum of per-job eval times (CPU-ish)
-  double max_job_ms = 0.0;     ///< slowest single job (plan + eval)
-  int jobs = 0;
-  int threads_used = 0;
-  /// Jobs whose plan was an *intra-batch reuse*: a decision made earlier in
-  /// this same Run(). Cross-batch hits are counted separately below.
-  long long plan_cache_hits = 0;
-  /// Jobs whose plan came from the shared EvalCache (a different batch — or
-  /// streaming job — planned this shape first).
-  long long cross_plan_hits = 0;
-  /// Distinct-database view acquisitions served by the shared EvalCache /
-  /// built fresh into it. Both stay 0 when BatchOptions::cache is unset.
-  long long index_cache_hits = 0;
-  long long index_cache_misses = 0;
-  EvalStats eval;             ///< summed per-job evaluation counters
-  long long index_bytes = 0;  ///< footprint of the index views this run used
-};
-
-/// Batch evaluator options.
-struct BatchOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
-  int num_threads = 0;
-  /// When set, every job runs on this engine instead of the planner's pick
-  /// (jobs the engine does not Support fall back to the planner).
-  std::optional<EngineKind> forced_engine;
-  PlannerOptions planner;
-  EngineOptions engine;
-  /// Cross-batch cache (eval/cache.h). When set, index views and plans are
-  /// looked up there first and stored back, so they outlive this run; the
-  /// cache's IndexOptions override EngineOptions' index knobs. When unset,
-  /// Run() keeps today's per-run caches and Submit() lazily creates a
-  /// private EvalCache so streaming still amortizes across jobs.
-  std::shared_ptr<EvalCache> cache;
-};
-
-/// Fans a vector of jobs across a std::thread pool. Results are indexed like
-/// the input jobs and are bit-identical to a sequential run: each evaluator
-/// is deterministic and jobs never share mutable state. When indexing is on,
-/// one immutable IndexedDatabase per distinct database is shared by all
-/// worker threads; planner decisions are cached by canonical query shape so
-/// repeated shapes plan once. Also carries the streaming seam: Submit feeds
-/// a persistent worker pool one job at a time and returns a future, so a
-/// server loop can trickle work in continuously while batch Run() stays
-/// available (and deterministic) for tests.
-class BatchEvaluator {
- public:
-  explicit BatchEvaluator(BatchOptions options = {});
-
-  /// Joins the streaming workers (running Submit futures complete first).
-  ~BatchEvaluator();
-
-  BatchEvaluator(const BatchEvaluator&) = delete;
-  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
-
-  /// Runs all jobs; `stats` (optional) receives aggregate timing.
-  std::vector<BatchResult> Run(const std::vector<BatchJob>& jobs,
-                               BatchStats* stats = nullptr) const;
-
-  /// Streaming submission: enqueues one job on the persistent worker pool
-  /// (started lazily on first call) and returns a future for its result.
-  /// The job's answers equal what Run({job}) would produce. Thread-safe.
-  /// CHECK-fails after Shutdown(). Plans and (when indexing is on) views go
-  /// through BatchOptions::cache, or through a private EvalCache created on
-  /// first Submit when none was configured.
-  std::future<BatchResult> Submit(BatchJob job);
-
-  /// Blocks until every submitted job has completed. Thread-safe.
-  void Drain();
-
-  /// Drains outstanding jobs, then stops and joins the worker pool.
-  /// Idempotent; afterwards Submit CHECK-fails. Thread-safe.
-  void Shutdown();
-
-  /// The cache streaming jobs go through: BatchOptions::cache when set,
-  /// else the private cache (nullptr before the first Submit creates it).
-  EvalCache* serving_cache() const;
-
-  const BatchOptions& options() const { return options_; }
-
- private:
-  struct Pending {
-    BatchJob job;
-    std::promise<BatchResult> promise;
-  };
-
-  void WorkerLoop();
-
-  BatchOptions options_;
-
-  // Streaming state (untouched by Run, which is const and self-contained).
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signals workers: job or shutdown
-  std::condition_variable idle_cv_;  ///< signals Drain: in_flight_ hit 0
-  std::deque<Pending> queue_;
-  std::vector<std::thread> workers_;
-  std::shared_ptr<EvalCache> own_cache_;  ///< lazy fallback serving cache
-  long long in_flight_ = 0;               ///< queued + executing jobs
-  bool stopping_ = false;
 };
 
 }  // namespace cqa

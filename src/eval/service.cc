@@ -1,0 +1,436 @@
+#include "eval/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "data/index.h"
+#include "eval/cache.h"
+
+namespace cqa {
+namespace {
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+// 0 (or negative) means "use the hardware", with a floor of one thread.
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+// One stateless instance of every engine; safe to share across threads.
+struct EngineSet {
+  EngineSet()
+      : engines{MakeEngine(EngineKind::kNaive),
+                MakeEngine(EngineKind::kYannakakis),
+                MakeEngine(EngineKind::kTreewidth)} {}
+  const Engine& For(EngineKind kind) const {
+    return *engines[static_cast<int>(kind)];
+  }
+  std::unique_ptr<Engine> engines[3];
+};
+
+// The per-batch plan cache (intra-batch tier). Decisions are stored by
+// shared pointer: approximate decisions carry whole synthesized rewrites,
+// so the lock only ever guards pointer copies — the deep copy into a
+// response happens outside it. Planning is coalesced per key: the first
+// worker to miss claims the key (in_flight) and the others wait on cv
+// instead of duplicating the work — approximate-mode planning runs the
+// Bell-number rewrite synthesis, exactly the cost a cold batch of
+// same-shape requests would otherwise multiply by the thread count.
+// (Streaming submissions have no batch tier; after the first completion
+// the shared EvalCache covers them.)
+struct BatchPlanCache {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<std::vector<int>, std::shared_ptr<const PlanDecision>,
+                     VectorHash>
+      map;
+  std::unordered_set<std::vector<int>, VectorHash> in_flight;
+};
+
+// Releases a claimed in-flight key — publishing the decision when planning
+// succeeded, but also on an exception (e.g. bad_alloc inside rewrite
+// synthesis), so same-shape waiters wake and retry instead of blocking on
+// the cv forever.
+class PlanClaimGuard {
+ public:
+  PlanClaimGuard(BatchPlanCache* cache, const std::vector<int>& key)
+      : cache_(cache), key_(key) {}
+  PlanClaimGuard(const PlanClaimGuard&) = delete;
+  PlanClaimGuard& operator=(const PlanClaimGuard&) = delete;
+
+  void set_decision(std::shared_ptr<const PlanDecision> decision) {
+    decision_ = std::move(decision);
+  }
+
+  ~PlanClaimGuard() {
+    if (cache_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(cache_->mu);
+    if (decision_ != nullptr) cache_->map.emplace(key_, std::move(decision_));
+    cache_->in_flight.erase(key_);
+    cache_->cv.notify_all();
+  }
+
+ private:
+  BatchPlanCache* cache_;
+  const std::vector<int>& key_;
+  std::shared_ptr<const PlanDecision> decision_;
+};
+
+AnswerSet EvaluateSubPlan(const ApproxSubPlan& sub, const EngineSet& engines,
+                          const IndexedDatabase* idb, const Database& db,
+                          EvalStats* stats) {
+  const Engine& engine = engines.For(sub.kind);
+  return idb != nullptr ? engine.Evaluate(sub.query, *idb, stats)
+                        : engine.Evaluate(sub.query, db, stats);
+}
+
+// Certain answers: the union of the maximally contained rewrites. Each
+// rewrite Q' satisfies Q' ⊆ Q, so every tuple is a genuine answer.
+AnswerSet UnionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
+                          const EngineSet& engines, const IndexedDatabase* idb,
+                          const Database& db, int arity, EvalStats* stats) {
+  AnswerSet result(arity);
+  for (const ApproxSubPlan& sub : subs) {
+    const AnswerSet part = EvaluateSubPlan(sub, engines, idb, db, stats);
+    for (const Tuple& t : part.tuples()) result.Insert(t);
+  }
+  return result;
+}
+
+// Possible answers: the intersection of the containing rewrites. Each
+// rewrite Q'' satisfies Q ⊆ Q'', so no genuine answer is ever dropped.
+AnswerSet IntersectionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
+                                 const EngineSet& engines,
+                                 const IndexedDatabase* idb, const Database& db,
+                                 int arity, EvalStats* stats) {
+  std::vector<AnswerSet> parts;
+  parts.reserve(subs.size());
+  for (const ApproxSubPlan& sub : subs) {
+    parts.push_back(EvaluateSubPlan(sub, engines, idb, db, stats));
+  }
+  AnswerSet result(arity);
+  if (parts.empty()) return result;
+  for (const Tuple& t : parts[0].tuples()) {
+    bool in_all = true;
+    for (size_t i = 1; i < parts.size() && in_all; ++i) {
+      in_all = parts[i].Contains(t);
+    }
+    if (in_all) result.Insert(t);
+  }
+  return result;
+}
+
+// Plans and evaluates one request into `out`. Plan lookups go per-batch
+// cache first (intra-batch reuse), then the shared EvalCache (cross-batch
+// hit), then the planner; either cache pointer may be null. `idb` null
+// means the scan path. Approximate plans are answered by their rewrites
+// (union for the under side, intersection for the over side).
+void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
+                    const EngineSet& engines, const IndexedDatabase* idb,
+                    BatchPlanCache* batch_cache, EvalCache* shared_cache,
+                    EvalResponse* out) {
+  out->mode = request.mode;
+  const auto plan_start = std::chrono::steady_clock::now();
+  // Forcing an engine is an exact-mode affair: it bypasses the planner and
+  // with it the approximation rule, so approximate-mode requests always go
+  // through planning.
+  if (request.mode == AnswerMode::kExact && options.forced_engine.has_value() &&
+      engines.For(*options.forced_engine).Supports(request.query)) {
+    out->plan.kind = *options.forced_engine;
+    out->plan.reason = "forced by EvalOptions";
+  } else {
+    const std::vector<int> key =
+        PlanCacheKey(request.query, options.planner, request.mode);
+    std::shared_ptr<const PlanDecision> cached;
+    if (batch_cache != nullptr) {
+      std::unique_lock<std::mutex> lock(batch_cache->mu);
+      for (;;) {
+        const auto it = batch_cache->map.find(key);
+        if (it != batch_cache->map.end()) {
+          cached = it->second;
+          break;
+        }
+        // First worker to miss claims the key and plans; later workers of
+        // the same shape wait for its decision instead of repeating the
+        // (possibly synthesis-heavy) planning.
+        if (batch_cache->in_flight.insert(key).second) break;
+        batch_cache->cv.wait(lock);
+      }
+    }
+    if (cached != nullptr) {
+      out->plan_source = PlanSource::kBatchCache;
+      out->plan = *cached;  // deep copy outside every lock
+    } else {
+      PlanClaimGuard claim(batch_cache, key);
+      if (shared_cache != nullptr &&
+          (cached = shared_cache->LookupPlan(key)) != nullptr) {
+        out->plan_source = PlanSource::kSharedCache;
+        out->plan = *cached;
+      } else {
+        out->plan = PlanQuery(request.query, options.planner, request.mode);
+        out->plan_source = PlanSource::kPlanned;
+        cached = std::make_shared<const PlanDecision>(out->plan);
+        if (shared_cache != nullptr) shared_cache->StorePlan(key, cached);
+      }
+      claim.set_decision(cached);
+    }
+  }
+  out->engine = out->plan.kind;
+  out->plan_ms = MsSince(plan_start);
+
+  const auto eval_start = std::chrono::steady_clock::now();
+  const Database& db = *request.db;
+  if (!out->plan.approximate) {
+    // Exact evaluation serves every mode; in kBounds the sandwich collapses.
+    const Engine& engine = engines.For(out->engine);
+    out->answers = idb != nullptr ? engine.Evaluate(request.query, *idb, &out->eval)
+                                  : engine.Evaluate(request.query, db, &out->eval);
+    out->exact = true;
+    if (request.mode == AnswerMode::kBounds) {
+      AnswerBounds bounds;
+      bounds.under = out->answers;
+      bounds.over = out->answers;
+      out->bounds = std::move(bounds);
+    }
+  } else {
+    const int arity = static_cast<int>(request.query.free_variables().size());
+    out->exact = false;
+    switch (request.mode) {
+      case AnswerMode::kUnderApproximate:
+        out->answers = UnionOfSubPlans(out->plan.under, engines, idb, db,
+                                       arity, &out->eval);
+        break;
+      case AnswerMode::kOverApproximate:
+        out->answers = IntersectionOfSubPlans(out->plan.over, engines, idb,
+                                              db, arity, &out->eval);
+        break;
+      case AnswerMode::kBounds: {
+        AnswerBounds bounds;
+        bounds.under = UnionOfSubPlans(out->plan.under, engines, idb, db,
+                                       arity, &out->eval);
+        bounds.over = IntersectionOfSubPlans(out->plan.over, engines, idb, db,
+                                             arity, &out->eval);
+        out->answers = bounds.under;  // the sound (certain) reading
+        out->bounds = std::move(bounds);
+        break;
+      }
+      case AnswerMode::kExact:
+        CQA_CHECK(false);  // the planner never marks exact plans approximate
+        break;
+    }
+  }
+  out->eval_ms = MsSince(eval_start);
+}
+
+}  // namespace
+
+QueryService::QueryService(EvalOptions options) : options_(std::move(options)) {}
+
+QueryService::~QueryService() { Shutdown(); }
+
+EvalResponse QueryService::Evaluate(const EvalRequest& request) const {
+  std::vector<EvalRequest> one;
+  one.push_back(request);
+  std::vector<EvalResponse> responses = EvaluateBatch(one);
+  return std::move(responses.front());
+}
+
+std::vector<EvalResponse> QueryService::EvaluateBatch(
+    const std::vector<EvalRequest>& requests, BatchStats* stats) const {
+  const auto run_start = std::chrono::steady_clock::now();
+
+  std::vector<EvalResponse> responses(requests.size());
+  const EngineSet engines;
+  EvalCache* const shared_cache = options_.cache.get();
+
+  // One immutable index view per distinct database, shared by all worker
+  // threads: structures are built once (under the view's lock) and probed
+  // concurrently afterwards. With a shared EvalCache the views come from —
+  // and outlive the batch in — the cache; the shared_ptr keeps a view
+  // usable even if the cache evicts it mid-batch.
+  std::unordered_map<const Database*, std::shared_ptr<const IndexedDatabase>>
+      views;
+  long long view_hits = 0, view_misses = 0;
+  if (options_.engine.use_index) {
+    for (const EvalRequest& request : requests) {
+      CQA_CHECK(request.db != nullptr);
+      auto& slot = views[request.db];
+      if (slot == nullptr) {
+        if (shared_cache != nullptr) {
+          bool hit = false;
+          slot = shared_cache->AcquireIndexed(*request.db, &hit);
+          ++(hit ? view_hits : view_misses);
+        } else {
+          slot = std::make_shared<IndexedDatabase>(
+              *request.db, options_.engine.ToIndexOptions());
+        }
+      }
+    }
+  }
+
+  // Intra-batch plan tier; shapes already decided by the shared cache are
+  // copied in on first touch so later requests count as intra-batch reuses.
+  BatchPlanCache batch_plans;
+
+  const auto run_request = [&](size_t i) {
+    const EvalRequest& request = requests[i];
+    CQA_CHECK(request.db != nullptr);
+    const IndexedDatabase* idb =
+        options_.engine.use_index ? views.at(request.db).get() : nullptr;
+    ExecuteRequest(request, options_, engines, idb, &batch_plans, shared_cache,
+                   &responses[i]);
+  };
+
+  int threads = ResolveThreadCount(options_.num_threads);
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), requests.size()));
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) run_request(i);
+  } else {
+    // Work-stealing by atomic index: deterministic output because every
+    // request writes only responses[i] and evaluation itself is
+    // deterministic. A throw (e.g. bad_alloc inside rewrite synthesis)
+    // must not escape a std::thread — the first one is captured, the pool
+    // winds down, and it is rethrown to the caller after the join.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (size_t i = next.fetch_add(1); i < requests.size();
+             i = next.fetch_add(1)) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          try {
+            run_request(i);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error == nullptr) {
+                first_error = std::current_exception();
+              }
+            }
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchStats{};
+    stats->wall_ms = MsSince(run_start);
+    stats->jobs = static_cast<int>(requests.size());
+    stats->threads_used = requests.empty() ? 0 : std::max(threads, 1);
+    stats->index_cache_hits = view_hits;
+    stats->index_cache_misses = view_misses;
+    for (const EvalResponse& r : responses) {
+      stats->total_eval_ms += r.eval_ms;
+      stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
+      stats->eval.Add(r.eval);
+      if (r.plan_source == PlanSource::kBatchCache) ++stats->plan_cache_hits;
+      if (r.plan_source == PlanSource::kSharedCache) ++stats->cross_plan_hits;
+      if (r.plan.approximate) ++stats->approx_jobs;
+    }
+    for (const auto& [db, view] : views) {
+      stats->index_bytes += view->stats().bytes;
+    }
+  }
+  return responses;
+}
+
+std::future<EvalResponse> QueryService::Submit(EvalRequest request) {
+  CQA_CHECK(request.db != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  CQA_CHECK(!stopping_);  // Submit after Shutdown is a caller bug
+  if (options_.cache == nullptr && own_cache_ == nullptr) {
+    EvalCacheOptions cache_options;
+    cache_options.index = options_.engine.ToIndexOptions();
+    own_cache_ = std::make_shared<EvalCache>(cache_options);
+  }
+  if (workers_.empty()) {
+    const int threads = ResolveThreadCount(options_.num_threads);
+    workers_.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers_.emplace_back(&QueryService::WorkerLoop, this);
+    }
+  }
+  queue_.push_back(Pending{std::move(request), std::promise<EvalResponse>()});
+  std::future<EvalResponse> future = queue_.back().promise.get_future();
+  ++in_flight_;
+  work_cv_.notify_one();
+  return future;
+}
+
+void QueryService::WorkerLoop() {
+  const EngineSet engines;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping, and all pending requests done
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    EvalCache* const cache =
+        options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
+    lock.unlock();
+
+    EvalResponse response;
+    // The shared_ptr keeps the view alive for the whole request even if the
+    // cache evicts or invalidates it meanwhile. A throw must not escape the
+    // worker thread (std::terminate): it travels through the future.
+    try {
+      std::shared_ptr<const IndexedDatabase> view;
+      if (options_.engine.use_index) {
+        view = cache->AcquireIndexed(*pending.request.db);
+      }
+      ExecuteRequest(pending.request, options_, engines, view.get(),
+                     /*batch_cache=*/nullptr, cache, &response);
+      pending.promise.set_value(std::move(response));
+    } catch (...) {
+      pending.promise.set_exception(std::current_exception());
+    }
+
+    lock.lock();
+    if (--in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+EvalCache* QueryService::serving_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
+}
+
+}  // namespace cqa

@@ -1,0 +1,280 @@
+// QueryService: the one serving API. Callers describe work as EvalRequests
+// (query + database ref + AnswerMode + one consolidated EvalOptions) and get
+// EvalResponses back (answers or an AnswerBounds sandwich, plus the plan,
+// where it came from, and per-request stats) — blocking one at a time, as a
+// deterministic batch, or streamed through a persistent worker pool. The
+// approximation-aware planner (eval/engine.h) sits behind it: a request in
+// an approximate mode on a width-over-budget query is answered by evaluating
+// synthesized TW(width_budget) rewrites, whose synthesis is cached per query
+// shape in the EvalCache plan tier so it is paid once across batches.
+//
+// This header also carries the *legacy* batch vocabulary — BatchJob,
+// BatchResult, BatchOptions, BatchEvaluator — as thin aliases/forwards over
+// the new names, kept for one release. New code should speak
+// EvalRequest/EvalResponse/QueryService.
+//
+// Ownership and thread-safety contracts
+// -------------------------------------
+//  - EvalRequest borrows its Database; the caller keeps it alive until the
+//    response is returned / the Submit future is ready, and must not mutate
+//    a database while requests over it are in flight. Mutating between
+//    batches is fine — the cross-batch EvalCache (eval/cache.h) detects it
+//    via Database::version and rebuilds.
+//  - QueryService::EvaluateBatch is const and reentrant; it owns its
+//    transient thread pool and per-run caches, so several batches may
+//    proceed concurrently on one service. Within a batch, one immutable
+//    IndexedDatabase view per distinct database is shared by all workers,
+//    and planner decisions are reused across requests of the same canonical
+//    shape x mode. Results are deterministic: bit-identical to a sequential
+//    run.
+//  - When EvalOptions::cache is set, views and plans come from (and survive
+//    into) that shared EvalCache; the cache's own IndexOptions govern index
+//    building. The cache may be shared by many services and threads.
+//  - Submit/Drain/Shutdown form the streaming seam. They are mutually
+//    thread-safe (any thread may submit), but unlike EvaluateBatch they
+//    mutate the service (a persistent worker pool + queue), so a streaming
+//    service must outlive its futures' producers, i.e. destroy it only
+//    after Shutdown or after all futures are ready. A request's answers are
+//    identical to what a blocking EvaluateBatch of the same request would
+//    return; only completion order varies.
+
+#ifndef CQA_EVAL_SERVICE_H_
+#define CQA_EVAL_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/answer_set.h"
+#include "eval/engine.h"
+#include "eval/eval_stats.h"
+
+namespace cqa {
+
+class EvalCache;  // eval/cache.h
+
+/// The consolidated serving options: everything that used to be spread over
+/// EngineOptions, PlannerOptions and the batch knobs, in one struct. The
+/// engine/planner sub-structs are *nested once* here (engine.h stays their
+/// single source of truth — nothing is re-declared); the static_asserts
+/// after the legacy aliases below pin the no-duplication invariant.
+struct EvalOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  int num_threads = 0;
+  /// When set, every kExact request runs on this engine instead of the
+  /// planner's pick (requests the engine does not Support, and requests in
+  /// approximate modes, fall back to the planner).
+  std::optional<EngineKind> forced_engine;
+  /// Planner knobs: width budget + approximation-synthesis limits.
+  PlannerOptions planner;
+  /// Engine knobs: index on/off + per-view byte budget.
+  EngineOptions engine;
+  /// Cross-batch cache (eval/cache.h). When set, index views and plans are
+  /// looked up there first and stored back, so they outlive any one batch;
+  /// the cache's IndexOptions override EngineOptions' index knobs. When
+  /// unset, EvaluateBatch keeps per-run caches and Submit lazily creates a
+  /// private EvalCache so streaming still amortizes across requests.
+  std::shared_ptr<EvalCache> cache;
+};
+
+/// One unit of serving work. `db` is borrowed and must outlive the request;
+/// many requests may share one database.
+struct EvalRequest {
+  ConjunctiveQuery query;
+  const Database* db = nullptr;
+  AnswerMode mode = AnswerMode::kExact;
+};
+
+/// The paper's answer sandwich for AnswerMode::kBounds: under ⊆ Q(D) ⊆ over.
+struct AnswerBounds {
+  AnswerSet under = AnswerSet(0);  ///< certain answers (all correct)
+  AnswerSet over = AnswerSet(0);   ///< possible answers (nothing missing)
+
+  long long certain_count() const { return static_cast<long long>(under.size()); }
+  long long possible_count() const { return static_cast<long long>(over.size()); }
+  /// True when the sandwich collapsed: the bounds *are* the exact answers.
+  bool tight() const { return under == over; }
+};
+
+/// Outcome of one request.
+struct EvalResponse {
+  AnswerMode mode = AnswerMode::kExact;  ///< mode of the request
+  /// The answers in the mode's reading: exact Q(D) (kExact, or any mode on
+  /// an in-budget query), the certain answers (kUnderApproximate, kBounds),
+  /// or the possible answers (kOverApproximate).
+  AnswerSet answers = AnswerSet(0);
+  /// True when `answers` is exactly Q(D) — always in kExact mode, and in
+  /// the approximate modes whenever the planner could stay exact.
+  bool exact = true;
+  /// The sandwich, set iff mode == kBounds (under == answers then).
+  std::optional<AnswerBounds> bounds;
+  EngineKind engine = EngineKind::kNaive;  ///< exact-path engine of the plan
+  PlanDecision plan;                       ///< planner verdict (if planned)
+  PlanSource plan_source = PlanSource::kPlanned;  ///< where the plan came from
+  EvalStats eval;        ///< per-request evaluation counters
+  double plan_ms = 0.0;  ///< planning wall time (includes synthesis)
+  double eval_ms = 0.0;  ///< evaluation wall time
+
+  /// True when the plan came from a cache (either tier).
+  bool plan_cached() const { return plan_source != PlanSource::kPlanned; }
+};
+
+/// Aggregate timing over a batch.
+struct BatchStats {
+  double wall_ms = 0.0;        ///< end-to-end wall time of the batch
+  double total_eval_ms = 0.0;  ///< sum of per-request eval times (CPU-ish)
+  double max_job_ms = 0.0;     ///< slowest single request (plan + eval)
+  int jobs = 0;
+  int threads_used = 0;
+  /// Requests whose plan was an *intra-batch reuse*: a decision made
+  /// earlier in this same batch. Cross-batch hits are counted separately.
+  long long plan_cache_hits = 0;
+  /// Requests whose plan came from the shared EvalCache (a different batch
+  /// — or streaming request — planned this shape x mode first).
+  long long cross_plan_hits = 0;
+  /// Distinct-database view acquisitions served by the shared EvalCache /
+  /// built fresh into it. Both stay 0 when EvalOptions::cache is unset.
+  long long index_cache_hits = 0;
+  long long index_cache_misses = 0;
+  /// Requests answered through approximation rewrites (plan.approximate).
+  long long approx_jobs = 0;
+  EvalStats eval;             ///< summed per-request evaluation counters
+  long long index_bytes = 0;  ///< footprint of the index views this batch used
+};
+
+/// The serving facade. One service instance handles blocking, batch, and
+/// streaming evaluation in all four AnswerModes through one options struct
+/// and (optionally) one shared cross-batch cache.
+class QueryService {
+ public:
+  explicit QueryService(EvalOptions options = {});
+
+  /// Joins the streaming workers (running Submit futures complete first).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Evaluates one request, blocking. Equivalent to a one-element batch.
+  EvalResponse Evaluate(const EvalRequest& request) const;
+
+  /// Runs all requests across a transient thread pool; results are indexed
+  /// like the input and bit-identical to a sequential run. `stats`
+  /// (optional) receives aggregate timing. When indexing is on, one
+  /// immutable IndexedDatabase per distinct database is shared by all
+  /// workers; plans are cached per canonical shape x mode so repeated
+  /// shapes (and their approximation synthesis) plan once. If a request
+  /// throws (e.g. bad_alloc), the pool winds down and the first exception
+  /// is rethrown to the caller.
+  std::vector<EvalResponse> EvaluateBatch(
+      const std::vector<EvalRequest>& requests,
+      BatchStats* stats = nullptr) const;
+
+  /// Streaming submission: enqueues one request on the persistent worker
+  /// pool (started lazily on first call) and returns a future for its
+  /// response. The answers equal what EvaluateBatch({request}) would
+  /// produce. Thread-safe. CHECK-fails after Shutdown(). Plans and (when
+  /// indexing is on) views go through EvalOptions::cache, or through a
+  /// private EvalCache created on first Submit when none was configured.
+  /// If the request throws, the exception is delivered via the future.
+  std::future<EvalResponse> Submit(EvalRequest request);
+
+  /// Blocks until every submitted request has completed. Thread-safe.
+  void Drain();
+
+  /// Drains outstanding requests, then stops and joins the worker pool.
+  /// Idempotent; afterwards Submit CHECK-fails. Thread-safe.
+  void Shutdown();
+
+  /// The cache streaming requests go through: EvalOptions::cache when set,
+  /// else the private cache (nullptr before the first Submit creates it).
+  EvalCache* serving_cache() const;
+
+  const EvalOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    EvalRequest request;
+    std::promise<EvalResponse> promise;
+  };
+
+  void WorkerLoop();
+
+  EvalOptions options_;
+
+  // Streaming state (untouched by EvaluateBatch, which is const and
+  // self-contained).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals workers: request or shutdown
+  std::condition_variable idle_cv_;  ///< signals Drain: in_flight_ hit 0
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<EvalCache> own_cache_;  ///< lazy fallback serving cache
+  long long in_flight_ = 0;               ///< queued + executing requests
+  bool stopping_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Legacy batch API (deprecated, kept one release for migration).
+//
+// The old vocabulary maps 1:1 onto the new one — these are aliases, not
+// parallel structs, so there is exactly one source of truth for each field
+// and old call sites keep compiling (EvalRequest aggregate-initializes like
+// BatchJob did; EvalResponse has every BatchResult field). One deliberate
+// source break rides along: PlannerOptions::max_width was renamed to
+// width_budget (engine.h) — callers setting it must rename too.
+// ---------------------------------------------------------------------------
+
+using BatchJob = EvalRequest;       ///< deprecated name; use EvalRequest
+using BatchResult = EvalResponse;   ///< deprecated name; use EvalResponse
+using BatchOptions = EvalOptions;   ///< deprecated name; use EvalOptions
+
+// The single-source-of-truth invariant the aliases encode: the legacy names
+// must never drift back into re-declared field copies.
+static_assert(std::is_same_v<BatchOptions, EvalOptions> &&
+                  std::is_same_v<BatchJob, EvalRequest> &&
+                  std::is_same_v<BatchResult, EvalResponse>,
+              "legacy batch names must stay aliases of the EvalOptions/"
+              "EvalRequest/EvalResponse single source of truth");
+
+/// Deprecated facade over QueryService: Run/Submit forward 1:1. New code
+/// should construct a QueryService directly.
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(EvalOptions options = {})
+      : service_(std::move(options)) {}
+
+  BatchEvaluator(const BatchEvaluator&) = delete;
+  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+  [[deprecated("use QueryService::EvaluateBatch")]] std::vector<BatchResult>
+  Run(const std::vector<BatchJob>& jobs, BatchStats* stats = nullptr) const {
+    return service_.EvaluateBatch(jobs, stats);
+  }
+
+  [[deprecated("use QueryService::Submit")]] std::future<BatchResult> Submit(
+      BatchJob job) {
+    return service_.Submit(std::move(job));
+  }
+
+  void Drain() { service_.Drain(); }
+  void Shutdown() { service_.Shutdown(); }
+  EvalCache* serving_cache() const { return service_.serving_cache(); }
+  const EvalOptions& options() const { return service_.options(); }
+
+ private:
+  QueryService service_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_SERVICE_H_

@@ -136,4 +136,16 @@ ConjunctiveQuery RandomCyclicGraphCQ(int cycle_len, int extra_atoms,
   return q;
 }
 
+ConjunctiveQuery TriangleOutputCQ() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  const int z = q.AddVariable("z");
+  q.AddAtom(0, {x, y});
+  q.AddAtom(0, {y, z});
+  q.AddAtom(0, {z, x});
+  q.SetFreeVariables({x, z});
+  return q;
+}
+
 }  // namespace cqa

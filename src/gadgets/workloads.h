@@ -26,6 +26,12 @@ ConjunctiveQuery RandomCQ(VocabularyPtr vocab, int num_vars, int num_atoms,
 ConjunctiveQuery RandomCyclicGraphCQ(int cycle_len, int extra_atoms,
                                      Rng* rng);
 
+/// Q(x, z) :- E(x, y), E(y, z), E(z, x): cyclic (min-fill width 2) with
+/// output, so evaluation must enumerate every triangle — the canonical
+/// width-over-budget shape the approximation-serving tests and benches
+/// share.
+ConjunctiveQuery TriangleOutputCQ();
+
 }  // namespace cqa
 
 #endif  // CQA_GADGETS_WORKLOADS_H_

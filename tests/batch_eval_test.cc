@@ -10,8 +10,15 @@
 #include "base/rng.h"
 #include "data/generators.h"
 #include "eval/engine.h"
+#include "eval/service.h"
 #include "eval/naive.h"
 #include "gadgets/workloads.h"
+
+
+// These tests exercise the legacy BatchEvaluator adapters on purpose (the
+// deprecated forwards must keep matching QueryService); silence the
+// deprecation warnings they intentionally trigger.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cqa {
 namespace {

@@ -11,11 +11,18 @@
 #include "cq/properties.h"
 #include "data/generators.h"
 #include "eval/engine.h"
+#include "eval/service.h"
 #include "eval/naive.h"
 #include "gadgets/examples.h"
 #include "gadgets/intro.h"
 #include "gadgets/workloads.h"
 #include "graph/standard.h"
+
+
+// These tests exercise the legacy BatchEvaluator adapters on purpose (the
+// deprecated forwards must keep matching QueryService); silence the
+// deprecation warnings they intentionally trigger.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cqa {
 namespace {
@@ -122,7 +129,7 @@ TEST(PlannerTest, AcyclicGoesToYannakakis) {
 }
 
 TEST(PlannerTest, SmallTreewidthGoesToTreewidthDP) {
-  // The triangle is cyclic with (min-fill) width 2 <= default max_width 3.
+  // The triangle is cyclic with (min-fill) width 2 <= default width_budget 3.
   const PlanDecision d = PlanQuery(IntroQ1());
   EXPECT_EQ(d.kind, EngineKind::kTreewidth);
   EXPECT_FALSE(d.acyclic);
@@ -131,7 +138,7 @@ TEST(PlannerTest, SmallTreewidthGoesToTreewidthDP) {
 
 TEST(PlannerTest, WidthBudgetFallsBackToNaive) {
   PlannerOptions opts;
-  opts.max_width = 1;
+  opts.width_budget = 1;
   const PlanDecision d = PlanQuery(IntroQ1(), opts);  // width 2 > 1
   EXPECT_EQ(d.kind, EngineKind::kNaive);
   EXPECT_EQ(d.width, 2);

@@ -16,9 +16,16 @@
 #include "data/index.h"
 #include "eval/cache.h"
 #include "eval/engine.h"
+#include "eval/service.h"
 #include "eval/naive.h"
 #include "gadgets/intro.h"
 #include "gadgets/workloads.h"
+
+
+// These tests exercise the legacy BatchEvaluator adapters on purpose (the
+// deprecated forwards must keep matching QueryService); silence the
+// deprecation warnings they intentionally trigger.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace cqa {
 namespace {
@@ -246,16 +253,17 @@ TEST(EvalCacheTest, PlanLruEvictsBeyondEntryBound) {
   options.max_plan_entries = 1;
   EvalCache cache(options);
 
-  PlanDecision plan;
-  plan.kind = EngineKind::kNaive;
-  cache.StorePlan({1}, plan);
-  plan.kind = EngineKind::kTreewidth;
-  cache.StorePlan({2}, plan);  // evicts key {1}
+  auto naive_plan = std::make_shared<PlanDecision>();
+  naive_plan->kind = EngineKind::kNaive;
+  cache.StorePlan({1}, naive_plan);
+  auto tw_plan = std::make_shared<PlanDecision>();
+  tw_plan->kind = EngineKind::kTreewidth;
+  cache.StorePlan({2}, tw_plan);  // evicts key {1}
 
-  PlanDecision out;
-  EXPECT_FALSE(cache.LookupPlan({1}, &out));
-  EXPECT_TRUE(cache.LookupPlan({2}, &out));
-  EXPECT_EQ(out.kind, EngineKind::kTreewidth);
+  EXPECT_EQ(cache.LookupPlan({1}), nullptr);
+  const std::shared_ptr<const PlanDecision> out = cache.LookupPlan({2});
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->kind, EngineKind::kTreewidth);
   const EvalCacheStats stats = cache.stats();
   EXPECT_EQ(stats.plan_evictions, 1);
   EXPECT_EQ(stats.plan_entries, 1);

@@ -1,0 +1,345 @@
+// Tests for the QueryService serving API (eval/service): exact mode must be
+// indistinguishable from the legacy BatchEvaluator::Run, the approximate
+// AnswerModes must sandwich the forced-exact answers (under ⊆ exact ⊆ over)
+// on the gadget workloads, tractable queries must collapse the sandwich,
+// and approximation synthesis must be paid once per query shape — the
+// second batch through a shared EvalCache serves the synthesized plans from
+// the plan tier.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "base/rng.h"
+#include "data/generators.h"
+#include "eval/cache.h"
+#include "eval/naive.h"
+#include "eval/service.h"
+#include "gadgets/intro.h"
+#include "gadgets/workloads.h"
+
+// The legacy-equivalence tests below call the deprecated BatchEvaluator
+// forwards on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace cqa {
+namespace {
+
+// A mixed exact-mode workload shared by the legacy-equivalence tests.
+struct Workload {
+  std::vector<Database> databases;
+  std::vector<EvalRequest> jobs;
+};
+
+Workload MakeWorkload(uint64_t seed, int num_jobs) {
+  Workload w;
+  Rng rng(seed);
+  w.databases.push_back(
+      RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true));
+  w.databases.push_back(RandomCycleChordDatabase(12, 5, &rng));
+  for (int i = 0; i < num_jobs; ++i) {
+    const Database* db = &w.databases[i % w.databases.size()];
+    if (i % 3 == 0) {
+      w.jobs.push_back({RandomCyclicGraphCQ(3, 2, &rng), db});
+    } else {
+      w.jobs.push_back(
+          {RandomGraphCQ(2 + i % 4, 3 + i % 3, &rng, i % 3), db});
+    }
+  }
+  return w;
+}
+
+TEST(QueryServiceTest, ExactModeIdenticalToLegacyBatchEvaluatorRun) {
+  const Workload w = MakeWorkload(20260726, 14);
+  EvalOptions opts;
+  opts.num_threads = 3;
+
+  BatchStats new_stats, old_stats;
+  const auto via_service = QueryService(opts).EvaluateBatch(w.jobs, &new_stats);
+  const auto via_legacy = BatchEvaluator(opts).Run(w.jobs, &old_stats);
+
+  ASSERT_EQ(via_service.size(), via_legacy.size());
+  for (size_t i = 0; i < via_service.size(); ++i) {
+    EXPECT_TRUE(via_service[i].answers == via_legacy[i].answers) << "job " << i;
+    EXPECT_EQ(via_service[i].engine, via_legacy[i].engine) << "job " << i;
+    EXPECT_EQ(via_service[i].plan.reason, via_legacy[i].plan.reason);
+    EXPECT_EQ(via_service[i].mode, AnswerMode::kExact);
+    EXPECT_TRUE(via_service[i].exact);
+    EXPECT_FALSE(via_service[i].bounds.has_value());
+  }
+  EXPECT_EQ(new_stats.jobs, old_stats.jobs);
+  EXPECT_EQ(new_stats.plan_cache_hits, old_stats.plan_cache_hits);
+  EXPECT_EQ(new_stats.approx_jobs, 0);
+}
+
+TEST(QueryServiceTest, LegacySubmitForwardsToService) {
+  const Workload w = MakeWorkload(77, 6);
+  EvalOptions opts;
+  opts.num_threads = 2;
+  BatchEvaluator legacy(opts);
+  std::vector<std::future<BatchResult>> futures;
+  for (const BatchJob& job : w.jobs) futures.push_back(legacy.Submit(job));
+  legacy.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const BatchResult r = futures[i].get();
+    EXPECT_TRUE(r.answers == EvaluateNaive(w.jobs[i].query, *w.jobs[i].db))
+        << "job " << i;
+  }
+  legacy.Shutdown();
+}
+
+// Every approximate mode must sandwich the exact answers on the worked
+// gadget queries (all cyclic, all width > 1, so a width budget of 1 forces
+// rewrites).
+TEST(QueryServiceTest, BoundsSandwichOnGadgetWorkloads) {
+  const ConjunctiveQuery queries[] = {IntroQ1(), IntroQ3(), Prop59Query(),
+                                      NonBooleanTriangle(),
+                                      TriangleOutputCQ()};
+  EvalOptions opts;
+  opts.num_threads = 2;
+  opts.planner.width_budget = 1;
+  const QueryService service(opts);
+
+  for (const uint64_t seed : {3u, 17u}) {
+    Rng rng(seed);
+    const Database db =
+        RandomDigraphDatabase(9, 0.35, &rng, /*allow_loops=*/true);
+    for (const ConjunctiveQuery& q : queries) {
+      const AnswerSet exact = EvaluateNaive(q, db);
+
+      const EvalResponse bounds =
+          service.Evaluate({q, &db, AnswerMode::kBounds});
+      ASSERT_TRUE(bounds.bounds.has_value()) << PrintQuery(q);
+      EXPECT_TRUE(bounds.plan.approximate) << PrintQuery(q);
+      EXPECT_FALSE(bounds.exact) << PrintQuery(q);
+      EXPECT_EQ(bounds.mode, AnswerMode::kBounds);
+      EXPECT_FALSE(bounds.plan.under.empty());
+      EXPECT_FALSE(bounds.plan.over.empty());
+      EXPECT_TRUE(bounds.bounds->under.IsSubsetOf(exact))
+          << "under ⊄ exact for " << PrintQuery(q);
+      EXPECT_TRUE(exact.IsSubsetOf(bounds.bounds->over))
+          << "exact ⊄ over for " << PrintQuery(q);
+      // The response's `answers` is the certain (sound) reading.
+      EXPECT_TRUE(bounds.answers == bounds.bounds->under);
+
+      const EvalResponse under =
+          service.Evaluate({q, &db, AnswerMode::kUnderApproximate});
+      EXPECT_FALSE(under.bounds.has_value());
+      EXPECT_TRUE(under.answers.IsSubsetOf(exact)) << PrintQuery(q);
+      EXPECT_TRUE(under.answers == bounds.bounds->under);
+
+      const EvalResponse over =
+          service.Evaluate({q, &db, AnswerMode::kOverApproximate});
+      EXPECT_FALSE(over.bounds.has_value());
+      EXPECT_TRUE(exact.IsSubsetOf(over.answers)) << PrintQuery(q);
+      EXPECT_TRUE(over.answers == bounds.bounds->over);
+    }
+  }
+}
+
+TEST(QueryServiceTest, RandomCyclicBoundsSandwich) {
+  Rng rng(424242);
+  EvalOptions opts;
+  opts.num_threads = 1;
+  opts.planner.width_budget = 1;
+  const QueryService service(opts);
+  int approximated = 0;
+  for (int round = 0; round < 10; ++round) {
+    const Database db =
+        RandomDigraphDatabase(8 + round % 3, 0.35, &rng, /*allow_loops=*/true);
+    const ConjunctiveQuery q = RandomCyclicGraphCQ(3 + round % 2, 2, &rng);
+    const AnswerSet exact = EvaluateNaive(q, db);
+    const EvalResponse r = service.Evaluate({q, &db, AnswerMode::kBounds});
+    ASSERT_TRUE(r.bounds.has_value());
+    EXPECT_TRUE(r.bounds->under.IsSubsetOf(exact)) << PrintQuery(q);
+    EXPECT_TRUE(exact.IsSubsetOf(r.bounds->over)) << PrintQuery(q);
+    if (r.plan.approximate) ++approximated;
+    // Collapsed sandwiches (width within budget) must be the exact answers.
+    if (!r.plan.approximate) {
+      EXPECT_TRUE(r.bounds->tight());
+      EXPECT_TRUE(r.answers == exact);
+    }
+  }
+  // The generator guarantees cyclic queries; most exceed a width budget
+  // of 1, so the approximation rule must actually fire in this sweep.
+  EXPECT_GT(approximated, 0);
+}
+
+// Queries the planner can evaluate exactly within budget serve every mode
+// exactly: the sandwich collapses and `exact` stays true.
+TEST(QueryServiceTest, TractableQueriesCollapseBounds) {
+  Rng rng(11);
+  const Database db = RandomDigraphDatabase(10, 0.3, &rng);
+  const QueryService service;  // default width budget 3
+  // Acyclic (Yannakakis) and small-width cyclic (treewidth DP).
+  for (const ConjunctiveQuery& q : {IntroQ2Approx(), IntroQ1()}) {
+    const AnswerSet exact = EvaluateNaive(q, db);
+    for (const AnswerMode mode :
+         {AnswerMode::kBounds, AnswerMode::kUnderApproximate,
+          AnswerMode::kOverApproximate}) {
+      const EvalResponse r = service.Evaluate({q, &db, mode});
+      EXPECT_TRUE(r.exact) << PrintQuery(q);
+      EXPECT_FALSE(r.plan.approximate);
+      EXPECT_TRUE(r.answers == exact) << PrintQuery(q);
+      if (mode == AnswerMode::kBounds) {
+        ASSERT_TRUE(r.bounds.has_value());
+        EXPECT_TRUE(r.bounds->tight());
+        EXPECT_TRUE(r.bounds->under == exact);
+      } else {
+        EXPECT_FALSE(r.bounds.has_value());
+      }
+    }
+  }
+}
+
+// The acceptance criterion: approximation synthesis is per query shape and
+// cached in the EvalCache plan tier, so the second batch through a shared
+// cache reuses the synthesized plans (cross_plan_hits > 0) instead of
+// re-deriving them.
+TEST(QueryServiceTest, ApproxPlansHitSharedCacheOnSecondBatch) {
+  Rng rng(8);
+  const Database db =
+      RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true);
+
+  EvalOptions opts;
+  opts.num_threads = 2;
+  opts.planner.width_budget = 1;
+  opts.cache = std::make_shared<EvalCache>();
+
+  std::vector<EvalRequest> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({i % 2 == 0 ? IntroQ1() : TriangleOutputCQ(), &db,
+                    AnswerMode::kBounds});
+  }
+
+  const QueryService service(opts);
+  BatchStats first_stats, second_stats;
+  const auto first = service.EvaluateBatch(jobs, &first_stats);
+  const auto second = service.EvaluateBatch(jobs, &second_stats);
+
+  EXPECT_EQ(first_stats.cross_plan_hits, 0);
+  EXPECT_EQ(first_stats.approx_jobs, static_cast<long long>(jobs.size()));
+  // Second batch: both shapes come straight from the shared plan tier.
+  EXPECT_GT(second_stats.cross_plan_hits, 0);
+  EXPECT_EQ(second_stats.cross_plan_hits + second_stats.plan_cache_hits,
+            static_cast<long long>(jobs.size()));
+  EXPECT_EQ(second_stats.approx_jobs, static_cast<long long>(jobs.size()));
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    // Served-from-cache plans still carry the synthesized rewrites and
+    // produce identical bounds.
+    EXPECT_TRUE(second[i].plan.approximate) << "job " << i;
+    EXPECT_FALSE(second[i].plan.under.empty()) << "job " << i;
+    ASSERT_TRUE(first[i].bounds.has_value());
+    ASSERT_TRUE(second[i].bounds.has_value());
+    EXPECT_TRUE(first[i].bounds->under == second[i].bounds->under);
+    EXPECT_TRUE(first[i].bounds->over == second[i].bounds->over);
+  }
+  // The plan tier, not re-synthesis, must have served the second batch.
+  const EvalCacheStats cache_stats = opts.cache->stats();
+  EXPECT_GT(cache_stats.plan_hits, 0);
+}
+
+// Modes are part of the plan cache key: an exact plan for a shape must
+// never be served to a bounds request of the same shape, and vice versa.
+TEST(QueryServiceTest, ModesDoNotCrossInThePlanCache) {
+  Rng rng(9);
+  const Database db =
+      RandomDigraphDatabase(9, 0.3, &rng, /*allow_loops=*/true);
+  EvalOptions opts;
+  opts.num_threads = 1;
+  opts.planner.width_budget = 1;
+  opts.cache = std::make_shared<EvalCache>();
+  const QueryService service(opts);
+
+  const AnswerSet exact = EvaluateNaive(IntroQ1(), db);
+  const EvalResponse e = service.Evaluate({IntroQ1(), &db, AnswerMode::kExact});
+  const EvalResponse b = service.Evaluate({IntroQ1(), &db, AnswerMode::kBounds});
+  EXPECT_TRUE(e.exact);
+  EXPECT_FALSE(e.plan.approximate);
+  EXPECT_TRUE(e.answers == exact);
+  EXPECT_TRUE(b.plan.approximate);
+  ASSERT_TRUE(b.bounds.has_value());
+  EXPECT_TRUE(b.bounds->under.IsSubsetOf(exact));
+  EXPECT_TRUE(exact.IsSubsetOf(b.bounds->over));
+}
+
+// Forcing an engine is an exact-mode affair: approximate-mode requests go
+// through the planner (and its approximation rule) regardless.
+TEST(QueryServiceTest, ForcedEngineAppliesToExactModeOnly) {
+  Rng rng(10);
+  const Database db =
+      RandomDigraphDatabase(9, 0.3, &rng, /*allow_loops=*/true);
+  EvalOptions opts;
+  opts.num_threads = 1;
+  opts.planner.width_budget = 1;
+  opts.forced_engine = EngineKind::kNaive;
+  const QueryService service(opts);
+
+  const EvalResponse e = service.Evaluate({IntroQ1(), &db, AnswerMode::kExact});
+  EXPECT_EQ(e.engine, EngineKind::kNaive);
+  EXPECT_EQ(e.plan.reason, "forced by EvalOptions");
+
+  const EvalResponse b = service.Evaluate({IntroQ1(), &db, AnswerMode::kBounds});
+  EXPECT_TRUE(b.plan.approximate);
+  ASSERT_TRUE(b.bounds.has_value());
+  EXPECT_TRUE(b.bounds->under.IsSubsetOf(EvaluateNaive(IntroQ1(), db)));
+}
+
+// Streaming must serve the approximate modes exactly like a blocking batch.
+TEST(QueryServiceTest, StreamingBoundsMatchBlocking) {
+  Rng rng(12);
+  const Database db =
+      RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true);
+  EvalOptions opts;
+  opts.num_threads = 2;
+  opts.planner.width_budget = 1;
+  opts.cache = std::make_shared<EvalCache>();
+
+  std::vector<EvalRequest> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({i % 2 == 0 ? TriangleOutputCQ() : IntroQ3(), &db,
+                    AnswerMode::kBounds});
+  }
+
+  QueryService service(opts);
+  const auto blocking = service.EvaluateBatch(jobs);
+  std::vector<std::future<EvalResponse>> futures;
+  for (const EvalRequest& job : jobs) futures.push_back(service.Submit(job));
+  service.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const EvalResponse streamed = futures[i].get();
+    ASSERT_TRUE(streamed.bounds.has_value());
+    ASSERT_TRUE(blocking[i].bounds.has_value());
+    EXPECT_TRUE(streamed.bounds->under == blocking[i].bounds->under);
+    EXPECT_TRUE(streamed.bounds->over == blocking[i].bounds->over);
+    // The blocking batch already planned both shapes into the shared cache.
+    EXPECT_EQ(streamed.plan_source, PlanSource::kSharedCache);
+  }
+  service.Shutdown();
+}
+
+// Structural synthesis guards: a query too large to synthesize for falls
+// back to exact evaluation instead of stalling in the candidate enumeration.
+TEST(QueryServiceTest, OversizedQueryFallsBackToExact) {
+  Rng rng(13);
+  const Database db = RandomDigraphDatabase(8, 0.3, &rng);
+  EvalOptions opts;
+  opts.num_threads = 1;
+  opts.planner.width_budget = 1;
+  opts.planner.max_synthesis_vars = 2;  // nothing qualifies
+  const QueryService service(opts);
+  const EvalResponse r = service.Evaluate({IntroQ1(), &db, AnswerMode::kBounds});
+  EXPECT_FALSE(r.plan.approximate);
+  EXPECT_TRUE(r.exact);
+  ASSERT_TRUE(r.bounds.has_value());
+  EXPECT_TRUE(r.bounds->tight());
+  EXPECT_TRUE(r.answers == EvaluateNaive(IntroQ1(), db));
+  EXPECT_NE(r.plan.reason.find("synthesis skipped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqa
