@@ -1,0 +1,229 @@
+// Sharded vs unsharded serving: the same workloads evaluated through
+// QueryService with EvalOptions::num_shards swept over shard counts,
+// against the unsharded reference. Two claims are measured and checked:
+//
+//  1. Co-partitioned joins get *algorithmically* cheaper under sharding:
+//     a scan-path star join costs ~|E|^2 unsharded but sum_k |E_k|^2 ~
+//     |E|^2/K sharded, so the sweep series must show >1x speedups growing
+//     with K even on one core (threads add on top where available).
+//  2. Per-shard index views are ordinary EvalCache views: warm batches
+//     must serve every shard's view from the shared cache
+//     (index_cache_hits >= K+1) while answering identically.
+//
+// A third series routes shard-unsound shapes through the same sharded
+// service and checks the fallback answers stay identical (counted in
+// shard_fallbacks, never wrong). Answers diverging anywhere — or warm
+// batches missing the per-shard views — exits nonzero. Pass --quick for
+// the CI smoke run and --csv <path> to mirror the tables (archived as
+// sharding.csv in the bench-baselines artifact).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/generators.h"
+#include "eval/cache.h"
+#include "eval/service.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace {
+
+bool g_all_ok = true;
+
+// The query shapes come from gadgets/workloads.h — the same canonical
+// sound/unsound builders the shard tests use. ShardSoundStarCQ(2), forced
+// through the scan-path naive engine, is a genuine |E|^2 join — the
+// co-partitioning showcase; ShardSoundStarCQ(3) is the wider star of the
+// warm-cache series; ShardUnsoundPathCQ must fall back and still answer
+// exactly.
+
+bool SameAnswers(const std::vector<EvalResponse>& a,
+                 const std::vector<EvalResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].answers == b[i].answers)) return false;
+  }
+  return true;
+}
+
+// Series 1: the scan-path co-partitioned join over growing shard counts.
+void RunScanSweep(const Database& db, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("scan_sweep");
+  std::printf(
+      "Scan-path co-partitioned star join (naive engine, indexes off):\n"
+      "unsharded ~|E|^2 vs sharded ~|E|^2/K. Answers must be identical.\n\n");
+  bench::PrintRow({"shards", "wall_ms", "speedup", "sharded_jobs",
+                   "shard_evals", "nodes", "identical"},
+                  13);
+  bench::PrintRule(7, 13);
+
+  EvalOptions base;
+  base.engine.use_index = false;
+  base.forced_engine = EngineKind::kNaive;
+
+  const std::vector<EvalRequest> jobs = {{ShardSoundStarCQ(2), &db}};
+
+  BatchStats ref_stats;
+  std::vector<EvalResponse> reference;
+  const double ref_ms = bench::TimeMs([&] {
+    reference = QueryService(base).EvaluateBatch(jobs, &ref_stats);
+  });
+  bench::PrintRow({"unsharded", Fmt(ref_ms), "1.00", "0", "0",
+                   Fmt(ref_stats.eval.nodes), "ref"},
+                  13);
+
+  for (const int k : {2, 4, 8}) {
+    if (quick && k > 4) break;
+    EvalOptions opts = base;
+    opts.num_shards = k;
+    const QueryService service(opts);
+    BatchStats stats;
+    std::vector<EvalResponse> results;
+    const double ms =
+        bench::TimeMs([&] { results = service.EvaluateBatch(jobs, &stats); });
+    const bool identical = SameAnswers(results, reference);
+    g_all_ok &= identical;
+    if (stats.sharded_jobs != static_cast<long long>(jobs.size())) {
+      std::fprintf(stderr, "FAILED: star query did not shard at K=%d\n", k);
+      g_all_ok = false;
+    }
+    bench::PrintRow({"K=" + std::to_string(k), Fmt(ms),
+                     Fmt(ms > 1e-9 ? ref_ms / ms : 0.0),
+                     Fmt(stats.sharded_jobs), Fmt(stats.eval.shard_evals),
+                     Fmt(stats.eval.nodes), identical ? "yes" : "NO"},
+                    13);
+  }
+}
+
+// Series 2: warm batches over a shared EvalCache must hit one cached view
+// per shard (plus the unsharded fallback view) and stay byte-identical.
+void RunWarmViews(const Database& db, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("warm_views");
+  const int k = 4;
+  std::printf(
+      "\nWarm per-shard views (K=%d, indexes on, one shared EvalCache):\n"
+      "every warm batch must acquire all %d views from the cache.\n\n",
+      k, k + 1);
+  bench::PrintRow({"batch", "wall_ms", "speedup", "view_hits", "view_miss",
+                   "identical"},
+                  12);
+  bench::PrintRule(6, 12);
+
+  EvalOptions opts;
+  opts.num_shards = k;
+  opts.cache = std::make_shared<EvalCache>();
+
+  std::vector<EvalRequest> jobs;
+  for (int i = 0; i < (quick ? 6 : 12); ++i) {
+    jobs.push_back({i % 2 == 0 ? ShardSoundStarCQ(3) : ShardSoundStarCQ(2), &db});
+  }
+
+  const QueryService service(opts);
+  BatchStats cold_stats;
+  std::vector<EvalResponse> reference;
+  const double cold_ms = bench::TimeMs(
+      [&] { reference = service.EvaluateBatch(jobs, &cold_stats); });
+  bench::PrintRow({"cold", Fmt(cold_ms), "1.00",
+                   Fmt(cold_stats.index_cache_hits),
+                   Fmt(cold_stats.index_cache_misses), "ref"},
+                  12);
+
+  const int warm_batches = quick ? 3 : 5;
+  for (int b = 0; b < warm_batches; ++b) {
+    BatchStats stats;
+    std::vector<EvalResponse> results;
+    const double ms =
+        bench::TimeMs([&] { results = service.EvaluateBatch(jobs, &stats); });
+    const bool identical = SameAnswers(results, reference);
+    g_all_ok &= identical;
+    if (stats.index_cache_hits < k + 1 || stats.index_cache_misses != 0) {
+      std::fprintf(stderr,
+                   "FAILED: warm batch %d acquired %lld/%d views from the "
+                   "cache (%lld misses)\n",
+                   b + 1, stats.index_cache_hits, k + 1,
+                   stats.index_cache_misses);
+      g_all_ok = false;
+    }
+    bench::PrintRow({"warm" + std::to_string(b + 1), Fmt(ms),
+                     Fmt(ms > 1e-9 ? cold_ms / ms : 0.0),
+                     Fmt(stats.index_cache_hits),
+                     Fmt(stats.index_cache_misses),
+                     identical ? "yes" : "NO"},
+                    12);
+  }
+}
+
+// Series 3: unsound shapes through the sharded service — fallbacks, never
+// wrong answers.
+void RunFallback(const Database& db, bool quick) {
+  using bench::Fmt;
+  bench::SetCsvSection("fallback");
+  std::printf(
+      "\nShard-unsound shapes: the gate rejects, the unsharded path answers,\n"
+      "and the answers match the unsharded service exactly.\n\n");
+
+  std::vector<EvalRequest> jobs;
+  for (int i = 0; i < (quick ? 4 : 8); ++i) {
+    jobs.push_back(
+        {i % 2 == 0 ? ShardUnsoundPathCQ() : ShardSoundStarCQ(3), &db});
+  }
+
+  EvalOptions plain;
+  const auto reference = QueryService(plain).EvaluateBatch(jobs);
+
+  EvalOptions opts;
+  opts.num_shards = 4;
+  BatchStats stats;
+  std::vector<EvalResponse> results;
+  const double ms = bench::TimeMs(
+      [&] { results = QueryService(opts).EvaluateBatch(jobs, &stats); });
+  const bool identical = SameAnswers(results, reference);
+  g_all_ok &= identical;
+  if (stats.shard_fallbacks == 0 || stats.sharded_jobs == 0) {
+    std::fprintf(stderr,
+                 "FAILED: expected both sharded jobs and fallbacks "
+                 "(got %lld / %lld)\n",
+                 stats.sharded_jobs, stats.shard_fallbacks);
+    g_all_ok = false;
+  }
+  bench::PrintRow({"mode", "wall_ms", "sharded_jobs", "fallbacks",
+                   "identical"},
+                  14);
+  bench::PrintRule(5, 14);
+  bench::PrintRow({"mixed_K4", Fmt(ms), Fmt(stats.sharded_jobs),
+                   Fmt(stats.shard_fallbacks), identical ? "yes" : "NO"},
+                  14);
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
+  std::printf("Sharded evaluation: hash-partitioned databases (%s mode)\n\n",
+              quick ? "quick" : "full");
+
+  cqa::Rng rng(20260726);
+  const int n = quick ? 2200 : 6000;
+  const cqa::Database db =
+      cqa::RandomDigraphDatabase(n, 3.0 / n, &rng);
+  std::printf("database: %d elements, %lld facts\n\n", n, db.NumFacts());
+
+  cqa::RunScanSweep(db, quick);
+  cqa::RunWarmViews(db, quick);
+  cqa::RunFallback(db, quick);
+  cqa::bench::CloseCsv();
+  if (!cqa::g_all_ok) {
+    std::fprintf(stderr,
+                 "FAILED: sharded answers diverged, a sharded job fell back "
+                 "unexpectedly, or warm batches missed per-shard views\n");
+    return 1;
+  }
+  return 0;
+}

@@ -29,6 +29,11 @@ Only columns whose header cell mentions a time-like name (`ms`, `wall`,
 (counts, speedups, hit rates) are informational only, since "larger" is not
 worse for them.
 
+A CSV present only in the current run (a newly added bench, e.g. the first
+run carrying `sharding.csv`) is a *new baseline*, not a regression: it is
+reported as such and skipped. A CSV present only in the previous artifact
+(a removed or renamed bench) is likewise reported and skipped.
+
 Usage:
     check_bench.py --baseline DIR --current DIR [--tolerance 0.25]
                    [--slack 1.0]
@@ -101,6 +106,18 @@ def main():
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
+
+    # Per-file accounting first: a bench that exists on only one side is a
+    # lifecycle event (new baseline / removed bench), never a regression.
+    baseline_files = {key[0] for key in baseline}
+    current_files = {key[0] for key in current}
+    for name in sorted(current_files - baseline_files):
+        print(f"check_bench: new baseline — {name} has no data in the "
+              "previous artifact; recording without comparison")
+    for name in sorted(baseline_files - current_files):
+        print(f"check_bench: note — {name} present in the previous artifact "
+              "but not in this run (bench removed or renamed?); skipping")
+
     shared = sorted(set(baseline) & set(current))
     if not shared:
         # First run on a branch, renamed sections, or an empty artifact:

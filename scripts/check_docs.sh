@@ -38,7 +38,12 @@ if ! grep -q "^## Serving API" docs/ARCHITECTURE.md; then
   echo "STALE: docs/ARCHITECTURE.md lost its 'Serving API' section"
   fail=1
 fi
-for term in QueryService AnswerMode EvalRequest; do
+if ! grep -q "^## Sharding" docs/ARCHITECTURE.md; then
+  echo "STALE: docs/ARCHITECTURE.md lost its 'Sharding' section"
+  fail=1
+fi
+for term in QueryService AnswerMode EvalRequest ShardedDatabase \
+            IsShardSound num_shards; do
   if ! grep -q "$term" docs/ARCHITECTURE.md; then
     echo "STALE: docs/ARCHITECTURE.md does not mention $term"
     fail=1

@@ -1,0 +1,46 @@
+#include "data/shard.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace cqa {
+
+int ShardOfTuple(const Tuple& fact, int num_shards) {
+  CQA_CHECK(num_shards >= 1);
+  const uint64_t key = fact.empty()
+                           ? static_cast<uint64_t>(HashVector(fact))
+                           : static_cast<uint64_t>(fact[kShardKeyColumn]);
+  return static_cast<int>(MixShardKey(key) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+ShardedDatabase::ShardedDatabase(const Database& db, int num_shards) {
+  CQA_CHECK(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (int k = 0; k < num_shards; ++k) {
+    shards_.emplace_back(db.vocab(), db.num_elements());
+  }
+  for (RelationId r = 0; r < db.vocab()->num_relations(); ++r) {
+    for (const Tuple& fact : db.facts(r)) {
+      shards_[ShardOfTuple(fact, num_shards)].AddFact(r, fact);
+    }
+  }
+}
+
+long long ShardedDatabase::TotalFacts() const {
+  long long total = 0;
+  for (const Database& shard : shards_) total += shard.NumFacts();
+  return total;
+}
+
+long long ShardedDatabase::MaxShardFacts() const {
+  long long max_facts = 0;
+  for (const Database& shard : shards_) {
+    max_facts = std::max(max_facts, shard.NumFacts());
+  }
+  return max_facts;
+}
+
+}  // namespace cqa

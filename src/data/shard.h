@@ -1,0 +1,96 @@
+// Hash-partitioned databases: the data substrate of the sharded evaluation
+// subsystem (eval/shard_eval.h drives it, docs/ARCHITECTURE.md documents the
+// union-soundness algebra).
+//
+// Partition scheme
+// ----------------
+// Facts are routed by the *first column*: fact R(a, b, ...) lands in shard
+// `Mix(a) % K`, where Mix is a fixed 64-bit finalizer (so dense element ids
+// spread evenly and the routing is stable across runs and machines). Every
+// shard is a full Database over the parent's vocabulary and universe — only
+// the fact sets are partitioned — so element ids mean the same thing in
+// every shard and per-shard answer sets union literally.
+//
+// Vocabulary arities are >= 1 (Vocabulary::AddRelation enforces it), so the
+// first column always exists; ShardOfTuple still defines the edge cases
+// defensively: an arity-1 fact's first column *is* all of its columns, and a
+// (hypothetical) arity-0 fact hashes the whole empty tuple — a constant, so
+// all such facts would share one shard.
+//
+// Why first-column routing: joins whose every atom places one common
+// variable in the key column are *co-partitioned* — every homomorphism
+// lands entirely inside one shard, which is exactly the soundness condition
+// IsShardSound (eval/engine.h) tests, and which lets per-shard evaluation
+// skip the cross-shard pairings entirely (a scan-path join over K shards
+// costs ~1/K of the unsharded scan).
+//
+// Cache interplay: each shard is an ordinary Database with its own
+// Fingerprint(), so per-shard IndexedDatabase views live in the existing
+// EvalCache (eval/cache.h) unmodified and survive across batches like any
+// other view. The lifetime contract is the cache's usual one: a shard must
+// outlive every view built from it (QueryService keeps its partitions
+// registered for exactly this reason — see eval/service.h).
+
+#ifndef CQA_DATA_SHARD_H_
+#define CQA_DATA_SHARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/database.h"
+
+namespace cqa {
+
+/// The argument position facts are routed by (the partition scheme above).
+inline constexpr int kShardKeyColumn = 0;
+
+/// Stable 64-bit mixer for shard routing (SplitMix64 finalizer): decorrelates
+/// the dense element ids from the shard count so K never aliases structure
+/// in the data.
+inline uint64_t MixShardKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The shard (in [0, num_shards)) that `fact` is routed to: the mixed hash
+/// of its first column, or of the whole (empty) tuple for the defensive
+/// arity-0 case. Deterministic; num_shards must be >= 1.
+int ShardOfTuple(const Tuple& fact, int num_shards);
+
+/// A Database hash-partitioned into `num_shards` shard Databases. Shards
+/// share the parent's vocabulary and universe size; every parent fact
+/// appears in exactly one shard (disjoint cover). Immutable once built:
+/// partitioning does not track later parent mutations — callers that mutate
+/// the parent must re-partition (QueryService does this via the parent's
+/// version counter).
+class ShardedDatabase {
+ public:
+  /// Partitions `db` in one O(total facts) pass. num_shards must be >= 1;
+  /// num_shards == 1 yields a single shard holding a copy of every fact
+  /// (the degenerate partition, useful for testing the sharded path).
+  ShardedDatabase(const Database& db, int num_shards);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shard `k` as an ordinary Database (own Fingerprint(), indexable,
+  /// cacheable). Valid for k in [0, num_shards()).
+  const Database& shard(int k) const { return shards_[k]; }
+
+  const std::vector<Database>& shards() const { return shards_; }
+
+  /// Sum over shards of NumFacts() — equals the parent's NumFacts().
+  long long TotalFacts() const;
+
+  /// Facts in the fullest shard; with heavy first-column skew (every fact
+  /// sharing one key value) this is all of them.
+  long long MaxShardFacts() const;
+
+ private:
+  std::vector<Database> shards_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_DATA_SHARD_H_

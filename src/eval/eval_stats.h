@@ -14,6 +14,12 @@ struct EvalStats {
   long long index_hits = 0;    ///< probes that found a nonempty bucket
   long long index_builds = 0;  ///< index/projection builds this run caused
   long long table_reuses = 0;  ///< cached projections/columns reused
+  /// Per-shard sub-evaluations this run fanned out (eval/shard_eval.h);
+  /// 0 on unsharded runs. The other counters then hold the *per-shard
+  /// totals*: each shard's probes/nodes are summed in, so e.g.
+  /// index_probes is the work across all shards, comparable to an
+  /// unsharded run's.
+  long long shard_evals = 0;
 
   /// Accumulates `other` (batch aggregation).
   void Add(const EvalStats& other) {
@@ -22,6 +28,7 @@ struct EvalStats {
     index_hits += other.index_hits;
     index_builds += other.index_builds;
     table_reuses += other.table_reuses;
+    shard_evals += other.shard_evals;
   }
 };
 

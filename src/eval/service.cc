@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -10,7 +11,9 @@
 #include "base/check.h"
 #include "base/hash.h"
 #include "data/index.h"
+#include "data/shard.h"
 #include "eval/cache.h"
+#include "eval/shard_eval.h"
 
 namespace cqa {
 namespace {
@@ -87,10 +90,33 @@ class PlanClaimGuard {
   std::shared_ptr<const PlanDecision> decision_;
 };
 
+// Everything one request needs to evaluate shard-by-shard: the partition
+// (shared ownership keeps it alive for the whole job even if the registry
+// supersedes it meanwhile), the per-shard index views (empty = scan), and
+// the fan-out width ShardedEvaluate may use. Null context = sharding off.
+struct ShardContext {
+  std::shared_ptr<const ShardedDatabase> shards;
+  ShardViews views;
+  int parallelism = 1;
+};
+
+// How ExecuteRequest reaches the sharded path: a lazy provider, invoked
+// only once a plan actually passed the shard gate, so databases that only
+// ever see shard-unsound plans are never partitioned and never grow
+// per-shard views. Null = sharding off.
+using ShardContextProvider = std::function<const ShardContext*()>;
+
+// `shard_ctx` non-null routes the sub-evaluation through the per-shard
+// union; the caller only passes it for shard-sound plans.
 AnswerSet EvaluateSubPlan(const ApproxSubPlan& sub, const EngineSet& engines,
+                          const ShardContext* shard_ctx,
                           const IndexedDatabase* idb, const Database& db,
                           EvalStats* stats) {
   const Engine& engine = engines.For(sub.kind);
+  if (shard_ctx != nullptr) {
+    return ShardedEvaluate(sub.query, engine, *shard_ctx->shards,
+                           shard_ctx->views, shard_ctx->parallelism, stats);
+  }
   return idb != nullptr ? engine.Evaluate(sub.query, *idb, stats)
                         : engine.Evaluate(sub.query, db, stats);
 }
@@ -98,11 +124,14 @@ AnswerSet EvaluateSubPlan(const ApproxSubPlan& sub, const EngineSet& engines,
 // Certain answers: the union of the maximally contained rewrites. Each
 // rewrite Q' satisfies Q' ⊆ Q, so every tuple is a genuine answer.
 AnswerSet UnionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
-                          const EngineSet& engines, const IndexedDatabase* idb,
-                          const Database& db, int arity, EvalStats* stats) {
+                          const EngineSet& engines,
+                          const ShardContext* shard_ctx,
+                          const IndexedDatabase* idb, const Database& db,
+                          int arity, EvalStats* stats) {
   AnswerSet result(arity);
   for (const ApproxSubPlan& sub : subs) {
-    const AnswerSet part = EvaluateSubPlan(sub, engines, idb, db, stats);
+    const AnswerSet part =
+        EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats);
     for (const Tuple& t : part.tuples()) result.Insert(t);
   }
   return result;
@@ -112,12 +141,13 @@ AnswerSet UnionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
 // rewrite Q'' satisfies Q ⊆ Q'', so no genuine answer is ever dropped.
 AnswerSet IntersectionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
                                  const EngineSet& engines,
+                                 const ShardContext* shard_ctx,
                                  const IndexedDatabase* idb, const Database& db,
                                  int arity, EvalStats* stats) {
   std::vector<AnswerSet> parts;
   parts.reserve(subs.size());
   for (const ApproxSubPlan& sub : subs) {
-    parts.push_back(EvaluateSubPlan(sub, engines, idb, db, stats));
+    parts.push_back(EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats));
   }
   AnswerSet result(arity);
   if (parts.empty()) return result;
@@ -134,21 +164,28 @@ AnswerSet IntersectionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
 // Plans and evaluates one request into `out`. Plan lookups go per-batch
 // cache first (intra-batch reuse), then the shared EvalCache (cross-batch
 // hit), then the planner; either cache pointer may be null. `idb` null
-// means the scan path. Approximate plans are answered by their rewrites
-// (union for the under side, intersection for the over side).
+// means the scan path; `shard_ctx` non-null offers the sharded path, taken
+// exactly when the plan is shard-sound. Approximate plans are answered by
+// their rewrites (union for the under side, intersection for the over
+// side), each rewrite itself sharded when the gate passed (the planner only
+// marks an approximate plan shard-sound when every rewrite is).
 void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
                     const EngineSet& engines, const IndexedDatabase* idb,
                     BatchPlanCache* batch_cache, EvalCache* shared_cache,
+                    const ShardContextProvider* acquire_shards,
                     EvalResponse* out) {
   out->mode = request.mode;
   const auto plan_start = std::chrono::steady_clock::now();
   // Forcing an engine is an exact-mode affair: it bypasses the planner and
   // with it the approximation rule, so approximate-mode requests always go
-  // through planning.
+  // through planning. The shard gate still applies (it is a property of the
+  // query shape, not of the engine choice).
   if (request.mode == AnswerMode::kExact && options.forced_engine.has_value() &&
       engines.For(*options.forced_engine).Supports(request.query)) {
     out->plan.kind = *options.forced_engine;
     out->plan.reason = "forced by EvalOptions";
+    out->plan.shard_sound =
+        IsShardSound(request.query, &out->plan.shard_reason);
   } else {
     const std::vector<int> key =
         PlanCacheKey(request.query, options.planner, request.mode);
@@ -191,11 +228,26 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
 
   const auto eval_start = std::chrono::steady_clock::now();
   const Database& db = *request.db;
+  // The shard gate: sharding was requested AND the plan passed the
+  // union-soundness algebra — only then is the partition (lazily) acquired.
+  // Unsound plans run the unsharded path below unchanged (the fallback the
+  // planner's shard_reason explains).
+  const ShardContext* shard =
+      acquire_shards != nullptr && out->plan.shard_sound ? (*acquire_shards)()
+                                                         : nullptr;
+  out->sharded = shard != nullptr;
   if (!out->plan.approximate) {
     // Exact evaluation serves every mode; in kBounds the sandwich collapses.
     const Engine& engine = engines.For(out->engine);
-    out->answers = idb != nullptr ? engine.Evaluate(request.query, *idb, &out->eval)
-                                  : engine.Evaluate(request.query, db, &out->eval);
+    if (shard != nullptr) {
+      out->answers = ShardedEvaluate(request.query, engine, *shard->shards,
+                                     shard->views, shard->parallelism,
+                                     &out->eval);
+    } else {
+      out->answers = idb != nullptr
+                         ? engine.Evaluate(request.query, *idb, &out->eval)
+                         : engine.Evaluate(request.query, db, &out->eval);
+    }
     out->exact = true;
     if (request.mode == AnswerMode::kBounds) {
       AnswerBounds bounds;
@@ -208,19 +260,19 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
     out->exact = false;
     switch (request.mode) {
       case AnswerMode::kUnderApproximate:
-        out->answers = UnionOfSubPlans(out->plan.under, engines, idb, db,
-                                       arity, &out->eval);
+        out->answers = UnionOfSubPlans(out->plan.under, engines, shard, idb,
+                                       db, arity, &out->eval);
         break;
       case AnswerMode::kOverApproximate:
-        out->answers = IntersectionOfSubPlans(out->plan.over, engines, idb,
-                                              db, arity, &out->eval);
+        out->answers = IntersectionOfSubPlans(out->plan.over, engines, shard,
+                                              idb, db, arity, &out->eval);
         break;
       case AnswerMode::kBounds: {
         AnswerBounds bounds;
-        bounds.under = UnionOfSubPlans(out->plan.under, engines, idb, db,
-                                       arity, &out->eval);
-        bounds.over = IntersectionOfSubPlans(out->plan.over, engines, idb, db,
-                                             arity, &out->eval);
+        bounds.under = UnionOfSubPlans(out->plan.under, engines, shard, idb,
+                                       db, arity, &out->eval);
+        bounds.over = IntersectionOfSubPlans(out->plan.over, engines, shard,
+                                             idb, db, arity, &out->eval);
         out->answers = bounds.under;  // the sound (certain) reading
         out->bounds = std::move(bounds);
         break;
@@ -237,7 +289,137 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
 
 QueryService::QueryService(EvalOptions options) : options_(std::move(options)) {}
 
-QueryService::~QueryService() { Shutdown(); }
+QueryService::~QueryService() {
+  Shutdown();
+  // The shard partitions die with the service: unregister their views from
+  // any cache a caller may keep alive past us, so a later content-equal
+  // acquisition can never probe freed shard storage. (Per the cache
+  // contract, jobs of *other* services holding such views must have
+  // finished before a sharded service is destroyed.)
+  const std::vector<EvalCache*> caches = ServingCaches();
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  for (const ShardPartition& partition : shard_partitions_) {
+    UnregisterShardViews(partition, caches);
+  }
+}
+
+void QueryService::UnregisterShardViews(const ShardPartition& partition,
+                                        const std::vector<EvalCache*>& caches) {
+  for (EvalCache* cache : caches) {
+    for (int k = 0; k < partition.shards->num_shards(); ++k) {
+      cache->Invalidate(partition.shards->shard(k));
+    }
+  }
+}
+
+void QueryService::InvalidateShards(const Database& db) {
+  const std::vector<EvalCache*> caches = ServingCaches();
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  for (ShardPartition& p : shard_partitions_) {
+    if (!p.live || p.source != &db) continue;
+    p.live = false;
+    UnregisterShardViews(p, caches);
+  }
+}
+
+std::vector<EvalCache*> QueryService::ServingCaches() const {
+  std::vector<EvalCache*> caches;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.cache != nullptr) caches.push_back(options_.cache.get());
+  if (own_cache_ != nullptr) caches.push_back(own_cache_.get());
+  return caches;
+}
+
+std::shared_ptr<const ShardedDatabase> QueryService::AcquireShards(
+    const Database& db) const {
+  const int num_shards = std::max(options_.num_shards, 1);
+  const long long num_facts = db.NumFacts();
+  const int num_elements = db.num_elements();
+  // Fast path: the same database object at the same version was partitioned
+  // before. Like the EvalCache fingerprint memo, this is an identity memo:
+  // the fact/element guards *narrow* the address-reuse hole (a freed
+  // database whose address is reused by one with equal version and counts
+  // would still match), they do not close it — callers destroying a
+  // database this service has served must call InvalidateShards first (the
+  // contract in the header), which kills the entry the memo could hit.
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    for (const ShardPartition& p : shard_partitions_) {
+      if (p.live && p.source == &db && p.source_version == db.version() &&
+          p.num_facts == num_facts && p.num_elements == num_elements) {
+        return p.shards;
+      }
+    }
+  }
+
+  // Slow path: O(facts) fingerprint, and only on a true content miss the
+  // O(facts) partition build — both outside the lock, so concurrent
+  // batches on other databases never stall behind them. Caches are
+  // collected up front to keep the lock order one-way (shard_mu_ is never
+  // held while taking mu_).
+  const std::vector<EvalCache*> caches = ServingCaches();
+  const uint64_t fingerprint = db.Fingerprint();
+
+  // Under shard_mu_: retire partitions a mutation of `db` superseded (dead
+  // but retained — in-flight jobs elsewhere may still probe views built
+  // from them; see the header), then look for a live content match. On a
+  // match, register an identity alias for `db` unless one exists, so a
+  // content-equal twin object pays the fingerprint once and takes the
+  // O(1) fast path afterwards.
+  const auto find_or_alias_locked =
+      [&]() -> std::shared_ptr<const ShardedDatabase> {
+    for (ShardPartition& p : shard_partitions_) {
+      if (p.live && p.source == &db && p.source_version != db.version()) {
+        p.live = false;
+        UnregisterShardViews(p, caches);
+      }
+    }
+    std::shared_ptr<const ShardedDatabase> found;
+    bool have_identity = false;
+    for (const ShardPartition& p : shard_partitions_) {
+      if (!p.live || p.fingerprint != fingerprint ||
+          p.num_facts != num_facts || p.num_elements != num_elements) {
+        continue;
+      }
+      if (found == nullptr) found = p.shards;
+      have_identity |=
+          p.source == &db && p.source_version == db.version();
+    }
+    if (found != nullptr && !have_identity) {
+      ShardPartition alias;
+      alias.source = &db;
+      alias.source_version = db.version();
+      alias.fingerprint = fingerprint;
+      alias.num_facts = num_facts;
+      alias.num_elements = num_elements;
+      alias.shards = found;
+      shard_partitions_.push_back(std::move(alias));
+    }
+    return found;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    if (auto existing = find_or_alias_locked()) return existing;
+  }
+
+  // True miss: build the partition, then re-check — a racing thread may
+  // have registered the same content while we built (drop ours then: no
+  // view was built from it, so dropping is safe).
+  auto built = std::make_shared<const ShardedDatabase>(db, num_shards);
+
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  if (auto raced = find_or_alias_locked()) return raced;
+  ShardPartition partition;
+  partition.source = &db;
+  partition.source_version = db.version();
+  partition.fingerprint = fingerprint;
+  partition.num_facts = num_facts;
+  partition.num_elements = num_elements;
+  partition.shards = std::move(built);
+  shard_partitions_.push_back(std::move(partition));
+  return shard_partitions_.back().shards;
+}
 
 EvalResponse QueryService::Evaluate(const EvalRequest& request) const {
   std::vector<EvalRequest> one;
@@ -254,30 +436,74 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
   const EngineSet engines;
   EvalCache* const shared_cache = options_.cache.get();
 
+  const int hw_threads = ResolveThreadCount(options_.num_threads);
+  int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(hw_threads), requests.size()));
+
   // One immutable index view per distinct database, shared by all worker
   // threads: structures are built once (under the view's lock) and probed
   // concurrently afterwards. With a shared EvalCache the views come from —
   // and outlive the batch in — the cache; the shared_ptr keeps a view
-  // usable even if the cache evicts it mid-batch.
+  // usable even if the cache evicts it mid-batch. The plain (unsharded)
+  // view is acquired even when sharding is on: shard-unsound plans fall
+  // back to it.
   std::unordered_map<const Database*, std::shared_ptr<const IndexedDatabase>>
       views;
-  long long view_hits = 0, view_misses = 0;
+  // Atomics: the plain views are acquired sequentially below, but per-shard
+  // views are acquired lazily from inside worker threads.
+  std::atomic<long long> view_hits{0}, view_misses{0};
+  const auto acquire_view = [&](const Database& db) {
+    if (shared_cache != nullptr) {
+      bool hit = false;
+      auto view = shared_cache->AcquireIndexed(db, &hit);
+      ++(hit ? view_hits : view_misses);
+      return view;
+    }
+    return std::make_shared<const IndexedDatabase>(
+        db, options_.engine.ToIndexOptions());
+  };
   if (options_.engine.use_index) {
     for (const EvalRequest& request : requests) {
       CQA_CHECK(request.db != nullptr);
       auto& slot = views[request.db];
-      if (slot == nullptr) {
-        if (shared_cache != nullptr) {
-          bool hit = false;
-          slot = shared_cache->AcquireIndexed(*request.db, &hit);
-          ++(hit ? view_hits : view_misses);
-        } else {
-          slot = std::make_shared<IndexedDatabase>(
-              *request.db, options_.engine.ToIndexOptions());
-        }
-      }
+      if (slot == nullptr) slot = acquire_view(*request.db);
     }
   }
+
+  // Sharded path setup: one *lazy* slot per distinct database. The
+  // partition and its per-shard views are built on the first request whose
+  // plan passes the shard gate — a batch of only shard-unsound plans never
+  // partitions anything. Per-shard views are ordinary cache views (each
+  // shard has its own fingerprint) and count into the same hit/miss stats.
+  // Fan-out width per request is the thread budget the batch itself leaves
+  // unused, so a one-request batch shards across every core while a
+  // saturated batch keeps its parallelism across requests. Keys are all
+  // inserted up front: worker threads only ever find their node, never
+  // rehash the map.
+  struct LazyShardSlot {
+    std::mutex mu;
+    bool built = false;
+    ShardContext ctx;
+  };
+  std::unordered_map<const Database*, LazyShardSlot> shard_slots;
+  const bool sharding = options_.num_shards >= 1;
+  const int shard_parallelism = std::max(1, hw_threads / std::max(threads, 1));
+  if (sharding) {
+    for (const EvalRequest& request : requests) {
+      CQA_CHECK(request.db != nullptr);
+      shard_slots.try_emplace(request.db);
+    }
+  }
+  const auto build_shard_ctx = [&](const Database& db, ShardContext* ctx) {
+    ctx->shards = AcquireShards(db);
+    ctx->parallelism = shard_parallelism;
+    if (options_.engine.use_index) {
+      ctx->views.reserve(ctx->shards->num_shards());
+      for (int k = 0; k < ctx->shards->num_shards(); ++k) {
+        ctx->views.push_back(acquire_view(ctx->shards->shard(k)));
+      }
+    }
+  };
 
   // Intra-batch plan tier; shapes already decided by the shared cache are
   // copied in on first touch so later requests count as intra-batch reuses.
@@ -288,13 +514,18 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
     CQA_CHECK(request.db != nullptr);
     const IndexedDatabase* idb =
         options_.engine.use_index ? views.at(request.db).get() : nullptr;
+    const ShardContextProvider acquire = [&, db = request.db]() {
+      LazyShardSlot& slot = shard_slots.at(db);
+      std::lock_guard<std::mutex> lock(slot.mu);
+      if (!slot.built) {
+        build_shard_ctx(*db, &slot.ctx);
+        slot.built = true;
+      }
+      return static_cast<const ShardContext*>(&slot.ctx);
+    };
     ExecuteRequest(request, options_, engines, idb, &batch_plans, shared_cache,
-                   &responses[i]);
+                   sharding ? &acquire : nullptr, &responses[i]);
   };
-
-  int threads = ResolveThreadCount(options_.num_threads);
-  threads = static_cast<int>(
-      std::min<size_t>(static_cast<size_t>(threads), requests.size()));
 
   if (threads <= 1) {
     for (size_t i = 0; i < requests.size(); ++i) run_request(i);
@@ -339,8 +570,8 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
     stats->wall_ms = MsSince(run_start);
     stats->jobs = static_cast<int>(requests.size());
     stats->threads_used = requests.empty() ? 0 : std::max(threads, 1);
-    stats->index_cache_hits = view_hits;
-    stats->index_cache_misses = view_misses;
+    stats->index_cache_hits = view_hits.load();
+    stats->index_cache_misses = view_misses.load();
     for (const EvalResponse& r : responses) {
       stats->total_eval_ms += r.eval_ms;
       stats->max_job_ms = std::max(stats->max_job_ms, r.plan_ms + r.eval_ms);
@@ -348,9 +579,20 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
       if (r.plan_source == PlanSource::kBatchCache) ++stats->plan_cache_hits;
       if (r.plan_source == PlanSource::kSharedCache) ++stats->cross_plan_hits;
       if (r.plan.approximate) ++stats->approx_jobs;
+      if (r.sharded) {
+        ++stats->sharded_jobs;
+      } else if (options_.num_shards >= 1) {
+        ++stats->shard_fallbacks;
+      }
     }
     for (const auto& [db, view] : views) {
       stats->index_bytes += view->stats().bytes;
+    }
+    for (const auto& [db, slot] : shard_slots) {
+      if (!slot.built) continue;  // reads are safe: workers joined above
+      for (const auto& view : slot.ctx.views) {
+        stats->index_bytes += view->stats().bytes;
+      }
     }
   }
   return responses;
@@ -392,16 +634,40 @@ void QueryService::WorkerLoop() {
     lock.unlock();
 
     EvalResponse response;
-    // The shared_ptr keeps the view alive for the whole request even if the
-    // cache evicts or invalidates it meanwhile. A throw must not escape the
-    // worker thread (std::terminate): it travels through the future.
+    // The shared_ptrs keep the views (and the shard partition) alive for
+    // the whole request even if a cache evicts or the registry supersedes
+    // them meanwhile. A throw must not escape the worker thread
+    // (std::terminate): it travels through the future.
     try {
       std::shared_ptr<const IndexedDatabase> view;
       if (options_.engine.use_index) {
         view = cache->AcquireIndexed(*pending.request.db);
       }
+      // Lazy, like the batch path: the partition is only acquired when the
+      // plan passes the shard gate. Streamed requests run concurrently with
+      // each other already, so the per-request shard fan-out stays
+      // sequential to avoid oversubscribing the persistent pool.
+      ShardContext shard_ctx;
+      bool shard_ctx_built = false;
+      const ShardContextProvider acquire = [&]() {
+        if (!shard_ctx_built) {
+          shard_ctx.shards = AcquireShards(*pending.request.db);
+          shard_ctx.parallelism = 1;
+          if (options_.engine.use_index) {
+            shard_ctx.views.reserve(shard_ctx.shards->num_shards());
+            for (int k = 0; k < shard_ctx.shards->num_shards(); ++k) {
+              shard_ctx.views.push_back(
+                  cache->AcquireIndexed(shard_ctx.shards->shard(k)));
+            }
+          }
+          shard_ctx_built = true;
+        }
+        return static_cast<const ShardContext*>(&shard_ctx);
+      };
       ExecuteRequest(pending.request, options_, engines, view.get(),
-                     /*batch_cache=*/nullptr, cache, &response);
+                     /*batch_cache=*/nullptr, cache,
+                     options_.num_shards >= 1 ? &acquire : nullptr,
+                     &response);
       pending.promise.set_value(std::move(response));
     } catch (...) {
       pending.promise.set_exception(std::current_exception());

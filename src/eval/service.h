@@ -8,10 +8,21 @@
 // synthesized TW(width_budget) rewrites, whose synthesis is cached per query
 // shape in the EvalCache plan tier so it is paid once across batches.
 //
-// This header also carries the *legacy* batch vocabulary — BatchJob,
-// BatchResult, BatchOptions, BatchEvaluator — as thin aliases/forwards over
-// the new names, kept for one release. New code should speak
-// EvalRequest/EvalResponse/QueryService.
+// Sharded evaluation (EvalOptions::num_shards >= 1): every database a
+// request mentions is hash-partitioned by first column (data/shard.h) and
+// shard-sound plans (PlanDecision::shard_sound, the IsShardSound algebra in
+// eval/engine.h) are answered as the union of per-shard evaluations
+// (eval/shard_eval.h) — in every AnswerMode and through all three calling
+// conventions. Plans the algebra rejects fall back to the unsharded path
+// (never a wrong answer; BatchStats::shard_fallbacks counts them and
+// PlanDecision::shard_reason says why). Partitions are kept on the service
+// (see the contract below); per-shard index views are ordinary EvalCache
+// views keyed by each shard's own fingerprint, so they survive across
+// batches like any other view.
+//
+// (The pre-QueryService batch vocabulary — BatchJob/BatchResult/
+// BatchOptions aliases and the deprecated BatchEvaluator forwards — was
+// removed after its one-release migration window.)
 //
 // Ownership and thread-safety contracts
 // -------------------------------------
@@ -37,6 +48,20 @@
 //    after Shutdown or after all futures are ready. A request's answers are
 //    identical to what a blocking EvaluateBatch of the same request would
 //    return; only completion order varies.
+//  - With num_shards >= 1 the service keeps one ShardedDatabase partition
+//    per distinct database content it has served *shard-sound plans* for
+//    (partitions are acquired lazily, only when a request actually takes
+//    the sharded path; re-partitioned when the source's version() shows a
+//    mutation; superseded partitions are retained until the service is
+//    destroyed so cached views can never dangle). The destructor
+//    unregisters every shard from EvalOptions::cache; when that cache is
+//    shared with other services, the cache's usual lifetime contract
+//    applies to the shards exactly as it does to caller-owned databases
+//    (eval/cache.h): let other holders' in-flight jobs finish before
+//    destroying a sharded service. A caller that destroys a Database a
+//    sharded service has served should call InvalidateShards(db) first
+//    (alongside the usual EvalCache::Invalidate), so a later allocation
+//    reusing the address can never match the registry's identity memo.
 
 #ifndef CQA_EVAL_SERVICE_H_
 #define CQA_EVAL_SERVICE_H_
@@ -48,8 +73,6 @@
 #include <mutex>
 #include <optional>
 #include <thread>
-#include <type_traits>
-#include <utility>
 #include <vector>
 
 #include "cq/cq.h"
@@ -60,7 +83,8 @@
 
 namespace cqa {
 
-class EvalCache;  // eval/cache.h
+class EvalCache;        // eval/cache.h
+class ShardedDatabase;  // data/shard.h
 
 /// The consolidated serving options: everything that used to be spread over
 /// EngineOptions, PlannerOptions and the batch knobs, in one struct. The
@@ -70,6 +94,16 @@ class EvalCache;  // eval/cache.h
 struct EvalOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
   int num_threads = 0;
+  /// Hash shards per database for the sharded evaluation path; 0 (or
+  /// negative) = off. When >= 1, each distinct database is partitioned by
+  /// first column (data/shard.h; 1 is the degenerate single-shard
+  /// partition, useful for testing) and shard-sound plans are answered as
+  /// the union of per-shard evaluations; plans the soundness algebra
+  /// rejects fall back to the unsharded path with the reason in
+  /// PlanDecision::shard_reason. Partitions are built once per database
+  /// content and kept on the service; per-shard index views go through the
+  /// same caches as every other view.
+  int num_shards = 0;
   /// When set, every kExact request runs on this engine instead of the
   /// planner's pick (requests the engine does not Support, and requests in
   /// approximate modes, fall back to the planner).
@@ -120,6 +154,10 @@ struct EvalResponse {
   EngineKind engine = EngineKind::kNaive;  ///< exact-path engine of the plan
   PlanDecision plan;                       ///< planner verdict (if planned)
   PlanSource plan_source = PlanSource::kPlanned;  ///< where the plan came from
+  /// True when the answers came from the sharded path (the union of
+  /// per-shard evaluations); false when sharding was off, or was requested
+  /// but the plan was not shard-sound (see plan.shard_reason).
+  bool sharded = false;
   EvalStats eval;        ///< per-request evaluation counters
   double plan_ms = 0.0;  ///< planning wall time (includes synthesis)
   double eval_ms = 0.0;  ///< evaluation wall time
@@ -147,6 +185,13 @@ struct BatchStats {
   long long index_cache_misses = 0;
   /// Requests answered through approximation rewrites (plan.approximate).
   long long approx_jobs = 0;
+  /// Requests answered via the per-shard union (EvalResponse::sharded).
+  /// `eval.shard_evals` then carries the per-shard sub-evaluation count and
+  /// the other `eval` counters the per-shard probe/node totals.
+  long long sharded_jobs = 0;
+  /// Requests where sharding was requested (num_shards >= 1) but the plan
+  /// was not shard-sound, so the unsharded path answered instead.
+  long long shard_fallbacks = 0;
   EvalStats eval;             ///< summed per-request evaluation counters
   long long index_bytes = 0;  ///< footprint of the index views this batch used
 };
@@ -195,6 +240,16 @@ class QueryService {
   /// Idempotent; afterwards Submit CHECK-fails. Thread-safe.
   void Shutdown();
 
+  /// Unregisters every shard partition built from `db` (by identity): the
+  /// partition is marked dead and its shard views are dropped from the
+  /// serving caches, exactly as the destructor does for all partitions
+  /// (in-flight jobs holding the partition finish safely; the next request
+  /// over that database re-partitions). The sharding counterpart of
+  /// EvalCache::Invalidate — call both before destroying a Database this
+  /// service has served with sharding on. No-op when the database was
+  /// never partitioned.
+  void InvalidateShards(const Database& db);
+
   /// The cache streaming requests go through: EvalOptions::cache when set,
   /// else the private cache (nullptr before the first Submit creates it).
   EvalCache* serving_cache() const;
@@ -207,7 +262,41 @@ class QueryService {
     std::promise<EvalResponse> promise;
   };
 
+  // One cached partition of one database content (num_shards is fixed by
+  // the options). `source`/`source_version` make steady-state lookups an
+  // identity check instead of an O(facts) fingerprint; `live` flips to
+  // false when the source mutates and a fresh partition supersedes this one
+  // — the superseded shards are *retained* (not freed) because a shared
+  // EvalCache may have handed views built from them to concurrently running
+  // batches (see the file comment; they are unregistered from the caches
+  // immediately, so nothing new can acquire them).
+  struct ShardPartition {
+    const Database* source = nullptr;
+    uint64_t source_version = 0;
+    uint64_t fingerprint = 0;
+    long long num_facts = 0;  ///< fingerprint-collision guard
+    int num_elements = 0;     ///< fingerprint-collision guard
+    std::shared_ptr<const ShardedDatabase> shards;
+    bool live = true;
+  };
+
   void WorkerLoop();
+
+  /// The partition of `db` (building and registering one if needed, or
+  /// re-partitioning after a mutation). Thread-safe; the returned pointer
+  /// keeps the shards alive for the caller's whole job.
+  std::shared_ptr<const ShardedDatabase> AcquireShards(
+      const Database& db) const;
+
+  /// Every serving cache currently in play (options_.cache and/or the
+  /// private streaming cache). Used to unregister shard views.
+  std::vector<EvalCache*> ServingCaches() const;
+
+  /// Drops every view built from `partition`'s shards out of `caches`. The
+  /// one retirement routine shared by the destructor, InvalidateShards,
+  /// and the mutation-supersede path in AcquireShards.
+  static void UnregisterShardViews(const ShardPartition& partition,
+                                   const std::vector<EvalCache*>& caches);
 
   EvalOptions options_;
 
@@ -221,58 +310,12 @@ class QueryService {
   std::shared_ptr<EvalCache> own_cache_;  ///< lazy fallback serving cache
   long long in_flight_ = 0;               ///< queued + executing requests
   bool stopping_ = false;
-};
 
-// ---------------------------------------------------------------------------
-// Legacy batch API (deprecated, kept one release for migration).
-//
-// The old vocabulary maps 1:1 onto the new one — these are aliases, not
-// parallel structs, so there is exactly one source of truth for each field
-// and old call sites keep compiling (EvalRequest aggregate-initializes like
-// BatchJob did; EvalResponse has every BatchResult field). One deliberate
-// source break rides along: PlannerOptions::max_width was renamed to
-// width_budget (engine.h) — callers setting it must rename too.
-// ---------------------------------------------------------------------------
-
-using BatchJob = EvalRequest;       ///< deprecated name; use EvalRequest
-using BatchResult = EvalResponse;   ///< deprecated name; use EvalResponse
-using BatchOptions = EvalOptions;   ///< deprecated name; use EvalOptions
-
-// The single-source-of-truth invariant the aliases encode: the legacy names
-// must never drift back into re-declared field copies.
-static_assert(std::is_same_v<BatchOptions, EvalOptions> &&
-                  std::is_same_v<BatchJob, EvalRequest> &&
-                  std::is_same_v<BatchResult, EvalResponse>,
-              "legacy batch names must stay aliases of the EvalOptions/"
-              "EvalRequest/EvalResponse single source of truth");
-
-/// Deprecated facade over QueryService: Run/Submit forward 1:1. New code
-/// should construct a QueryService directly.
-class BatchEvaluator {
- public:
-  explicit BatchEvaluator(EvalOptions options = {})
-      : service_(std::move(options)) {}
-
-  BatchEvaluator(const BatchEvaluator&) = delete;
-  BatchEvaluator& operator=(const BatchEvaluator&) = delete;
-
-  [[deprecated("use QueryService::EvaluateBatch")]] std::vector<BatchResult>
-  Run(const std::vector<BatchJob>& jobs, BatchStats* stats = nullptr) const {
-    return service_.EvaluateBatch(jobs, stats);
-  }
-
-  [[deprecated("use QueryService::Submit")]] std::future<BatchResult> Submit(
-      BatchJob job) {
-    return service_.Submit(std::move(job));
-  }
-
-  void Drain() { service_.Drain(); }
-  void Shutdown() { service_.Shutdown(); }
-  EvalCache* serving_cache() const { return service_.serving_cache(); }
-  const EvalOptions& options() const { return service_.options(); }
-
- private:
-  QueryService service_;
+  // Shard-partition registry, shared by batch and streaming paths (its own
+  // lock: never held together with mu_). Grows by one entry per distinct
+  // database content served sharded, plus one per observed mutation.
+  mutable std::mutex shard_mu_;
+  mutable std::vector<ShardPartition> shard_partitions_;
 };
 
 }  // namespace cqa

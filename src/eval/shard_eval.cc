@@ -1,0 +1,79 @@
+#include "eval/shard_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "base/check.h"
+
+namespace cqa {
+
+AnswerSet ShardedEvaluate(const ConjunctiveQuery& q, const Engine& engine,
+                          const ShardedDatabase& shards,
+                          const ShardViews& views, int parallelism,
+                          EvalStats* stats) {
+  CQA_CHECK(engine.Supports(q));
+  const int num_shards = shards.num_shards();
+  const bool indexed = !views.empty();
+  CQA_CHECK(!indexed || static_cast<int>(views.size()) == num_shards);
+
+  std::vector<AnswerSet> parts;
+  std::vector<EvalStats> part_stats(num_shards);
+  parts.reserve(num_shards);
+  const int arity = static_cast<int>(q.free_variables().size());
+  for (int k = 0; k < num_shards; ++k) parts.emplace_back(arity);
+
+  const auto run_shard = [&](int k) {
+    EvalStats* st = stats != nullptr ? &part_stats[k] : nullptr;
+    parts[k] = indexed ? engine.Evaluate(q, *views[k], st)
+                       : engine.Evaluate(q, shards.shard(k), st);
+  };
+
+  const int threads = std::clamp(parallelism, 1, num_shards);
+  if (threads <= 1) {
+    for (int k = 0; k < num_shards; ++k) run_shard(k);
+  } else {
+    std::atomic<int> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (int k = next.fetch_add(1); k < num_shards;
+             k = next.fetch_add(1)) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          try {
+            run_shard(k);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error == nullptr) {
+                first_error = std::current_exception();
+              }
+            }
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  }
+
+  AnswerSet result(arity);
+  for (int k = 0; k < num_shards; ++k) {
+    for (const Tuple& t : parts[k].tuples()) result.Insert(t);
+    if (stats != nullptr) {
+      stats->Add(part_stats[k]);
+      ++stats->shard_evals;
+    }
+  }
+  return result;
+}
+
+}  // namespace cqa

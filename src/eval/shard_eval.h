@@ -1,0 +1,52 @@
+// ShardedEvaluate: the per-shard fan-out driver of the sharded evaluation
+// subsystem. One (query, engine) evaluation is run on every shard of a
+// ShardedDatabase (data/shard.h) and the per-shard answer sets are unioned —
+// which equals the unsharded answers exactly when the query is shard-sound
+// (IsShardSound, eval/engine.h; the serving layer enforces that gate and
+// falls back otherwise, so this driver itself assumes nothing).
+//
+// Determinism: shards are evaluated by a deterministic engine each, per-shard
+// EvalStats are summed in shard order after every shard finished, and the
+// union is a set union — the result is identical for any parallelism.
+//
+// Thread-safety: stateless. With parallelism > 1 the driver spawns transient
+// worker threads over an atomic shard index (the same pattern as
+// QueryService::EvaluateBatch); engines are stateless and the views are
+// thread-safe, so shards never contend. An exception in any shard (e.g.
+// bad_alloc) is captured, the fan-out winds down, and the first one is
+// rethrown to the caller.
+
+#ifndef CQA_EVAL_SHARD_EVAL_H_
+#define CQA_EVAL_SHARD_EVAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/index.h"
+#include "data/shard.h"
+#include "eval/answer_set.h"
+#include "eval/engine.h"
+#include "eval/eval_stats.h"
+
+namespace cqa {
+
+/// Per-shard IndexedDatabase views, parallel to ShardedDatabase::shards().
+/// Empty = evaluate every shard by the scan path; otherwise the size must
+/// equal num_shards() and every entry must be non-null.
+using ShardViews = std::vector<std::shared_ptr<const IndexedDatabase>>;
+
+/// Evaluates `q` with `engine` on every shard and unions the answers.
+/// `parallelism` caps the transient worker threads (<= 1 = sequential; never
+/// more than num_shards are spawned). `stats` (optional) accumulates the
+/// per-shard totals plus one shard_evals tick per shard. CHECK-fails if
+/// !engine.Supports(q) (same contract as Engine::Evaluate) or if `views` is
+/// nonempty but not parallel to the shards.
+AnswerSet ShardedEvaluate(const ConjunctiveQuery& q, const Engine& engine,
+                          const ShardedDatabase& shards,
+                          const ShardViews& views, int parallelism,
+                          EvalStats* stats = nullptr);
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_SHARD_EVAL_H_

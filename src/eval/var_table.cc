@@ -352,11 +352,20 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
     VarTable acc = tables[u];
     for (const int c : children[u]) {
       if (!needed[c]) continue;
-      std::vector<int> step_keep;
+      std::vector<int> wanted;
       std::set_union(keep.begin(), keep.end(), acc.vars.begin(),
-                     acc.vars.end(), std::back_inserter(step_keep));
-      // Narrow: only vars still needed (keep ∪ vars of remaining joins is
-      // conservative; use keep ∪ acc.vars ∩ ... keep it simple and correct).
+                     acc.vars.end(), std::back_inserter(wanted));
+      // Restrict to the variables this join can actually produce: `keep`
+      // also lists free variables of *sibling* subtrees, which only become
+      // available once their own child join runs (keeping acc.vars keeps
+      // every later join key — children connect through u's bag, which acc
+      // holds from the start).
+      std::vector<int> available;
+      std::set_union(acc.vars.begin(), acc.vars.end(), solved[c].vars.begin(),
+                     solved[c].vars.end(), std::back_inserter(available));
+      std::vector<int> step_keep;
+      std::set_intersection(wanted.begin(), wanted.end(), available.begin(),
+                            available.end(), std::back_inserter(step_keep));
       acc = JoinProject(acc, solved[c], step_keep);
     }
     solved[u] = Project(acc, keep);

@@ -148,4 +148,38 @@ ConjunctiveQuery TriangleOutputCQ() {
   return q;
 }
 
+ConjunctiveQuery EdgeEnumerationCQ() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  q.AddAtom(0, {x, y});
+  q.SetFreeVariables({x, y});
+  return q;
+}
+
+ConjunctiveQuery ShardSoundStarCQ(int arms) {
+  CQA_CHECK(arms >= 1);
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  std::vector<int> free_vars = {x};
+  for (int i = 0; i < arms; ++i) {
+    const int y = q.AddVariable("y" + std::to_string(i));
+    q.AddAtom(0, {x, y});
+    free_vars.push_back(y);
+  }
+  q.SetFreeVariables(free_vars);
+  return q;
+}
+
+ConjunctiveQuery ShardUnsoundPathCQ() {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int x = q.AddVariable("x");
+  const int y = q.AddVariable("y");
+  const int z = q.AddVariable("z");
+  q.AddAtom(0, {x, y});
+  q.AddAtom(0, {y, z});
+  q.SetFreeVariables({x, z});
+  return q;
+}
+
 }  // namespace cqa

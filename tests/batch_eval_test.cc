@@ -1,7 +1,7 @@
-// Randomized determinism property tests for BatchEvaluator (seeded via
-// base/rng): a parallel run over a thread pool must produce exactly the same
-// answer sets, engine choices, and ordering as a sequential run of the same
-// jobs, across many random workloads.
+// Randomized determinism property tests for QueryService::EvaluateBatch
+// (seeded via base/rng): a parallel run over a thread pool must produce
+// exactly the same answer sets, engine choices, and ordering as a sequential
+// run of the same requests, across many random workloads.
 
 #include <gtest/gtest.h>
 
@@ -14,12 +14,6 @@
 #include "eval/naive.h"
 #include "gadgets/workloads.h"
 
-
-// These tests exercise the legacy BatchEvaluator adapters on purpose (the
-// deprecated forwards must keep matching QueryService); silence the
-// deprecation warnings they intentionally trigger.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace cqa {
 namespace {
 
@@ -27,7 +21,7 @@ namespace {
 // a couple of shared random digraph databases.
 struct Workload {
   std::vector<Database> databases;
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
 };
 
 Workload MakeWorkload(uint64_t seed, int num_jobs) {
@@ -51,8 +45,8 @@ Workload MakeWorkload(uint64_t seed, int num_jobs) {
   return w;
 }
 
-void ExpectSameResults(const std::vector<BatchResult>& a,
-                       const std::vector<BatchResult>& b) {
+void ExpectSameResults(const std::vector<EvalResponse>& a,
+                       const std::vector<EvalResponse>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].engine, b[i].engine) << "job " << i;
@@ -69,24 +63,24 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BatchDeterminism,
 TEST_P(BatchDeterminism, ParallelMatchesSequential) {
   const Workload w = MakeWorkload(GetParam(), /*num_jobs=*/18);
 
-  BatchOptions sequential;
+  EvalOptions sequential;
   sequential.num_threads = 1;
-  const auto seq = BatchEvaluator(sequential).Run(w.jobs);
+  const auto seq = QueryService(sequential).EvaluateBatch(w.jobs);
 
-  BatchOptions parallel;
+  EvalOptions parallel;
   parallel.num_threads = 4;
-  const auto par = BatchEvaluator(parallel).Run(w.jobs);
+  const auto par = QueryService(parallel).EvaluateBatch(w.jobs);
 
   ExpectSameResults(seq, par);
 }
 
 TEST_P(BatchDeterminism, RepeatedParallelRunsAreIdentical) {
   const Workload w = MakeWorkload(GetParam() * 7919, /*num_jobs=*/12);
-  BatchOptions parallel;
+  EvalOptions parallel;
   parallel.num_threads = 4;
-  const BatchEvaluator evaluator(parallel);
-  const auto first = evaluator.Run(w.jobs);
-  const auto second = evaluator.Run(w.jobs);
+  const QueryService service(parallel);
+  const auto first = service.EvaluateBatch(w.jobs);
+  const auto second = service.EvaluateBatch(w.jobs);
   ExpectSameResults(first, second);
 }
 
@@ -94,9 +88,9 @@ TEST_P(BatchDeterminism, ParallelMatchesDirectNaiveReference) {
   // End-to-end ground truth: every batch answer equals a fresh naive
   // evaluation of that job, independent of the engine the planner picked.
   const Workload w = MakeWorkload(GetParam() * 31, /*num_jobs=*/9);
-  BatchOptions parallel;
+  EvalOptions parallel;
   parallel.num_threads = 4;
-  const auto results = BatchEvaluator(parallel).Run(w.jobs);
+  const auto results = QueryService(parallel).EvaluateBatch(w.jobs);
   ASSERT_EQ(results.size(), w.jobs.size());
   for (size_t i = 0; i < results.size(); ++i) {
     EXPECT_TRUE(results[i].answers ==
@@ -107,12 +101,12 @@ TEST_P(BatchDeterminism, ParallelMatchesDirectNaiveReference) {
 
 TEST(BatchDeterminismEdge, MoreThreadsThanJobs) {
   const Workload w = MakeWorkload(5, /*num_jobs=*/3);
-  BatchOptions many;
+  EvalOptions many;
   many.num_threads = 16;
-  BatchOptions one;
+  EvalOptions one;
   one.num_threads = 1;
-  ExpectSameResults(BatchEvaluator(one).Run(w.jobs),
-                    BatchEvaluator(many).Run(w.jobs));
+  ExpectSameResults(QueryService(one).EvaluateBatch(w.jobs),
+                    QueryService(many).EvaluateBatch(w.jobs));
 }
 
 }  // namespace

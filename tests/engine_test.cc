@@ -18,12 +18,6 @@
 #include "gadgets/workloads.h"
 #include "graph/standard.h"
 
-
-// These tests exercise the legacy BatchEvaluator adapters on purpose (the
-// deprecated forwards must keep matching QueryService); silence the
-// deprecation warnings they intentionally trigger.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace cqa {
 namespace {
 
@@ -164,16 +158,17 @@ TEST(PlannerTest, PlannedEngineIsExactOnEveryQuery) {
   }
 }
 
-TEST(BatchEvaluatorTest, ForcedEngineIsUsedWhenSupported) {
+TEST(EvaluateBatchTest, ForcedEngineIsUsedWhenSupported) {
   Rng rng(5);
   const Database db = RandomDigraphDatabase(8, 0.3, &rng);
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   jobs.push_back({IntroQ1(), &db});        // cyclic: cannot force Yannakakis
   jobs.push_back({IntroQ2Approx(), &db});  // acyclic: force applies
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 1;
   opts.forced_engine = EngineKind::kYannakakis;
-  const std::vector<BatchResult> results = BatchEvaluator(opts).Run(jobs);
+  const std::vector<EvalResponse> results =
+      QueryService(opts).EvaluateBatch(jobs);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_NE(results[0].engine, EngineKind::kYannakakis);  // planner fallback
   EXPECT_EQ(results[1].engine, EngineKind::kYannakakis);
@@ -181,15 +176,15 @@ TEST(BatchEvaluatorTest, ForcedEngineIsUsedWhenSupported) {
   EXPECT_TRUE(results[1].answers == EvaluateNaive(IntroQ2Approx(), db));
 }
 
-TEST(BatchEvaluatorTest, StatsAreFilled) {
+TEST(EvaluateBatchTest, StatsAreFilled) {
   Rng rng(11);
   const Database db = RandomDigraphDatabase(10, 0.3, &rng);
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   for (int i = 0; i < 6; ++i) jobs.push_back({IntroQ2(), &db});
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 3;
   BatchStats stats;
-  const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+  const auto results = QueryService(opts).EvaluateBatch(jobs, &stats);
   EXPECT_EQ(results.size(), 6u);
   EXPECT_EQ(stats.jobs, 6);
   EXPECT_EQ(stats.threads_used, 3);
@@ -197,15 +192,15 @@ TEST(BatchEvaluatorTest, StatsAreFilled) {
   EXPECT_GE(stats.total_eval_ms, 0.0);
   EXPECT_GE(stats.max_job_ms, 0.0);
   EXPECT_LE(stats.max_job_ms, stats.total_eval_ms + 1e3);
-  for (const BatchResult& r : results) {
+  for (const EvalResponse& r : results) {
     EXPECT_GE(r.eval_ms, 0.0);
     EXPECT_FALSE(r.plan.reason.empty());
   }
 }
 
-TEST(BatchEvaluatorTest, EmptyBatch) {
+TEST(EvaluateBatchTest, EmptyBatch) {
   BatchStats stats;
-  const auto results = BatchEvaluator().Run({}, &stats);
+  const auto results = QueryService().EvaluateBatch({}, &stats);
   EXPECT_TRUE(results.empty());
   EXPECT_EQ(stats.jobs, 0);
   EXPECT_EQ(stats.threads_used, 0);
@@ -214,12 +209,12 @@ TEST(BatchEvaluatorTest, EmptyBatch) {
 // Indexing must be invisible except for speed: the same batch, run with
 // indexes on and off, must produce identical engines and answer sets, both
 // matching the naive reference.
-TEST(BatchEvaluatorTest, IndexedAndScanRunsAgree) {
+TEST(EvaluateBatchTest, IndexedAndScanRunsAgree) {
   Rng rng(60221023);
   std::vector<Database> dbs;
   dbs.push_back(RandomDigraphDatabase(10, 0.3, &rng, /*allow_loops=*/true));
   dbs.push_back(RandomCycleChordDatabase(11, 5, &rng));
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   for (int i = 0; i < 16; ++i) {
     const Database* db = &dbs[i % dbs.size()];
     if (i % 3 == 0) {
@@ -229,16 +224,17 @@ TEST(BatchEvaluatorTest, IndexedAndScanRunsAgree) {
     }
   }
 
-  BatchOptions indexed_opts;
+  EvalOptions indexed_opts;
   indexed_opts.num_threads = 4;
   indexed_opts.engine.use_index = true;
-  BatchOptions scan_opts;
+  EvalOptions scan_opts;
   scan_opts.num_threads = 4;
   scan_opts.engine.use_index = false;
 
   BatchStats indexed_stats, scan_stats;
-  const auto indexed = BatchEvaluator(indexed_opts).Run(jobs, &indexed_stats);
-  const auto scan = BatchEvaluator(scan_opts).Run(jobs, &scan_stats);
+  const auto indexed =
+      QueryService(indexed_opts).EvaluateBatch(jobs, &indexed_stats);
+  const auto scan = QueryService(scan_opts).EvaluateBatch(jobs, &scan_stats);
   ASSERT_EQ(indexed.size(), scan.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_EQ(indexed[i].engine, scan[i].engine) << "job " << i;
@@ -276,17 +272,17 @@ TEST(CanonicalQueryKeyTest, RenamingInvariantShapeSensitive) {
   EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(c));
 }
 
-TEST(BatchEvaluatorTest, PlanCacheHitsOnRepeatedShapes) {
+TEST(EvaluateBatchTest, PlanCacheHitsOnRepeatedShapes) {
   Rng rng(5150);
   const Database db = RandomDigraphDatabase(9, 0.3, &rng);
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   for (int i = 0; i < 9; ++i) {
     jobs.push_back({i % 2 == 0 ? IntroQ2() : IntroQ1(), &db});
   }
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 1;  // deterministic hit count: 2 misses, 7 hits
   BatchStats stats;
-  const auto results = BatchEvaluator(opts).Run(jobs, &stats);
+  const auto results = QueryService(opts).EvaluateBatch(jobs, &stats);
   EXPECT_EQ(stats.plan_cache_hits, 7);
   EXPECT_FALSE(results[0].plan_cached());
   EXPECT_FALSE(results[1].plan_cached());
@@ -303,15 +299,15 @@ TEST(BatchEvaluatorTest, PlanCacheHitsOnRepeatedShapes) {
   }
 }
 
-TEST(BatchEvaluatorTest, ForcedEngineSkipsPlanCache) {
+TEST(EvaluateBatchTest, ForcedEngineSkipsPlanCache) {
   Rng rng(5);
   const Database db = RandomDigraphDatabase(8, 0.3, &rng);
-  std::vector<BatchJob> jobs(4, BatchJob{IntroQ2Approx(), &db});
-  BatchOptions opts;
+  std::vector<EvalRequest> jobs(4, EvalRequest{IntroQ2Approx(), &db});
+  EvalOptions opts;
   opts.num_threads = 1;
   opts.forced_engine = EngineKind::kYannakakis;
   BatchStats stats;
-  BatchEvaluator(opts).Run(jobs, &stats);
+  QueryService(opts).EvaluateBatch(jobs, &stats);
   EXPECT_EQ(stats.plan_cache_hits, 0);
 }
 

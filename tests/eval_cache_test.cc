@@ -2,7 +2,7 @@
 // semantics, cross-batch index/plan reuse with the stat tiers separated,
 // LRU eviction under byte pressure (without breaking in-flight views),
 // invalidation when a database gains facts, and Submit/Drain/Shutdown
-// returning exactly the answers a blocking Run produces.
+// returning exactly the answers a blocking EvaluateBatch produces.
 
 #include <gtest/gtest.h>
 
@@ -21,12 +21,6 @@
 #include "gadgets/intro.h"
 #include "gadgets/workloads.h"
 
-
-// These tests exercise the legacy BatchEvaluator adapters on purpose (the
-// deprecated forwards must keep matching QueryService); silence the
-// deprecation warnings they intentionally trigger.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace cqa {
 namespace {
 
@@ -35,16 +29,6 @@ Database GraphDb(int n, const std::vector<std::pair<int, int>>& edges) {
   Database db(Vocabulary::Graph(), n);
   for (const auto& [u, v] : edges) db.AddFact(0, {u, v});
   return db;
-}
-
-// Q(x, y) :- E(x, y): answers enumerate the edge set.
-ConjunctiveQuery EdgeQuery() {
-  ConjunctiveQuery q(Vocabulary::Graph());
-  const int x = q.AddVariable("x");
-  const int y = q.AddVariable("y");
-  q.AddAtom(0, {x, y});
-  q.SetFreeVariables({x, y});
-  return q;
 }
 
 TEST(DatabaseVersionTest, BumpsOnMutationsOnly) {
@@ -103,20 +87,20 @@ TEST(EvalCacheTest, AcquireSharesViewsByContent) {
 TEST(EvalCacheTest, CrossBatchStatsDistinguishTiersFromIntraBatchReuse) {
   Rng rng(5150);
   const Database db = RandomDigraphDatabase(9, 0.3, &rng);
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
   for (int i = 0; i < 9; ++i) {
     jobs.push_back({i % 2 == 0 ? IntroQ2() : IntroQ1(), &db});
   }
 
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 1;  // deterministic hit counts
   opts.cache = std::make_shared<EvalCache>();
-  const BatchEvaluator evaluator(opts);
+  const QueryService evaluator(opts);
 
   // Cold batch: nothing is in the shared cache yet — 2 plans are computed,
   // 7 jobs reuse them intra-batch, the one view is built fresh.
   BatchStats cold;
-  const auto first = evaluator.Run(jobs, &cold);
+  const auto first = evaluator.EvaluateBatch(jobs, &cold);
   EXPECT_EQ(cold.plan_cache_hits, 7);
   EXPECT_EQ(cold.cross_plan_hits, 0);
   EXPECT_EQ(cold.index_cache_hits, 0);
@@ -125,7 +109,7 @@ TEST(EvalCacheTest, CrossBatchStatsDistinguishTiersFromIntraBatchReuse) {
   // Warm batch: both shapes hit the shared cache (2 cross-batch hits), the
   // remaining 7 jobs are intra-batch reuses again, and the view is shared.
   BatchStats warm;
-  const auto second = evaluator.Run(jobs, &warm);
+  const auto second = evaluator.EvaluateBatch(jobs, &warm);
   EXPECT_EQ(warm.plan_cache_hits, 7);
   EXPECT_EQ(warm.cross_plan_hits, 2);
   EXPECT_EQ(warm.index_cache_hits, 1);
@@ -155,7 +139,7 @@ TEST(EvalCacheTest, EvictsUnderBytePressureWithoutBreakingInFlightViews) {
 
   const Database db1 = GraphDb(4, {{0, 1}, {1, 2}, {2, 3}});
   const Database db2 = GraphDb(4, {{3, 2}, {2, 1}});
-  const ConjunctiveQuery q = EdgeQuery();
+  const ConjunctiveQuery q = EdgeEnumerationCQ();
 
   // Build a structure in db1's view so it has a nonzero footprint (the
   // trivial query alone may not need any index).
@@ -186,14 +170,14 @@ TEST(EvalCacheTest, EvictsUnderBytePressureWithoutBreakingInFlightViews) {
 TEST(EvalCacheTest, FactInsertionBumpsVersionAndMissesStaleFingerprint) {
   auto cache = std::make_shared<EvalCache>();
   Database db = GraphDb(4, {{0, 1}, {1, 2}});
-  const ConjunctiveQuery q = EdgeQuery();
+  const ConjunctiveQuery q = EdgeEnumerationCQ();
 
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 1;
   opts.cache = cache;
-  const BatchEvaluator evaluator(opts);
+  const QueryService evaluator(opts);
 
-  const auto cold = evaluator.Run({{q, &db}});
+  const auto cold = evaluator.EvaluateBatch({{q, &db}});
   EXPECT_EQ(cold[0].answers.size(), 2u);
 
   // The database gains a fact: its version bumps, its fingerprint changes,
@@ -203,7 +187,7 @@ TEST(EvalCacheTest, FactInsertionBumpsVersionAndMissesStaleFingerprint) {
   EXPECT_GT(db.version(), version_before);
 
   BatchStats stats;
-  const auto warm = evaluator.Run({{q, &db}}, &stats);
+  const auto warm = evaluator.EvaluateBatch({{q, &db}}, &stats);
   EXPECT_EQ(stats.index_cache_hits, 0);  // stale fingerprint missed
   EXPECT_EQ(warm[0].answers.size(), 3u);
   EXPECT_TRUE(warm[0].answers.Contains({2, 3}));
@@ -228,7 +212,7 @@ TEST(EvalCacheTest, MutatedSourceInvalidatesEntryForContentEqualTwin) {
   EXPECT_FALSE(hit);
   EXPECT_NE(fresh.get(), view.get());
   EXPECT_EQ(cache.stats().index_invalidations, 1);
-  EXPECT_EQ(EvaluateNaive(EdgeQuery(), *fresh).size(), 2u);
+  EXPECT_EQ(EvaluateNaive(EdgeEnumerationCQ(), *fresh).size(), 2u);
 }
 
 TEST(EvalCacheTest, InvalidateDropsEntriesOfOneDatabase) {
@@ -274,7 +258,7 @@ TEST(EvalCacheTest, PlanLruEvictsBeyondEntryBound) {
 
 struct Workload {
   std::vector<Database> databases;
-  std::vector<BatchJob> jobs;
+  std::vector<EvalRequest> jobs;
 };
 
 Workload MakeWorkload(uint64_t seed, int num_jobs) {
@@ -301,20 +285,20 @@ Workload MakeWorkload(uint64_t seed, int num_jobs) {
 TEST(StreamingTest, SubmitMatchesBlockingRun) {
   const Workload w = MakeWorkload(97, /*num_jobs=*/18);
 
-  BatchOptions blocking;
+  EvalOptions blocking;
   blocking.num_threads = 1;
-  const auto reference = BatchEvaluator(blocking).Run(w.jobs);
+  const auto reference = QueryService(blocking).EvaluateBatch(w.jobs);
 
-  BatchOptions streaming;
+  EvalOptions streaming;
   streaming.num_threads = 4;
-  BatchEvaluator server(streaming);
-  std::vector<std::future<BatchResult>> futures;
+  QueryService server(streaming);
+  std::vector<std::future<EvalResponse>> futures;
   futures.reserve(w.jobs.size());
-  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+  for (const EvalRequest& job : w.jobs) futures.push_back(server.Submit(job));
 
   ASSERT_EQ(futures.size(), reference.size());
   for (size_t i = 0; i < futures.size(); ++i) {
-    const BatchResult result = futures[i].get();
+    const EvalResponse result = futures[i].get();
     EXPECT_EQ(result.engine, reference[i].engine) << "job " << i;
     EXPECT_TRUE(result.answers == reference[i].answers) << "job " << i;
   }
@@ -328,17 +312,17 @@ TEST(StreamingTest, SubmitMatchesBlockingRun) {
 TEST(StreamingTest, SubmitSharesOneEvalCacheWithBatchRuns) {
   const Workload w = MakeWorkload(31337, /*num_jobs=*/12);
 
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 2;
   opts.cache = std::make_shared<EvalCache>();
-  BatchEvaluator evaluator(opts);
+  QueryService evaluator(opts);
 
   // A blocking run warms the shared cache; streamed jobs then hit it.
-  const auto reference = evaluator.Run(w.jobs);
-  std::vector<std::future<BatchResult>> futures;
-  for (const BatchJob& job : w.jobs) futures.push_back(evaluator.Submit(job));
+  const auto reference = evaluator.EvaluateBatch(w.jobs);
+  std::vector<std::future<EvalResponse>> futures;
+  for (const EvalRequest& job : w.jobs) futures.push_back(evaluator.Submit(job));
   for (size_t i = 0; i < futures.size(); ++i) {
-    const BatchResult result = futures[i].get();
+    const EvalResponse result = futures[i].get();
     EXPECT_TRUE(result.answers == reference[i].answers) << "job " << i;
     EXPECT_EQ(result.plan_source, PlanSource::kSharedCache) << "job " << i;
   }
@@ -348,11 +332,11 @@ TEST(StreamingTest, SubmitSharesOneEvalCacheWithBatchRuns) {
 
 TEST(StreamingTest, DrainWaitsForAllSubmittedJobs) {
   const Workload w = MakeWorkload(7, /*num_jobs=*/9);
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 3;
-  BatchEvaluator server(opts);
-  std::vector<std::future<BatchResult>> futures;
-  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+  QueryService server(opts);
+  std::vector<std::future<EvalResponse>> futures;
+  for (const EvalRequest& job : w.jobs) futures.push_back(server.Submit(job));
   server.Drain();
   for (auto& future : futures) {
     ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
@@ -362,15 +346,15 @@ TEST(StreamingTest, DrainWaitsForAllSubmittedJobs) {
 
 TEST(StreamingTest, ShutdownCompletesQueuedJobs) {
   const Workload w = MakeWorkload(13, /*num_jobs=*/9);
-  BatchOptions blocking;
+  EvalOptions blocking;
   blocking.num_threads = 1;
-  const auto reference = BatchEvaluator(blocking).Run(w.jobs);
+  const auto reference = QueryService(blocking).EvaluateBatch(w.jobs);
 
-  BatchOptions opts;
+  EvalOptions opts;
   opts.num_threads = 2;
-  BatchEvaluator server(opts);
-  std::vector<std::future<BatchResult>> futures;
-  for (const BatchJob& job : w.jobs) futures.push_back(server.Submit(job));
+  QueryService server(opts);
+  std::vector<std::future<EvalResponse>> futures;
+  for (const EvalRequest& job : w.jobs) futures.push_back(server.Submit(job));
   server.Shutdown();  // no explicit Drain: queued jobs must still complete
   for (size_t i = 0; i < futures.size(); ++i) {
     ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),

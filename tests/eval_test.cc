@@ -190,6 +190,30 @@ TEST(TreewidthEvalTest, EmptyDatabase) {
   EXPECT_FALSE(EvaluateTreewidth(q, empty).AsBoolean());
 }
 
+// Regression: a join-tree node with several `needed` children and free
+// variables spread across the sibling subtrees. The bottom-up DP's
+// per-child keep-list used to request sibling free variables before the
+// sibling join had produced them (CHECK failure in PositionsOf). The
+// 3-atom star with every variable free is the smallest such shape.
+TEST(YannakakisTest, MultiChildJoinTreeWithAllVariablesFree) {
+  Rng rng(99);
+  const Database db = RandomDigraphDatabase(9, 0.35, &rng, /*allow_loops=*/true);
+  ConjunctiveQuery q(G());
+  const int x = q.AddVariable("x");
+  std::vector<int> free_vars = {x};
+  for (int i = 0; i < 3; ++i) {
+    const int y = q.AddVariable();
+    q.AddAtom(0, {x, y});
+    free_vars.push_back(y);
+  }
+  q.SetFreeVariables(free_vars);
+  ASSERT_TRUE(IsAcyclicQuery(q));
+  const AnswerSet reference = EvaluateNaive(q, db);
+  EXPECT_TRUE(EvaluateYannakakis(q, db) == reference);
+  const IndexedDatabase idb(db);
+  EXPECT_TRUE(EvaluateYannakakis(q, idb) == reference);
+}
+
 TEST(VarTableTest, AtomMatchesRepeatedVars) {
   Digraph g(2);
   g.AddEdge(0, 0);

@@ -1,10 +1,9 @@
-// Tests for the QueryService serving API (eval/service): exact mode must be
-// indistinguishable from the legacy BatchEvaluator::Run, the approximate
-// AnswerModes must sandwich the forced-exact answers (under ⊆ exact ⊆ over)
-// on the gadget workloads, tractable queries must collapse the sandwich,
-// and approximation synthesis must be paid once per query shape — the
-// second batch through a shared EvalCache serves the synthesized plans from
-// the plan tier.
+// Tests for the QueryService serving API (eval/service): batch results must
+// equal one-at-a-time blocking evaluation, the approximate AnswerModes must
+// sandwich the forced-exact answers (under ⊆ exact ⊆ over) on the gadget
+// workloads, tractable queries must collapse the sandwich, and approximation
+// synthesis must be paid once per query shape — the second batch through a
+// shared EvalCache serves the synthesized plans from the plan tier.
 
 #include <gtest/gtest.h>
 
@@ -20,14 +19,10 @@
 #include "gadgets/intro.h"
 #include "gadgets/workloads.h"
 
-// The legacy-equivalence tests below call the deprecated BatchEvaluator
-// forwards on purpose.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace cqa {
 namespace {
 
-// A mixed exact-mode workload shared by the legacy-equivalence tests.
+// A mixed exact-mode workload shared by the calling-convention tests.
 struct Workload {
   std::vector<Database> databases;
   std::vector<EvalRequest> jobs;
@@ -51,43 +46,46 @@ Workload MakeWorkload(uint64_t seed, int num_jobs) {
   return w;
 }
 
-TEST(QueryServiceTest, ExactModeIdenticalToLegacyBatchEvaluatorRun) {
+// The three calling conventions must agree: a threaded batch returns
+// exactly what one-at-a-time blocking Evaluate calls return, request for
+// request (EvaluateBatch is documented bit-identical to a sequential run).
+TEST(QueryServiceTest, BatchMatchesBlockingEvaluate) {
   const Workload w = MakeWorkload(20260726, 14);
   EvalOptions opts;
   opts.num_threads = 3;
+  const QueryService service(opts);
 
-  BatchStats new_stats, old_stats;
-  const auto via_service = QueryService(opts).EvaluateBatch(w.jobs, &new_stats);
-  const auto via_legacy = BatchEvaluator(opts).Run(w.jobs, &old_stats);
+  BatchStats stats;
+  const auto batch = service.EvaluateBatch(w.jobs, &stats);
 
-  ASSERT_EQ(via_service.size(), via_legacy.size());
-  for (size_t i = 0; i < via_service.size(); ++i) {
-    EXPECT_TRUE(via_service[i].answers == via_legacy[i].answers) << "job " << i;
-    EXPECT_EQ(via_service[i].engine, via_legacy[i].engine) << "job " << i;
-    EXPECT_EQ(via_service[i].plan.reason, via_legacy[i].plan.reason);
-    EXPECT_EQ(via_service[i].mode, AnswerMode::kExact);
-    EXPECT_TRUE(via_service[i].exact);
-    EXPECT_FALSE(via_service[i].bounds.has_value());
+  ASSERT_EQ(batch.size(), w.jobs.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const EvalResponse one = service.Evaluate(w.jobs[i]);
+    EXPECT_TRUE(batch[i].answers == one.answers) << "job " << i;
+    EXPECT_EQ(batch[i].engine, one.engine) << "job " << i;
+    EXPECT_EQ(batch[i].plan.reason, one.plan.reason);
+    EXPECT_EQ(batch[i].mode, AnswerMode::kExact);
+    EXPECT_TRUE(batch[i].exact);
+    EXPECT_FALSE(batch[i].bounds.has_value());
   }
-  EXPECT_EQ(new_stats.jobs, old_stats.jobs);
-  EXPECT_EQ(new_stats.plan_cache_hits, old_stats.plan_cache_hits);
-  EXPECT_EQ(new_stats.approx_jobs, 0);
+  EXPECT_EQ(stats.jobs, static_cast<int>(w.jobs.size()));
+  EXPECT_EQ(stats.approx_jobs, 0);
 }
 
-TEST(QueryServiceTest, LegacySubmitForwardsToService) {
+TEST(QueryServiceTest, SubmitMatchesNaiveReference) {
   const Workload w = MakeWorkload(77, 6);
   EvalOptions opts;
   opts.num_threads = 2;
-  BatchEvaluator legacy(opts);
-  std::vector<std::future<BatchResult>> futures;
-  for (const BatchJob& job : w.jobs) futures.push_back(legacy.Submit(job));
-  legacy.Drain();
+  QueryService service(opts);
+  std::vector<std::future<EvalResponse>> futures;
+  for (const EvalRequest& job : w.jobs) futures.push_back(service.Submit(job));
+  service.Drain();
   for (size_t i = 0; i < futures.size(); ++i) {
-    const BatchResult r = futures[i].get();
+    const EvalResponse r = futures[i].get();
     EXPECT_TRUE(r.answers == EvaluateNaive(w.jobs[i].query, *w.jobs[i].db))
         << "job " << i;
   }
-  legacy.Shutdown();
+  service.Shutdown();
 }
 
 // Every approximate mode must sandwich the exact answers on the worked
