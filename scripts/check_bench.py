@@ -24,6 +24,11 @@ are ignored). A cell regresses when
 
 where the absolute slack (default 1.0 — one millisecond for the timing
 columns this gate mostly watches) suppresses noise on near-zero baselines.
+A baseline at or below --min-baseline (zero cells included: quick-mode
+timers legitimately round tiny waits down to 0) has no meaningful ratio —
+any measurable current value would look like an unbounded slowdown — so for
+those cells only the absolute slack decides, and the report prints the
+absolute delta instead of a divide-by-zero factor.
 Only columns whose header cell mentions a time-like name (`ms`, `wall`,
 `time`) are treated as regressions-when-larger; other numeric columns
 (counts, speedups, hit rates) are informational only, since "larger" is not
@@ -97,6 +102,10 @@ def main():
                         help="relative slowdown allowed (default 0.25 = 25%%)")
     parser.add_argument("--slack", type=float, default=1.0,
                         help="absolute increase always allowed (default 1.0)")
+    parser.add_argument("--min-baseline", type=float, default=1e-6,
+                        help="baselines at or below this have no meaningful "
+                             "ratio; only the absolute slack applies "
+                             "(default 1e-6)")
     args = parser.parse_args()
 
     for d in (args.baseline, args.current):
@@ -159,13 +168,18 @@ def main():
             if not any(hint in column.lower() for hint in TIME_HINTS):
                 continue
             compared += 1
-            if (cur_v > base_v * (1.0 + args.tolerance)
-                    and cur_v - base_v > args.slack):
+            near_zero = base_v <= args.min_baseline
+            # On a zero/near-zero baseline the relative test is vacuous
+            # (everything is an "infinite" slowdown), so the absolute slack
+            # alone makes the call there.
+            relative_bad = near_zero or cur_v > base_v * (1.0 + args.tolerance)
+            if relative_bad and cur_v - base_v > args.slack:
                 file, section, label, occ = key
-                ratio = cur_v / base_v if base_v > 0 else float("inf")
+                detail = (f"+{cur_v - base_v:g} over a ~0 baseline"
+                          if near_zero else f"{cur_v / base_v:.2f}x")
                 regressions.append(
                     f"  {file} [{section}] {label}#{occ} {column}: "
-                    f"{base_v:g} -> {cur_v:g} ({ratio:.2f}x)")
+                    f"{base_v:g} -> {cur_v:g} ({detail})")
 
     print(f"check_bench: compared {compared} time-like cells across "
           f"{len(shared)} matched rows "

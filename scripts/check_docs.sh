@@ -42,8 +42,13 @@ if ! grep -q "^## Sharding" docs/ARCHITECTURE.md; then
   echo "STALE: docs/ARCHITECTURE.md lost its 'Sharding' section"
   fail=1
 fi
+if ! grep -q "^## Resource limits & cancellation" docs/ARCHITECTURE.md; then
+  echo "STALE: docs/ARCHITECTURE.md lost its 'Resource limits & cancellation' section"
+  fail=1
+fi
 for term in QueryService AnswerMode EvalRequest ShardedDatabase \
-            IsShardSound num_shards; do
+            IsShardSound num_shards EvalContext ResponseStatus \
+            max_answers deadline; do
   if ! grep -q "$term" docs/ARCHITECTURE.md; then
     echo "STALE: docs/ARCHITECTURE.md does not mention $term"
     fail=1

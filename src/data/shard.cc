@@ -9,11 +9,14 @@ namespace cqa {
 
 int ShardOfTuple(const Tuple& fact, int num_shards) {
   CQA_CHECK(num_shards >= 1);
-  const uint64_t key = fact.empty()
-                           ? static_cast<uint64_t>(HashVector(fact))
-                           : static_cast<uint64_t>(fact[kShardKeyColumn]);
-  return static_cast<int>(MixShardKey(key) %
-                          static_cast<uint64_t>(num_shards));
+  // Nullary facts have no key column — they are broadcast, not routed
+  // (every shard holds them; see the ShardedDatabase constructor), so the
+  // single-shard answer here is only the degenerate num_shards == 1 case
+  // and a stable value for arity-0 callers probing the routing function.
+  if (fact.empty()) return 0;
+  return static_cast<int>(
+      MixShardKey(static_cast<uint64_t>(fact[kShardKeyColumn])) %
+      static_cast<uint64_t>(num_shards));
 }
 
 ShardedDatabase::ShardedDatabase(const Database& db, int num_shards) {
@@ -24,7 +27,16 @@ ShardedDatabase::ShardedDatabase(const Database& db, int num_shards) {
   }
   for (RelationId r = 0; r < db.vocab()->num_relations(); ++r) {
     for (const Tuple& fact : db.facts(r)) {
-      shards_[ShardOfTuple(fact, num_shards)].AddFact(r, fact);
+      if (fact.empty()) {
+        // Broadcast: a nullary fact is a proposition, true everywhere.
+        // Routing it to one shard would make single-atom plans over the
+        // relation — always shard-sound — silently lose it on the other
+        // shards; replication keeps every shard self-sufficient for
+        // nullary atoms (IsShardSound exempts them on this basis).
+        for (Database& shard : shards_) shard.AddFact(r, fact);
+      } else {
+        shards_[ShardOfTuple(fact, num_shards)].AddFact(r, fact);
+      }
     }
   }
 }

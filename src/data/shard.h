@@ -11,11 +11,15 @@
 // the fact sets are partitioned — so element ids mean the same thing in
 // every shard and per-shard answer sets union literally.
 //
-// Vocabulary arities are >= 1 (Vocabulary::AddRelation enforces it), so the
-// first column always exists; ShardOfTuple still defines the edge cases
-// defensively: an arity-1 fact's first column *is* all of its columns, and a
-// (hypothetical) arity-0 fact hashes the whole empty tuple — a constant, so
-// all such facts would share one shard.
+// Nullary relations (arity 0, allowed by Vocabulary::AddRelation) have no
+// first column to route by. Their facts are *broadcast*: the constructor
+// replicates each nullary fact into every shard, because a proposition is
+// true for the whole database, not for any one partition of it. Routing it
+// to a single shard would make the (always shard-sound) single-atom plan
+// over that relation come back empty on K-1 of the shards. The exchange
+// is that replicated facts are counted once per shard — see TotalFacts().
+// An arity-1 fact needs no special case: its first column *is* all of its
+// columns.
 //
 // Why first-column routing: joins whose every atom places one common
 // variable in the key column are *co-partitioned* — every homomorphism
@@ -55,13 +59,16 @@ inline uint64_t MixShardKey(uint64_t x) {
 }
 
 /// The shard (in [0, num_shards)) that `fact` is routed to: the mixed hash
-/// of its first column, or of the whole (empty) tuple for the defensive
-/// arity-0 case. Deterministic; num_shards must be >= 1.
+/// of its first column. Nullary facts are broadcast rather than routed
+/// (see the partition scheme above); for them this returns 0 — a stable
+/// answer for probing callers, not a residence claim. Deterministic;
+/// num_shards must be >= 1.
 int ShardOfTuple(const Tuple& fact, int num_shards);
 
 /// A Database hash-partitioned into `num_shards` shard Databases. Shards
-/// share the parent's vocabulary and universe size; every parent fact
-/// appears in exactly one shard (disjoint cover). Immutable once built:
+/// share the parent's vocabulary and universe size; every positive-arity
+/// parent fact appears in exactly one shard (disjoint cover) and every
+/// nullary fact appears in all of them (broadcast). Immutable once built:
 /// partitioning does not track later parent mutations — callers that mutate
 /// the parent must re-partition (QueryService does this via the parent's
 /// version counter).
@@ -80,7 +87,8 @@ class ShardedDatabase {
 
   const std::vector<Database>& shards() const { return shards_; }
 
-  /// Sum over shards of NumFacts() — equals the parent's NumFacts().
+  /// Sum over shards of NumFacts() — equals the parent's NumFacts() plus
+  /// (num_shards() - 1) copies of each broadcast nullary fact.
   long long TotalFacts() const;
 
   /// Facts in the fullest shard; with heavy first-column skew (every fact

@@ -8,7 +8,7 @@
 namespace cqa {
 
 RelationId Vocabulary::AddRelation(std::string name, int arity) {
-  CQA_CHECK(arity > 0);
+  CQA_CHECK(arity >= 0);  // arity 0 = nullary (propositional) relation
   CQA_CHECK(IsIdentifier(name));
   CQA_CHECK(by_name_.find(name) == by_name_.end());
   const RelationId id = num_relations();

@@ -22,12 +22,12 @@ class NaiveEngine : public Engine {
   EngineKind kind() const override { return EngineKind::kNaive; }
   bool Supports(const ConjunctiveQuery&) const override { return true; }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
-                     EvalStats* stats) const override {
-    return EvaluateNaive(q, db, stats);
+                     EvalStats* stats, const EvalContext* ctx) const override {
+    return EvaluateNaive(q, db, stats, ctx);
   }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
-                     EvalStats* stats) const override {
-    return EvaluateNaive(q, idb, stats);
+                     EvalStats* stats, const EvalContext* ctx) const override {
+    return EvaluateNaive(q, idb, stats, ctx);
   }
 };
 
@@ -38,14 +38,14 @@ class YannakakisEngine : public Engine {
     return IsAcyclicQuery(q);
   }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
-                     EvalStats*) const override {
+                     EvalStats*, const EvalContext* ctx) const override {
     CQA_CHECK(Supports(q));
-    return EvaluateYannakakis(q, db);
+    return EvaluateYannakakis(q, db, ctx);
   }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
-                     EvalStats* stats) const override {
+                     EvalStats* stats, const EvalContext* ctx) const override {
     CQA_CHECK(Supports(q));
-    return EvaluateYannakakis(q, idb, stats);
+    return EvaluateYannakakis(q, idb, stats, ctx);
   }
 };
 
@@ -54,12 +54,12 @@ class TreewidthEngine : public Engine {
   EngineKind kind() const override { return EngineKind::kTreewidth; }
   bool Supports(const ConjunctiveQuery&) const override { return true; }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
-                     EvalStats*) const override {
-    return EvaluateTreewidth(q, db);
+                     EvalStats*, const EvalContext* ctx) const override {
+    return EvaluateTreewidth(q, db, ctx);
   }
   AnswerSet Evaluate(const ConjunctiveQuery& q, const IndexedDatabase& idb,
-                     EvalStats* stats) const override {
-    return EvaluateTreewidth(q, idb, stats);
+                     EvalStats* stats, const EvalContext* ctx) const override {
+    return EvaluateTreewidth(q, idb, stats, ctx);
   }
 };
 
@@ -142,13 +142,15 @@ bool IsShardSound(const ConjunctiveQuery& q, std::string* reason) {
     return true;
   }
   int key_var = -1;
+  bool saw_positive_arity = false;
   for (const Atom& atom : q.atoms()) {
     if (atom.vars.empty()) {
-      // Vocabulary arities are >= 1, so this is defensive: a nullary atom
-      // has no key column and cannot be co-partitioned with anything.
-      say("nullary atom: no partition column to co-partition on");
-      return false;
+      // Nullary facts are broadcast to every shard (data/shard.h), so a
+      // nullary atom is locally satisfiable wherever the rest of the
+      // witness lands: exempt from the co-partitioning requirement.
+      continue;
     }
+    saw_positive_arity = true;
     const int v = atom.vars[kShardKeyColumn];
     if (key_var < 0) {
       key_var = v;
@@ -158,8 +160,13 @@ bool IsShardSound(const ConjunctiveQuery& q, std::string* reason) {
       return false;
     }
   }
-  say("all atoms share one partition-column variable: every witness lands "
-      "in a single shard");
+  if (!saw_positive_arity) {
+    say("all atoms nullary: broadcast replication makes every shard "
+        "self-sufficient");
+    return true;
+  }
+  say("all positive-arity atoms share one partition-column variable (nullary "
+      "atoms are broadcast): every witness lands in a single shard");
   return true;
 }
 

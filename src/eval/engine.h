@@ -38,6 +38,7 @@
 #include "data/database.h"
 #include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
@@ -103,14 +104,20 @@ class Engine {
   virtual bool Supports(const ConjunctiveQuery& q) const = 0;
 
   /// Computes Q(D) by the scan-based path. CHECK-fails if !Supports(q).
+  /// A non-null `ctx` makes the evaluation cooperatively interruptible
+  /// (deadline / cancel / budgets, eval/eval_context.h); on interruption the
+  /// answers found so far — a sound under-approximation — are returned and
+  /// ctx->status() says why the search stopped.
   virtual AnswerSet Evaluate(const ConjunctiveQuery& q, const Database& db,
-                             EvalStats* stats = nullptr) const = 0;
+                             EvalStats* stats = nullptr,
+                             const EvalContext* ctx = nullptr) const = 0;
 
   /// Computes Q(D) probing `idb`'s cached indexes (building them lazily).
   /// Identical answers to the scan path. CHECK-fails if !Supports(q).
   virtual AnswerSet Evaluate(const ConjunctiveQuery& q,
                              const IndexedDatabase& idb,
-                             EvalStats* stats = nullptr) const = 0;
+                             EvalStats* stats = nullptr,
+                             const EvalContext* ctx = nullptr) const = 0;
 };
 
 /// Engine factory.

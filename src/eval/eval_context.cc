@@ -1,0 +1,19 @@
+#include "eval/eval_context.h"
+
+namespace cqa {
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResponseStatus::kCancelled:
+      return "cancelled";
+    case ResponseStatus::kTruncated:
+      return "truncated";
+  }
+  return "unknown";
+}
+
+}  // namespace cqa

@@ -23,8 +23,10 @@ struct NaiveContext {
   std::vector<char> depth_fetched;
   AnswerSet* answers;
   EvalStats* stats;
+  const EvalContext* ectx = nullptr;  // null = uninterruptible
   bool boolean_early_exit = false;
   bool found = false;
+  bool stopped = false;  // ectx tripped: unwind without visiting more nodes
 };
 
 // Greedy connected atom order: start from the atom with most free variables,
@@ -94,6 +96,10 @@ void PrepareIndexes(NaiveContext* ctx) {
 
 void Backtrack(NaiveContext* ctx, size_t depth) {
   if (ctx->stats != nullptr) ++ctx->stats->nodes;
+  if (ctx->ectx != nullptr && ctx->ectx->Interrupted()) {
+    ctx->stopped = true;
+    return;
+  }
   if (ctx->found && ctx->boolean_early_exit) return;
   if (depth == ctx->atom_order.size()) {
     const auto& free_tuple = ctx->q->free_variables();
@@ -103,6 +109,9 @@ void Backtrack(NaiveContext* ctx, size_t depth) {
       CQA_CHECK(answer[i] >= 0);
     }
     if (ctx->answers != nullptr) ctx->answers->Insert(std::move(answer));
+    if (ctx->ectx != nullptr && ctx->ectx->RecordAnswer()) {
+      ctx->stopped = true;
+    }
     ctx->found = true;
     return;
   }
@@ -155,12 +164,14 @@ void Backtrack(NaiveContext* ctx, size_t depth) {
       Backtrack(ctx, depth + 1);
     }
     for (const int v : newly_bound) ctx->assignment[v] = -1;
+    if (ctx->stopped) return;
     if (ctx->found && ctx->boolean_early_exit) return;
   }
 }
 
 AnswerSet RunNaive(const ConjunctiveQuery& q, const Database& db,
-                   const IndexedDatabase* idb, EvalStats* stats) {
+                   const IndexedDatabase* idb, EvalStats* stats,
+                   const EvalContext* ectx) {
   q.Validate();
   AnswerSet answers(static_cast<int>(q.free_variables().size()));
   NaiveContext ctx;
@@ -171,6 +182,7 @@ AnswerSet RunNaive(const ConjunctiveQuery& q, const Database& db,
   ctx.assignment.assign(q.num_variables(), -1);
   ctx.answers = &answers;
   ctx.stats = stats;
+  ctx.ectx = ectx;
   PrepareIndexes(&ctx);
   Backtrack(&ctx, 0);
   return answers;
@@ -196,13 +208,13 @@ bool RunNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
 }  // namespace
 
 AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
-                        EvalStats* stats) {
-  return RunNaive(q, db, /*idb=*/nullptr, stats);
+                        EvalStats* stats, const EvalContext* ctx) {
+  return RunNaive(q, db, /*idb=*/nullptr, stats, ctx);
 }
 
 AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const IndexedDatabase& idb,
-                        EvalStats* stats) {
-  return RunNaive(q, idb.db(), &idb, stats);
+                        EvalStats* stats, const EvalContext* ctx) {
+  return RunNaive(q, idb.db(), &idb, stats, ctx);
 }
 
 bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,

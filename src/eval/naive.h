@@ -13,6 +13,7 @@
 #include "data/database.h"
 #include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
@@ -21,15 +22,19 @@ namespace cqa {
 using NaiveStats = EvalStats;
 
 /// Computes Q(D) by backtracking over atoms (connected order, scan-based
-/// matching). Exact but exponential in |Q|.
+/// matching). Exact but exponential in |Q|. A non-null `ctx` is polled at
+/// every search node; on interruption the answers found so far are returned
+/// (a sound under-approximation — see eval/eval_context.h).
 AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const Database& db,
-                        EvalStats* stats = nullptr);
+                        EvalStats* stats = nullptr,
+                        const EvalContext* ctx = nullptr);
 
 /// Indexed variant: probes `idb` for the bound positions of each atom
 /// (built lazily, cached on the view). Falls back to scanning per atom when
 /// the view declines to index (disabled / over budget / nothing bound).
 AnswerSet EvaluateNaive(const ConjunctiveQuery& q, const IndexedDatabase& idb,
-                        EvalStats* stats = nullptr);
+                        EvalStats* stats = nullptr,
+                        const EvalContext* ctx = nullptr);
 
 /// Boolean early-exit variant: stops at the first witness.
 bool EvaluateNaiveBoolean(const ConjunctiveQuery& q, const Database& db,

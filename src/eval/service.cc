@@ -111,46 +111,57 @@ using ShardContextProvider = std::function<const ShardContext*()>;
 AnswerSet EvaluateSubPlan(const ApproxSubPlan& sub, const EngineSet& engines,
                           const ShardContext* shard_ctx,
                           const IndexedDatabase* idb, const Database& db,
-                          EvalStats* stats) {
+                          EvalStats* stats, const EvalContext* ctx) {
   const Engine& engine = engines.For(sub.kind);
   if (shard_ctx != nullptr) {
     return ShardedEvaluate(sub.query, engine, *shard_ctx->shards,
-                           shard_ctx->views, shard_ctx->parallelism, stats);
+                           shard_ctx->views, shard_ctx->parallelism, stats,
+                           ctx);
   }
-  return idb != nullptr ? engine.Evaluate(sub.query, *idb, stats)
-                        : engine.Evaluate(sub.query, db, stats);
+  return idb != nullptr ? engine.Evaluate(sub.query, *idb, stats, ctx)
+                        : engine.Evaluate(sub.query, db, stats, ctx);
 }
 
 // Certain answers: the union of the maximally contained rewrites. Each
-// rewrite Q' satisfies Q' ⊆ Q, so every tuple is a genuine answer.
+// rewrite Q' satisfies Q' ⊆ Q, so every tuple is a genuine answer — and an
+// interrupted partial union (fewer rewrites, each a partial subset) still
+// is: the under side stays sound under every interruption.
 AnswerSet UnionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
                           const EngineSet& engines,
                           const ShardContext* shard_ctx,
                           const IndexedDatabase* idb, const Database& db,
-                          int arity, EvalStats* stats) {
+                          int arity, EvalStats* stats,
+                          const EvalContext* ctx) {
   AnswerSet result(arity);
   for (const ApproxSubPlan& sub : subs) {
+    if (ctx != nullptr && !ctx->ok()) break;
     const AnswerSet part =
-        EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats);
+        EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats, ctx);
     for (const Tuple& t : part.tuples()) result.Insert(t);
   }
   return result;
 }
 
 // Possible answers: the intersection of the containing rewrites. Each
-// rewrite Q'' satisfies Q ⊆ Q'', so no genuine answer is ever dropped.
+// rewrite Q'' satisfies Q ⊆ Q'', so no genuine answer is ever dropped —
+// but ONLY when every rewrite ran to completion: an interrupted part is a
+// subset of its rewrite, so the intersection may drop genuine answers. The
+// caller marks the over side invalid whenever ctx tripped.
 AnswerSet IntersectionOfSubPlans(const std::vector<ApproxSubPlan>& subs,
                                  const EngineSet& engines,
                                  const ShardContext* shard_ctx,
                                  const IndexedDatabase* idb, const Database& db,
-                                 int arity, EvalStats* stats) {
+                                 int arity, EvalStats* stats,
+                                 const EvalContext* ctx) {
   std::vector<AnswerSet> parts;
   parts.reserve(subs.size());
   for (const ApproxSubPlan& sub : subs) {
-    parts.push_back(EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats));
+    if (ctx != nullptr && !ctx->ok()) break;
+    parts.push_back(
+        EvaluateSubPlan(sub, engines, shard_ctx, idb, db, stats, ctx));
   }
   AnswerSet result(arity);
-  if (parts.empty()) return result;
+  if (parts.empty() || parts.size() != subs.size()) return result;
   for (const Tuple& t : parts[0].tuples()) {
     bool in_all = true;
     for (size_t i = 1; i < parts.size() && in_all; ++i) {
@@ -173,8 +184,28 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
                     const EngineSet& engines, const IndexedDatabase* idb,
                     BatchPlanCache* batch_cache, EvalCache* shared_cache,
                     const ShardContextProvider* acquire_shards,
-                    EvalResponse* out) {
+                    const EvalContext* ctx, EvalResponse* out) {
   out->mode = request.mode;
+  const int out_arity = static_cast<int>(request.query.free_variables().size());
+  // A request that arrives already stopped (expired deadline — possibly
+  // spent queueing — a raised cancel flag, or a zero budget) returns
+  // immediately: empty answers are the canonical sound under-approximation,
+  // and planning is skipped too.
+  if (ctx != nullptr && ctx->Interrupted()) {
+    out->status = ctx->status();
+    out->exact = false;
+    out->answers = AnswerSet(out_arity);
+    if (request.mode == AnswerMode::kBounds) {
+      AnswerBounds bounds;
+      bounds.under = AnswerSet(out_arity);
+      bounds.over = AnswerSet(out_arity);
+      bounds.over_valid = false;
+      out->bounds = std::move(bounds);
+    }
+    out->plan.reason = std::string("not planned: request already stopped (") +
+                       ResponseStatusName(out->status) + ")";
+    return;
+  }
   const auto plan_start = std::chrono::steady_clock::now();
   // Forcing an engine is an exact-mode affair: it bypasses the planner and
   // with it the approximation rule, so approximate-mode requests always go
@@ -242,11 +273,12 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
     if (shard != nullptr) {
       out->answers = ShardedEvaluate(request.query, engine, *shard->shards,
                                      shard->views, shard->parallelism,
-                                     &out->eval);
+                                     &out->eval, ctx);
     } else {
-      out->answers = idb != nullptr
-                         ? engine.Evaluate(request.query, *idb, &out->eval)
-                         : engine.Evaluate(request.query, db, &out->eval);
+      out->answers =
+          idb != nullptr
+              ? engine.Evaluate(request.query, *idb, &out->eval, ctx)
+              : engine.Evaluate(request.query, db, &out->eval, ctx);
     }
     out->exact = true;
     if (request.mode == AnswerMode::kBounds) {
@@ -261,18 +293,23 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
     switch (request.mode) {
       case AnswerMode::kUnderApproximate:
         out->answers = UnionOfSubPlans(out->plan.under, engines, shard, idb,
-                                       db, arity, &out->eval);
+                                       db, arity, &out->eval, ctx);
         break;
       case AnswerMode::kOverApproximate:
         out->answers = IntersectionOfSubPlans(out->plan.over, engines, shard,
-                                              idb, db, arity, &out->eval);
+                                              idb, db, arity, &out->eval, ctx);
         break;
       case AnswerMode::kBounds: {
         AnswerBounds bounds;
         bounds.under = UnionOfSubPlans(out->plan.under, engines, shard, idb,
-                                       db, arity, &out->eval);
-        bounds.over = IntersectionOfSubPlans(out->plan.over, engines, shard,
-                                             idb, db, arity, &out->eval);
+                                       db, arity, &out->eval, ctx);
+        // The over side is only worth computing while the request is still
+        // live: an interrupted over side is invalid anyway (see below).
+        bounds.over =
+            ctx == nullptr || ctx->ok()
+                ? IntersectionOfSubPlans(out->plan.over, engines, shard, idb,
+                                         db, arity, &out->eval, ctx)
+                : AnswerSet(arity);
         out->answers = bounds.under;  // the sound (certain) reading
         out->bounds = std::move(bounds);
         break;
@@ -283,6 +320,14 @@ void ExecuteRequest(const EvalRequest& request, const EvalOptions& options,
     }
   }
   out->eval_ms = MsSince(eval_start);
+  // Interruption verdict: sticky on the context, stamped on the response.
+  // Partial answers are a sound under-approximation, never exact; any over
+  // side computed under interruption may be missing genuine answers.
+  if (ctx != nullptr && !ctx->ok()) {
+    out->status = ctx->status();
+    out->exact = false;
+    if (out->bounds.has_value()) out->bounds->over_valid = false;
+  }
 }
 
 }  // namespace
@@ -523,8 +568,18 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
       }
       return static_cast<const ShardContext*>(&slot.ctx);
     };
+    // One interruption token per request (deadline armed here, when the
+    // request actually starts): service-wide defaults overridden field by
+    // field by the request's own limits. No limits, no token, no overhead.
+    const EvalLimits limits =
+        EvalLimits::Merge(options_.limits, request.limits);
+    std::optional<EvalContext> ectx;
+    if (limits.any() || request.cancel != nullptr) {
+      ectx.emplace(limits, request.cancel);
+    }
     ExecuteRequest(request, options_, engines, idb, &batch_plans, shared_cache,
-                   sharding ? &acquire : nullptr, &responses[i]);
+                   sharding ? &acquire : nullptr,
+                   ectx.has_value() ? &*ectx : nullptr, &responses[i]);
   };
 
   if (threads <= 1) {
@@ -579,6 +634,7 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
       if (r.plan_source == PlanSource::kBatchCache) ++stats->plan_cache_hits;
       if (r.plan_source == PlanSource::kSharedCache) ++stats->cross_plan_hits;
       if (r.plan.approximate) ++stats->approx_jobs;
+      if (r.status != ResponseStatus::kOk) ++stats->stopped_jobs;
       if (r.sharded) {
         ++stats->sharded_jobs;
       } else if (options_.num_shards >= 1) {
@@ -598,10 +654,48 @@ std::vector<EvalResponse> QueryService::EvaluateBatch(
   return responses;
 }
 
+namespace {
+
+// A future that is already failed with the given rejection reason — the
+// documented Submit outcome for shutdown races and full queues.
+std::future<EvalResponse> RejectedFuture(SubmitRejectedError::Reason reason) {
+  std::promise<EvalResponse> promise;
+  promise.set_exception(
+      std::make_exception_ptr(SubmitRejectedError(reason)));
+  return promise.get_future();
+}
+
+}  // namespace
+
 std::future<EvalResponse> QueryService::Submit(EvalRequest request) {
   CQA_CHECK(request.db != nullptr);
   std::lock_guard<std::mutex> lock(mu_);
-  CQA_CHECK(!stopping_);  // Submit after Shutdown is a caller bug
+  // Submit after (or racing) Shutdown: a failed future, never a crash or a
+  // silent drop — the submitter learns the fate of every request.
+  if (stopping_) {
+    return RejectedFuture(SubmitRejectedError::Reason::kShutdown);
+  }
+  // Admission control (EvalOptions::max_queue / degrade_queue): reject on a
+  // full queue; above the degrade threshold serve kExact as kBounds — the
+  // approximation sandwich as load management (a sound under/over pair now
+  // instead of an exact answer later).
+  bool degraded = false;
+  if (options_.max_queue > 0) {
+    if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+      ++shed_rejected_;
+      return RejectedFuture(SubmitRejectedError::Reason::kQueueFull);
+    }
+  }
+  const int degrade_at =
+      options_.degrade_queue > 0
+          ? options_.degrade_queue
+          : (options_.max_queue > 0 ? std::max(1, options_.max_queue / 2) : 0);
+  if (degrade_at > 0 && static_cast<int>(queue_.size()) >= degrade_at &&
+      request.mode == AnswerMode::kExact) {
+    request.mode = AnswerMode::kBounds;
+    degraded = true;
+    ++shed_degraded_;
+  }
   if (options_.cache == nullptr && own_cache_ == nullptr) {
     EvalCacheOptions cache_options;
     cache_options.index = options_.engine.ToIndexOptions();
@@ -614,11 +708,32 @@ std::future<EvalResponse> QueryService::Submit(EvalRequest request) {
       workers_.emplace_back(&QueryService::WorkerLoop, this);
     }
   }
-  queue_.push_back(Pending{std::move(request), std::promise<EvalResponse>()});
+  Pending pending{std::move(request)};
+  pending.degraded = degraded;
+  // The interruption token is created NOW, so a deadline covers queue wait:
+  // a request that expires while queued returns an immediate (empty, sound)
+  // kDeadlineExceeded response instead of occupying a worker.
+  const EvalLimits limits =
+      EvalLimits::Merge(options_.limits, pending.request.limits);
+  if (limits.any() || pending.request.cancel != nullptr) {
+    pending.ctx =
+        std::make_shared<const EvalContext>(limits, pending.request.cancel);
+  }
+  queue_.push_back(std::move(pending));
   std::future<EvalResponse> future = queue_.back().promise.get_future();
   ++in_flight_;
   work_cv_.notify_one();
   return future;
+}
+
+BatchStats QueryService::StreamingStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatchStats stats;
+  stats.jobs = static_cast<int>(streamed_jobs_);
+  stats.shed_degraded = shed_degraded_;
+  stats.shed_rejected = shed_rejected_;
+  stats.stopped_jobs = stopped_jobs_;
+  return stats;
 }
 
 void QueryService::WorkerLoop() {
@@ -634,6 +749,7 @@ void QueryService::WorkerLoop() {
     lock.unlock();
 
     EvalResponse response;
+    bool stopped = false;
     // The shared_ptrs keep the views (and the shard partition) alive for
     // the whole request even if a cache evicts or the registry supersedes
     // them meanwhile. A throw must not escape the worker thread
@@ -667,13 +783,17 @@ void QueryService::WorkerLoop() {
       ExecuteRequest(pending.request, options_, engines, view.get(),
                      /*batch_cache=*/nullptr, cache,
                      options_.num_shards >= 1 ? &acquire : nullptr,
-                     &response);
+                     pending.ctx.get(), &response);
+      response.degraded = pending.degraded;
+      stopped = response.status != ResponseStatus::kOk;
       pending.promise.set_value(std::move(response));
     } catch (...) {
       pending.promise.set_exception(std::current_exception());
     }
 
     lock.lock();
+    ++streamed_jobs_;
+    if (stopped) ++stopped_jobs_;
     if (--in_flight_ == 0) idle_cv_.notify_all();
   }
 }

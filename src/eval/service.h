@@ -72,6 +72,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -79,6 +80,7 @@
 #include "data/database.h"
 #include "eval/answer_set.h"
 #include "eval/engine.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
@@ -118,6 +120,23 @@ struct EvalOptions {
   /// unset, EvaluateBatch keeps per-run caches and Submit lazily creates a
   /// private EvalCache so streaming still amortizes across requests.
   std::shared_ptr<EvalCache> cache;
+  /// Default resource limits applied to every request (deadline, node
+  /// budget, max_answers; eval/eval_context.h). A request's own
+  /// EvalRequest::limits overrides these field by field. For streamed
+  /// requests the deadline clock starts at Submit — queueing counts.
+  EvalLimits limits;
+  /// Streaming admission control: the submit queue refuses to grow beyond
+  /// this many *queued* (not yet executing) requests — Submit then returns
+  /// a failed future carrying SubmitRejectedError{kQueueFull} and
+  /// BatchStats::shed_rejected counts it. 0 (or negative) = unbounded.
+  int max_queue = 0;
+  /// Shed-before-reject threshold: once the queue holds at least this many
+  /// requests, incoming AnswerMode::kExact requests are degraded to
+  /// kBounds (the paper's sandwich as load management: a sound
+  /// under/over pair now instead of an exact answer later), counted in
+  /// BatchStats::shed_degraded and flagged EvalResponse::degraded. 0 =
+  /// derived as max(1, max_queue / 2) when max_queue is set, else off.
+  int degrade_queue = 0;
 };
 
 /// One unit of serving work. `db` is borrowed and must outlive the request;
@@ -126,28 +145,53 @@ struct EvalRequest {
   ConjunctiveQuery query;
   const Database* db = nullptr;
   AnswerMode mode = AnswerMode::kExact;
+  /// Per-request resource limits; nonzero fields override EvalOptions::
+  /// limits (EvalLimits::Merge). max_answers stops AnswerSet
+  /// materialization once the budget is reached.
+  EvalLimits limits;
+  /// Optional cooperative cancel flag (MakeCancelFlag); setting it to true
+  /// makes the evaluation stop with ResponseStatus::kCancelled. May be
+  /// shared across requests to cancel a group at once.
+  CancelFlag cancel;
 };
 
 /// The paper's answer sandwich for AnswerMode::kBounds: under ⊆ Q(D) ⊆ over.
 struct AnswerBounds {
   AnswerSet under = AnswerSet(0);  ///< certain answers (all correct)
   AnswerSet over = AnswerSet(0);   ///< possible answers (nothing missing)
+  /// False when the evaluation was interrupted (EvalResponse::status !=
+  /// kOk): an interrupted over side may be missing genuine answers, so
+  /// `over` is NOT a valid superset of Q(D) and must be ignored. `under`
+  /// stays sound either way (interruption only loses certain answers).
+  bool over_valid = true;
 
   long long certain_count() const { return static_cast<long long>(under.size()); }
   long long possible_count() const { return static_cast<long long>(over.size()); }
   /// True when the sandwich collapsed: the bounds *are* the exact answers.
-  bool tight() const { return under == over; }
+  bool tight() const { return over_valid && under == over; }
 };
 
 /// Outcome of one request.
 struct EvalResponse {
   AnswerMode mode = AnswerMode::kExact;  ///< mode of the request
+  /// Why evaluation finished. Anything but kOk means it stopped early
+  /// (deadline / cancel / budget) and the response carries *partial*
+  /// results: `answers` (and bounds->under) are still a sound set of
+  /// certain answers — a subset of Q(D) — but never exact, and an over
+  /// side is invalid (AnswerBounds::over_valid). In kOverApproximate mode
+  /// a non-kOk response's answers are unreliable in both directions.
+  ResponseStatus status = ResponseStatus::kOk;
+  /// True when admission control rewrote this request from kExact to
+  /// kBounds under queue pressure (EvalOptions::degrade_queue); `mode`
+  /// then reads kBounds, the mode actually served.
+  bool degraded = false;
   /// The answers in the mode's reading: exact Q(D) (kExact, or any mode on
   /// an in-budget query), the certain answers (kUnderApproximate, kBounds),
   /// or the possible answers (kOverApproximate).
   AnswerSet answers = AnswerSet(0);
-  /// True when `answers` is exactly Q(D) — always in kExact mode, and in
-  /// the approximate modes whenever the planner could stay exact.
+  /// True when `answers` is exactly Q(D) — always in kExact mode with
+  /// status kOk, and in the approximate modes whenever the planner could
+  /// stay exact. Always false when status != kOk.
   bool exact = true;
   /// The sandwich, set iff mode == kBounds (under == answers then).
   std::optional<AnswerBounds> bounds;
@@ -192,8 +236,39 @@ struct BatchStats {
   /// Requests where sharding was requested (num_shards >= 1) but the plan
   /// was not shard-sound, so the unsharded path answered instead.
   long long shard_fallbacks = 0;
+  /// Requests that finished with status != kOk (deadline / cancel /
+  /// truncation): their responses carry sound partial under-approximations.
+  long long stopped_jobs = 0;
+  /// Admission-control counters (streaming path; see EvalOptions::
+  /// max_queue / degrade_queue): kExact requests degraded to kBounds under
+  /// queue pressure, and submissions rejected outright on a full queue.
+  /// Populated by QueryService::StreamingStats; always 0 in EvaluateBatch
+  /// stats (batches are admitted as a whole).
+  long long shed_degraded = 0;
+  long long shed_rejected = 0;
   EvalStats eval;             ///< summed per-request evaluation counters
   long long index_bytes = 0;  ///< footprint of the index views this batch used
+};
+
+/// Why QueryService::Submit refused a request; delivered through the
+/// returned future (std::future::get throws it).
+class SubmitRejectedError : public std::runtime_error {
+ public:
+  enum class Reason {
+    kShutdown,   ///< Submit after Shutdown(): the worker pool is gone
+    kQueueFull,  ///< EvalOptions::max_queue reached (load shedding)
+  };
+
+  explicit SubmitRejectedError(Reason reason)
+      : std::runtime_error(reason == Reason::kShutdown
+                               ? "submit rejected: service shut down"
+                               : "submit rejected: queue full"),
+        reason_(reason) {}
+
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
 };
 
 /// The serving facade. One service instance handles blocking, batch, and
@@ -227,17 +302,33 @@ class QueryService {
   /// Streaming submission: enqueues one request on the persistent worker
   /// pool (started lazily on first call) and returns a future for its
   /// response. The answers equal what EvaluateBatch({request}) would
-  /// produce. Thread-safe. CHECK-fails after Shutdown(). Plans and (when
-  /// indexing is on) views go through EvalOptions::cache, or through a
-  /// private EvalCache created on first Submit when none was configured.
-  /// If the request throws, the exception is delivered via the future.
+  /// produce. Thread-safe. Plans and (when indexing is on) views go
+  /// through EvalOptions::cache, or through a private EvalCache created on
+  /// first Submit when none was configured. If the request throws, the
+  /// exception is delivered via the future.
+  ///
+  /// Admission control: after Shutdown() — or when a concurrent Shutdown
+  /// wins the race — Submit returns a failed future carrying
+  /// SubmitRejectedError{kShutdown} (never a crash, never a silent drop).
+  /// With EvalOptions::max_queue set, a full queue returns a failed future
+  /// carrying SubmitRejectedError{kQueueFull}; above the degrade threshold
+  /// kExact requests are served as kBounds instead (EvalResponse::
+  /// degraded). The request's deadline (if any) is armed here, so queue
+  /// wait counts against it. StreamingStats() exposes the shed counters.
   std::future<EvalResponse> Submit(EvalRequest request);
+
+  /// Cumulative streaming-path counters: jobs served, shed_degraded /
+  /// shed_rejected from admission control, stopped_jobs from
+  /// deadline/cancel/budget trips. Other BatchStats fields stay 0.
+  /// Thread-safe.
+  BatchStats StreamingStats() const;
 
   /// Blocks until every submitted request has completed. Thread-safe.
   void Drain();
 
   /// Drains outstanding requests, then stops and joins the worker pool.
-  /// Idempotent; afterwards Submit CHECK-fails. Thread-safe.
+  /// Idempotent; afterwards Submit returns failed futures (see Submit).
+  /// Thread-safe.
   void Shutdown();
 
   /// Unregisters every shard partition built from `db` (by identity): the
@@ -260,6 +351,10 @@ class QueryService {
   struct Pending {
     EvalRequest request;
     std::promise<EvalResponse> promise;
+    /// Created at Submit time (deadline armed there: queue wait counts);
+    /// null when the request has no limits and no cancel flag.
+    std::shared_ptr<const EvalContext> ctx;
+    bool degraded = false;  ///< admission control rewrote kExact -> kBounds
   };
 
   // One cached partition of one database content (num_shards is fixed by
@@ -310,6 +405,11 @@ class QueryService {
   std::shared_ptr<EvalCache> own_cache_;  ///< lazy fallback serving cache
   long long in_flight_ = 0;               ///< queued + executing requests
   bool stopping_ = false;
+  // Streaming-path counters (guarded by mu_; surfaced by StreamingStats).
+  long long streamed_jobs_ = 0;
+  long long shed_degraded_ = 0;
+  long long shed_rejected_ = 0;
+  long long stopped_jobs_ = 0;
 
   // Shard-partition registry, shared by batch and streaming paths (its own
   // lock: never held together with mu_). Grows by one entry per distinct

@@ -13,7 +13,7 @@ namespace cqa {
 AnswerSet ShardedEvaluate(const ConjunctiveQuery& q, const Engine& engine,
                           const ShardedDatabase& shards,
                           const ShardViews& views, int parallelism,
-                          EvalStats* stats) {
+                          EvalStats* stats, const EvalContext* ctx) {
   CQA_CHECK(engine.Supports(q));
   const int num_shards = shards.num_shards();
   const bool indexed = !views.empty();
@@ -27,8 +27,10 @@ AnswerSet ShardedEvaluate(const ConjunctiveQuery& q, const Engine& engine,
 
   const auto run_shard = [&](int k) {
     EvalStats* st = stats != nullptr ? &part_stats[k] : nullptr;
-    parts[k] = indexed ? engine.Evaluate(q, *views[k], st)
-                       : engine.Evaluate(q, shards.shard(k), st);
+    // Every shard polls the same ctx, so one tripped limit (on any thread)
+    // makes the remaining shards return their partial parts immediately.
+    parts[k] = indexed ? engine.Evaluate(q, *views[k], st, ctx)
+                       : engine.Evaluate(q, shards.shard(k), st, ctx);
   };
 
   const int threads = std::clamp(parallelism, 1, num_shards);

@@ -39,13 +39,18 @@ using ShardViews = std::vector<std::shared_ptr<const IndexedDatabase>>;
 /// Evaluates `q` with `engine` on every shard and unions the answers.
 /// `parallelism` caps the transient worker threads (<= 1 = sequential; never
 /// more than num_shards are spawned). `stats` (optional) accumulates the
-/// per-shard totals plus one shard_evals tick per shard. CHECK-fails if
-/// !engine.Supports(q) (same contract as Engine::Evaluate) or if `views` is
-/// nonempty but not parallel to the shards.
+/// per-shard totals plus one shard_evals tick per shard. A non-null `ctx`
+/// is shared by every shard worker: the first limit tripped on any shard
+/// stops all of them, and the union of the partial per-shard answer sets is
+/// still a sound under-approximation (each part is a subset of its shard's
+/// answers). CHECK-fails if !engine.Supports(q) (same contract as
+/// Engine::Evaluate) or if `views` is nonempty but not parallel to the
+/// shards.
 AnswerSet ShardedEvaluate(const ConjunctiveQuery& q, const Engine& engine,
                           const ShardedDatabase& shards,
                           const ShardViews& views, int parallelism,
-                          EvalStats* stats = nullptr);
+                          EvalStats* stats = nullptr,
+                          const EvalContext* ctx = nullptr);
 
 }  // namespace cqa
 

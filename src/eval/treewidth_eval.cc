@@ -66,11 +66,16 @@ std::vector<std::vector<Element>> VariableCandidates(
 VarTable BagTable(const std::vector<int>& bag,
                   const std::vector<const Atom*>& bag_atoms,
                   const std::vector<std::vector<Element>>& candidates,
-                  const Database& db) {
+                  const Database& db, const EvalContext* ctx) {
   VarTable out;
   out.vars = bag;
   Tuple row(bag.size());
+  bool stopped = false;  // partial bag table = subset: sound downstream
   std::function<void(size_t)> enumerate = [&](size_t i) {
+    if (ctx != nullptr && ctx->Interrupted()) {
+      stopped = true;
+      return;
+    }
     if (i == bag.size()) {
       for (const Atom* atom : bag_atoms) {
         Tuple fact(atom->vars.size());
@@ -87,6 +92,7 @@ VarTable BagTable(const std::vector<int>& bag,
     for (const Element e : candidates[bag[i]]) {
       row[i] = e;
       enumerate(i + 1);
+      if (stopped) return;
     }
   };
   enumerate(0);
@@ -103,7 +109,8 @@ VarTable BagTable(const std::vector<int>& bag,
 VarTable IndexedBagTable(const std::vector<int>& bag,
                          const std::vector<const Atom*>& bag_atoms,
                          const std::vector<std::vector<Element>>& candidates,
-                         const IndexedDatabase& idb, EvalStats* stats) {
+                         const IndexedDatabase& idb, EvalStats* stats,
+                         const EvalContext* ctx) {
   const Database& db = idb.db();
   VarTable out;
   out.vars = bag;
@@ -174,7 +181,12 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
   }
 
   Tuple row(bag.size(), -1);
+  bool stopped = false;  // partial bag table = subset: sound downstream
   std::function<void(size_t)> fill_leftover = [&](size_t i) {
+    if (ctx != nullptr && ctx->Interrupted()) {
+      stopped = true;
+      return;
+    }
     if (i == leftover.size()) {
       out.rows.push_back(row);
       return;
@@ -182,11 +194,16 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
     for (const Element e : candidates[bag[leftover[i]]]) {
       row[leftover[i]] = e;
       fill_leftover(i + 1);
+      if (stopped) break;
     }
     row[leftover[i]] = -1;
   };
   std::function<void(size_t)> search = [&](size_t depth) {
     if (stats != nullptr) ++stats->nodes;
+    if (ctx != nullptr && ctx->Interrupted()) {
+      stopped = true;
+      return;
+    }
     if (depth == static_cast<size_t>(m)) {
       fill_leftover(0);
       return;
@@ -221,6 +238,7 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
       }
       if (ok) search(depth + 1);
       for (const size_t r : newly_bound) row[r] = -1;
+      if (stopped) return;
     }
   };
   search(0);
@@ -229,7 +247,8 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
 
 AnswerSet RunTreewidth(const ConjunctiveQuery& q, const Database& db,
                        const IndexedDatabase* idb,
-                       const TreeDecomposition& td, EvalStats* stats) {
+                       const TreeDecomposition& td, EvalStats* stats,
+                       const EvalContext* ctx) {
   q.Validate();
   CQA_CHECK(ValidateTreeDecomposition(td, GraphOfQuery(q)));
   const int b = static_cast<int>(td.bags.size());
@@ -258,8 +277,9 @@ AnswerSet RunTreewidth(const ConjunctiveQuery& q, const Database& db,
   for (int i = 0; i < b; ++i) {
     tables[i] = idb != nullptr
                     ? IndexedBagTable(td.bags[i], atoms_of_bag[i], candidates,
-                                      *idb, stats)
-                    : BagTable(td.bags[i], atoms_of_bag[i], candidates, db);
+                                      *idb, stats, ctx)
+                    : BagTable(td.bags[i], atoms_of_bag[i], candidates, db,
+                               ctx);
   }
 
   // Orient the decomposition forest.
@@ -289,30 +309,34 @@ AnswerSet RunTreewidth(const ConjunctiveQuery& q, const Database& db,
     }
   }
   return EvaluateJoinForest(std::move(tables), parent, q.free_variables(),
-                            idb, stats);
+                            idb, stats, ctx);
 }
 
 }  // namespace
 
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
-                            const TreeDecomposition& td) {
-  return RunTreewidth(q, db, /*idb=*/nullptr, td, /*stats=*/nullptr);
+                            const TreeDecomposition& td,
+                            const EvalContext* ctx) {
+  return RunTreewidth(q, db, /*idb=*/nullptr, td, /*stats=*/nullptr, ctx);
 }
 
-AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db) {
-  return EvaluateTreewidth(q, db, MinFillDecomposition(GraphOfQuery(q)));
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
+                            const EvalContext* ctx) {
+  return EvaluateTreewidth(q, db, MinFillDecomposition(GraphOfQuery(q)), ctx);
 }
 
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
                             const IndexedDatabase& idb,
-                            const TreeDecomposition& td, EvalStats* stats) {
-  return RunTreewidth(q, idb.db(), &idb, td, stats);
+                            const TreeDecomposition& td, EvalStats* stats,
+                            const EvalContext* ctx) {
+  return RunTreewidth(q, idb.db(), &idb, td, stats, ctx);
 }
 
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
-                            const IndexedDatabase& idb, EvalStats* stats) {
+                            const IndexedDatabase& idb, EvalStats* stats,
+                            const EvalContext* ctx) {
   return EvaluateTreewidth(q, idb, MinFillDecomposition(GraphOfQuery(q)),
-                           stats);
+                           stats, ctx);
 }
 
 }  // namespace cqa

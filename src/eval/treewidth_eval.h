@@ -14,26 +14,33 @@
 #include "data/index.h"
 #include "decomp/tree_decomposition.h"
 #include "eval/answer_set.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
 
 /// Computes Q(D) using the given tree decomposition of G(Q) (must be
-/// valid; width governs the cost).
+/// valid; width governs the cost). A non-null `ctx` is polled inside the
+/// bag-materialization search and the join-forest DP; the partial result is
+/// a sound under-approximation (see eval/eval_context.h).
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
-                            const TreeDecomposition& td);
+                            const TreeDecomposition& td,
+                            const EvalContext* ctx = nullptr);
 
 /// Convenience: builds a min-fill decomposition internally.
-AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db);
+AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q, const Database& db,
+                            const EvalContext* ctx = nullptr);
 
 /// Indexed variants: same answers as the scan versions on every input.
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
                             const IndexedDatabase& idb,
                             const TreeDecomposition& td,
-                            EvalStats* stats = nullptr);
+                            EvalStats* stats = nullptr,
+                            const EvalContext* ctx = nullptr);
 AnswerSet EvaluateTreewidth(const ConjunctiveQuery& q,
                             const IndexedDatabase& idb,
-                            EvalStats* stats = nullptr);
+                            EvalStats* stats = nullptr,
+                            const EvalContext* ctx = nullptr);
 
 }  // namespace cqa
 

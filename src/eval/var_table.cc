@@ -125,7 +125,8 @@ bool ApplySurvivors(VarTable* a, const std::vector<size_t>& kept_idx) {
 }  // namespace
 
 bool SemijoinInPlace(VarTable* a, const VarTable& b,
-                     const IndexedDatabase* idb, EvalStats* stats) {
+                     const IndexedDatabase* idb, EvalStats* stats,
+                     const EvalContext* ctx) {
   const std::vector<int> shared = SharedVars(a->vars, b.vars);
   if (shared.empty()) {
     // Degenerate semijoin: keep a iff b nonempty.
@@ -167,6 +168,7 @@ bool SemijoinInPlace(VarTable* a, const VarTable& b,
       std::vector<size_t> kept_idx;
       kept_idx.reserve(rows.size());
       for (size_t i = 0; i < rows.size(); ++i) {
+        if (ctx != nullptr && ctx->Interrupted()) break;  // drop the rest
         if (stats != nullptr) ++stats->index_probes;
         if (index->Probe(Select(rows[i], pos_a)) != nullptr) {
           if (stats != nullptr) ++stats->index_hits;
@@ -185,13 +187,15 @@ bool SemijoinInPlace(VarTable* a, const VarTable& b,
   std::vector<size_t> kept_idx;
   kept_idx.reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
+    if (ctx != nullptr && ctx->Interrupted()) break;  // drop the rest
     if (keys.count(Select(rows[i], pos_a)) > 0) kept_idx.push_back(i);
   }
   return ApplySurvivors(a, kept_idx);
 }
 
 VarTable JoinProject(const VarTable& a, const VarTable& b,
-                     const std::vector<int>& keep_vars) {
+                     const std::vector<int>& keep_vars,
+                     const EvalContext* ctx) {
   std::vector<int> all_vars;
   std::set_union(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
                  std::back_inserter(all_vars));
@@ -211,6 +215,7 @@ VarTable JoinProject(const VarTable& a, const VarTable& b,
   out.vars = keep_vars;
   Tuple combined(all_vars.size());
   for (const Tuple& row_a : a.Rows()) {
+    if (ctx != nullptr && ctx->Interrupted()) break;  // partial = subset
     const auto it = index.find(Select(row_a, pos_a));
     if (it == index.end()) continue;
     for (const Tuple* row_b : it->second) {
@@ -240,7 +245,8 @@ VarTable Project(const VarTable& a, const std::vector<int>& keep_vars) {
 AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
                              const std::vector<int>& parent,
                              const std::vector<int>& free_tuple,
-                             const IndexedDatabase* idb, EvalStats* stats) {
+                             const IndexedDatabase* idb, EvalStats* stats,
+                             const EvalContext* ctx) {
   const int n = static_cast<int>(tables.size());
   CQA_CHECK(static_cast<int>(parent.size()) == n);
   AnswerSet answers(static_cast<int>(free_tuple.size()));
@@ -278,14 +284,18 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int u = *it;
     if (parent[u] >= 0) {
-      SemijoinInPlace(&tables[parent[u]], tables[u], idb, stats);
+      SemijoinInPlace(&tables[parent[u]], tables[u], idb, stats, ctx);
     }
   }
   for (const int u : order) {
     for (const int c : children[u]) {
-      SemijoinInPlace(&tables[c], tables[u], idb, stats);
+      SemijoinInPlace(&tables[c], tables[u], idb, stats, ctx);
     }
   }
+  // An interruption mid-reduction has only dropped rows (see SemijoinInPlace)
+  // so continuing would still be sound, but there is nothing worth salvaging
+  // before the DP has run: stop paying for table work and return empty.
+  if (ctx != nullptr && !ctx->ok()) return answers;
   for (const int r : roots) {
     if (tables[r].Rows().empty()) return answers;  // no matches at all
   }
@@ -332,6 +342,7 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
   std::vector<VarTable> solved(n);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const int u = *it;
+    if (ctx != nullptr && !ctx->ok()) return answers;
     if (!needed[u]) continue;
     // Keep: free vars within subtree(u), plus vars shared with parent.
     std::vector<int> keep;
@@ -366,7 +377,7 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
       std::vector<int> step_keep;
       std::set_intersection(wanted.begin(), wanted.end(), available.begin(),
                             available.end(), std::back_inserter(step_keep));
-      acc = JoinProject(acc, solved[c], step_keep);
+      acc = JoinProject(acc, solved[c], step_keep, ctx);
     }
     solved[u] = Project(acc, keep);
   }
@@ -383,7 +394,7 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
     std::vector<int> restricted;
     std::set_intersection(keep.begin(), keep.end(), free_vars.begin(),
                           free_vars.end(), std::back_inserter(restricted));
-    result = JoinProject(result, solved[r], restricted);
+    result = JoinProject(result, solved[r], restricted, ctx);
   }
   CQA_CHECK(result.vars == free_vars);
 
@@ -394,12 +405,16 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
     const auto it = std::lower_bound(free_vars.begin(), free_vars.end(), v);
     tuple_pos.push_back(static_cast<int>(it - free_vars.begin()));
   }
+  // Emission: every row of `result` is a genuine answer (joins of shrunken
+  // tables only lose answers), so stopping mid-loop stays sound.
   for (const Tuple& row : result.Rows()) {
+    if (ctx != nullptr && ctx->Interrupted()) break;
     Tuple answer(free_tuple.size());
     for (size_t i = 0; i < tuple_pos.size(); ++i) {
       answer[i] = row[tuple_pos[i]];
     }
     answers.Insert(std::move(answer));
+    if (ctx != nullptr && ctx->RecordAnswer()) break;
   }
   return answers;
 }

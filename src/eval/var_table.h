@@ -12,6 +12,7 @@
 #include "data/database.h"
 #include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
@@ -57,14 +58,21 @@ VarTable IntersectSameVars(const VarTable& a, const VarTable& b);
 /// shared variables. Returns true if rows were removed. When `idb` is given
 /// and `b` is pristine (source_rel set), the filter probes the relation
 /// index for b's shared positions instead of building a key set over b.
+/// A non-null `ctx` is polled per scanned row; on interruption the rows not
+/// yet scanned are dropped too — removal-only, so the result stays a subset
+/// of the true semijoin (sound for under-approximation).
 bool SemijoinInPlace(VarTable* a, const VarTable& b,
                      const IndexedDatabase* idb = nullptr,
-                     EvalStats* stats = nullptr);
+                     EvalStats* stats = nullptr,
+                     const EvalContext* ctx = nullptr);
 
 /// Natural join followed by projection onto `keep_vars` (sorted, must be a
-/// subset of the union of the inputs' variables). Rows deduplicated.
+/// subset of the union of the inputs' variables). Rows deduplicated. A
+/// non-null `ctx` is polled per probe row; on interruption the partial
+/// output (a subset of the true join) is returned.
 VarTable JoinProject(const VarTable& a, const VarTable& b,
-                     const std::vector<int>& keep_vars);
+                     const std::vector<int>& keep_vars,
+                     const EvalContext* ctx = nullptr);
 
 /// Projection of a single table onto `keep_vars` ⊆ a.vars.
 VarTable Project(const VarTable& a, const std::vector<int>& keep_vars);
@@ -79,11 +87,16 @@ VarTable Project(const VarTable& a, const std::vector<int>& keep_vars);
 /// Yannakakis bound the paper's approximations are designed to exploit.
 /// With `idb`, semijoins against pristine atom tables become index probes
 /// (same answers; `stats`, optional, counts the probes).
+/// A non-null `ctx` makes the DP interruptible: every table operation only
+/// ever *shrinks* relative to its uninterrupted result, so any answers
+/// emitted before the stop are genuine members of Q(D) (a sound
+/// under-approximation; typically empty when the stop lands mid-reduction).
 AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
                              const std::vector<int>& parent,
                              const std::vector<int>& free_tuple,
                              const IndexedDatabase* idb = nullptr,
-                             EvalStats* stats = nullptr);
+                             EvalStats* stats = nullptr,
+                             const EvalContext* ctx = nullptr);
 
 }  // namespace cqa
 

@@ -83,25 +83,28 @@ std::vector<VarTable> HyperedgeTables(const ConjunctiveQuery& q,
 }
 
 AnswerSet RunYannakakis(const ConjunctiveQuery& q, const Database& db,
-                        const IndexedDatabase* idb, EvalStats* stats) {
+                        const IndexedDatabase* idb, EvalStats* stats,
+                        const EvalContext* ctx) {
   q.Validate();
   const Hypergraph h = HypergraphOfQuery(q);
   const auto jt = BuildJoinTree(h);
   CQA_CHECK(jt.has_value());  // caller must pass an acyclic query
   std::vector<VarTable> tables = HyperedgeTables(q, h, db, idb, stats);
   return EvaluateJoinForest(std::move(tables), jt->parent, q.free_variables(),
-                            idb, stats);
+                            idb, stats, ctx);
 }
 
 }  // namespace
 
-AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db) {
-  return RunYannakakis(q, db, /*idb=*/nullptr, /*stats=*/nullptr);
+AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db,
+                             const EvalContext* ctx) {
+  return RunYannakakis(q, db, /*idb=*/nullptr, /*stats=*/nullptr, ctx);
 }
 
 AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q,
-                             const IndexedDatabase& idb, EvalStats* stats) {
-  return RunYannakakis(q, idb.db(), &idb, stats);
+                             const IndexedDatabase& idb, EvalStats* stats,
+                             const EvalContext* ctx) {
+  return RunYannakakis(q, idb.db(), &idb, stats, ctx);
 }
 
 bool EvaluateYannakakisBoolean(const ConjunctiveQuery& q, const Database& db) {

@@ -13,20 +13,25 @@
 #include "data/database.h"
 #include "data/index.h"
 #include "eval/answer_set.h"
+#include "eval/eval_context.h"
 #include "eval/eval_stats.h"
 
 namespace cqa {
 
 /// Computes Q(D) for an acyclic q (CHECK-fails on cyclic queries; test with
-/// IsAcyclicQuery first).
-AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db);
+/// IsAcyclicQuery first). A non-null `ctx` makes the reduction/DP
+/// interruptible; the partial result is a sound under-approximation (see
+/// eval/eval_context.h).
+AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q, const Database& db,
+                             const EvalContext* ctx = nullptr);
 
 /// Indexed variant: atom tables come from the view's cached projections and
 /// the semijoin passes probe relation indexes (same answers as the scan
 /// variant on every input).
 AnswerSet EvaluateYannakakis(const ConjunctiveQuery& q,
                              const IndexedDatabase& idb,
-                             EvalStats* stats = nullptr);
+                             EvalStats* stats = nullptr,
+                             const EvalContext* ctx = nullptr);
 
 /// Boolean variant (full reduction only; no output enumeration).
 bool EvaluateYannakakisBoolean(const ConjunctiveQuery& q, const Database& db);

@@ -51,8 +51,9 @@ TEST(ShardOfTupleTest, DeterministicInRangeAndKeyedByFirstColumn) {
       EXPECT_EQ(shard, ShardOfTuple({a}, k));
     }
   }
-  // Arity-0 fallback: hash of the whole (empty) tuple, one fixed shard.
-  EXPECT_EQ(ShardOfTuple({}, 7), ShardOfTuple({}, 7));
+  // Arity-0: nullary facts are broadcast, not routed; the routing function
+  // answers a stable 0 for probing callers rather than a residence claim.
+  EXPECT_EQ(ShardOfTuple({}, 7), 0);
   EXPECT_EQ(ShardOfTuple({}, 1), 0);
 }
 
@@ -116,6 +117,53 @@ TEST(ShardedDatabaseTest, EmptyDatabasePartitionsIntoEmptyShards) {
   EXPECT_EQ(sharded.MaxShardFacts(), 0);
 }
 
+// Nullary facts have no key column: they are replicated into every shard so
+// a single-atom plan over the relation (always shard-sound) never loses the
+// proposition on K-1 shards. Positive-arity facts still partition disjointly.
+TEST(ShardedDatabaseTest, NullaryFactsAreBroadcastToEveryShard) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const RelationId e = vocab->AddRelation("E", 2);
+  const RelationId p = vocab->AddRelation("P", 0);
+  const RelationId q = vocab->AddRelation("Q", 0);
+  Database db(vocab, 6);
+  for (int u = 0; u < 5; ++u) db.AddFact(e, {u, u + 1});
+  db.AddFact(p, {});  // Q stays false: broadcast must not invent it
+
+  for (const int k : {1, 3, 7}) {
+    const ShardedDatabase sharded(db, k);
+    for (int s = 0; s < k; ++s) {
+      EXPECT_TRUE(sharded.shard(s).HasFact(p, {})) << "shard " << s;
+      EXPECT_FALSE(sharded.shard(s).HasFact(q, {})) << "shard " << s;
+    }
+    // Replication is visible in the fact count: 5 routed + k broadcast.
+    EXPECT_EQ(sharded.TotalFacts(), 5 + k);
+    // The binary facts still form a disjoint cover.
+    for (const Tuple& fact : db.facts(e)) {
+      int copies = 0;
+      for (int s = 0; s < k; ++s) copies += sharded.shard(s).HasFact(e, fact);
+      EXPECT_EQ(copies, 1);
+    }
+  }
+}
+
+// Unary facts are the smallest routed case: the first column is the whole
+// tuple, and the partition is a disjoint cover exactly as for higher arity.
+TEST(ShardedDatabaseTest, UnaryFactsRouteByTheirOnlyColumn) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const RelationId u = vocab->AddRelation("U", 1);
+  Database db(vocab, 20);
+  for (int a = 0; a < 20; ++a) db.AddFact(u, {a});
+  const int k = 4;
+  const ShardedDatabase sharded(db, k);
+  EXPECT_EQ(sharded.TotalFacts(), db.NumFacts());
+  for (const Tuple& fact : db.facts(u)) {
+    const int home = ShardOfTuple(fact, k);
+    for (int s = 0; s < k; ++s) {
+      EXPECT_EQ(sharded.shard(s).HasFact(u, fact), s == home);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // The soundness algebra.
 
@@ -144,6 +192,44 @@ TEST(IsShardSoundTest, StraddlingShapesRejectedWithReason) {
   EXPECT_FALSE(IsShardSound(digon));
   // The triangle straddles too.
   EXPECT_FALSE(IsShardSound(TriangleOutputCQ()));
+}
+
+// Nullary atoms are broadcast, so they are locally satisfiable on every
+// shard and exempt from the co-partitioning requirement: adding one never
+// flips a sound shape to unsound, and an all-nullary query is sound outright.
+TEST(IsShardSoundTest, NullaryAtomsExemptFromCoPartitioning) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const RelationId e = vocab->AddRelation("E", 2);
+  const RelationId p = vocab->AddRelation("P", 0);
+
+  ConjunctiveQuery star(vocab);
+  const int x = star.AddVariable("x");
+  const int y = star.AddVariable("y");
+  const int z = star.AddVariable("z");
+  star.AddAtom(e, {x, y});
+  star.AddAtom(e, {x, z});
+  star.AddAtom(p, {});
+  star.SetFreeVariables({x, y, z});
+  std::string reason;
+  EXPECT_TRUE(IsShardSound(star, &reason));
+  EXPECT_NE(reason.find("nullary"), std::string::npos);
+
+  ConjunctiveQuery only_p(vocab);
+  only_p.AddAtom(p, {});
+  only_p.SetFreeVariables({});
+  EXPECT_TRUE(IsShardSound(only_p, &reason));
+
+  // The exemption does not launder unsound positive-arity shapes: a 2-path
+  // plus a nullary atom still straddles shards.
+  ConjunctiveQuery path(vocab);
+  const int a = path.AddVariable("a");
+  const int b = path.AddVariable("b");
+  const int c = path.AddVariable("c");
+  path.AddAtom(e, {a, b});
+  path.AddAtom(e, {b, c});
+  path.AddAtom(p, {});
+  path.SetFreeVariables({a, c});
+  EXPECT_FALSE(IsShardSound(path));
 }
 
 // A hand-built witness that the rejected shapes are genuinely unsound:
@@ -368,6 +454,49 @@ TEST(ShardedServiceTest, SoundShapeTakesShardedPath) {
   EXPECT_EQ(stats.shard_fallbacks, 0);
   EXPECT_EQ(results[0].eval.shard_evals, 4);
   EXPECT_TRUE(results[0].answers == EvaluateNaive(ShardSoundStarCQ(2), db));
+}
+
+// The end-to-end regression for the broadcast fix: a single-atom query over
+// a nullary relation is shard-sound, so the service evaluates it per shard
+// and unions. Before broadcasting, the lone P() fact lived in one shard and
+// a conjunction probing it on any other shard would come back empty.
+TEST(ShardedServiceTest, NullaryQueriesStayExactUnderSharding) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const RelationId e = vocab->AddRelation("E", 2);
+  const RelationId p = vocab->AddRelation("P", 0);
+  Database db(vocab, 8);
+  for (int u = 0; u < 7; ++u) db.AddFact(e, {u, u + 1});
+  db.AddFact(p, {});
+
+  // P() alone, and the guarded star E(x,y) ∧ E(x,z) ∧ P().
+  ConjunctiveQuery only_p(vocab);
+  only_p.SetFreeVariables({});
+  only_p.AddAtom(p, {});
+  ConjunctiveQuery guarded(vocab);
+  const int x = guarded.AddVariable("x");
+  const int y = guarded.AddVariable("y");
+  const int z = guarded.AddVariable("z");
+  guarded.AddAtom(e, {x, y});
+  guarded.AddAtom(e, {x, z});
+  guarded.AddAtom(p, {});
+  guarded.SetFreeVariables({x, y, z});
+
+  for (const ConjunctiveQuery& q : {only_p, guarded}) {
+    const AnswerSet expected = EvaluateNaive(q, db);
+    EXPECT_FALSE(expected.empty()) << PrintQuery(q);
+    for (const int k : {1, 3, 5}) {
+      EvalOptions opts;
+      opts.num_threads = 1;
+      opts.num_shards = k;
+      opts.forced_engine = EngineKind::kNaive;
+      BatchStats stats;
+      const auto results =
+          QueryService(opts).EvaluateBatch({{q, &db}}, &stats);
+      EXPECT_TRUE(results[0].sharded) << PrintQuery(q) << " K=" << k;
+      EXPECT_TRUE(results[0].answers == expected) << PrintQuery(q) << " K=" << k;
+      EXPECT_EQ(stats.sharded_jobs, 1);
+    }
+  }
 }
 
 // Maximally skewed partition (every fact keys on one element): K-1 shards
