@@ -51,6 +51,7 @@ void DedupRows(VarTable* t) {
 
 VarTable AtomMatches(const Atom& atom, const Database& db) {
   VarTable out;
+  out.rows.reserve(db.facts(atom.rel).size());
   out.vars = atom.vars;
   std::sort(out.vars.begin(), out.vars.end());
   out.vars.erase(std::unique(out.vars.begin(), out.vars.end()),
@@ -213,6 +214,9 @@ VarTable JoinProject(const VarTable& a, const VarTable& b,
   const std::vector<int> keep_in_all = PositionsOf(keep_vars, all_vars);
   VarTable out;
   out.vars = keep_vars;
+  // Lower bound on the output: every a-row with a partner emits at least one
+  // row, so a's cardinality is a cheap reallocation-avoiding estimate.
+  out.rows.reserve(a.Rows().size());
   Tuple combined(all_vars.size());
   for (const Tuple& row_a : a.Rows()) {
     if (ctx != nullptr && ctx->Interrupted()) break;  // partial = subset
