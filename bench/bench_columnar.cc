@@ -1,0 +1,854 @@
+// Columnar storage / probe core before-and-after: the `legacy` namespace is
+// a faithful snapshot of the pre-columnar row-major evaluation path —
+// node-based hash indexes (std::unordered_map<Tuple, std::vector<int>>), a
+// heap-allocated Tuple key per probe, per-candidate binding vectors, and
+// row-major std::vector<Tuple> join tables — run against the current engines
+// on the same probe-heavy workloads. Answers must be identical (the process
+// exits nonzero on divergence); the speedup and key-allocation columns are
+// the point of the rewrite. Pass --quick for the CI smoke series and
+// --csv <path> to mirror the table.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "cq/properties.h"
+#include "data/generators.h"
+#include "data/index.h"
+#include "decomp/treewidth.h"
+#include "eval/answer_set.h"
+#include "eval/eval_stats.h"
+#include "eval/naive.h"
+#include "eval/treewidth_eval.h"
+#include "gadgets/workloads.h"
+
+namespace cqa {
+namespace legacy {
+
+// ---------------------------------------------------------------------------
+// Pre-PR RelationIndex: one hash node per key, one materialized Tuple per
+// probe (counted into EvalStats::probe_key_allocs by the callers).
+
+class Index {
+ public:
+  Index(const Database& db, RelationId rel, BoundMask mask)
+      : positions_(PositionsOfMask(mask, db.vocab()->arity(rel))) {
+    const std::vector<Tuple>& facts = db.facts(rel);
+    buckets_.reserve(facts.size());
+    for (size_t id = 0; id < facts.size(); ++id) {
+      buckets_[KeyOf(facts[id])].push_back(static_cast<int>(id));
+    }
+  }
+
+  Tuple KeyOf(const Tuple& fact) const {
+    Tuple key(positions_.size());
+    for (size_t i = 0; i < positions_.size(); ++i) {
+      key[i] = fact[positions_[i]];
+    }
+    return key;
+  }
+
+  const std::vector<int>* Probe(const Tuple& key) const {
+    const auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::vector<int> positions_;
+  std::unordered_map<Tuple, std::vector<int>, VectorHash> buckets_;
+};
+
+// Pre-PR IndexedDatabase, reduced to what the bench needs: per-(relation,
+// mask) index cache and per-(relation, position) sorted-distinct column
+// values. Single-threaded, no byte budget.
+class Idb {
+ public:
+  explicit Idb(const Database& db) : db_(&db) {}
+
+  const Database& db() const { return *db_; }
+
+  const Index* GetIndex(RelationId rel, BoundMask mask, EvalStats* stats) {
+    if (db_->vocab()->arity(rel) > kMaxIndexableArity) return nullptr;
+    const uint64_t key = (static_cast<uint64_t>(rel) << 32) | mask;
+    auto it = indexes_.find(key);
+    if (it == indexes_.end()) {
+      it = indexes_.emplace(key, std::make_unique<Index>(*db_, rel, mask))
+               .first;
+      if (stats != nullptr) ++stats->index_builds;
+    }
+    return it->second.get();
+  }
+
+  const std::vector<Element>* ColumnValues(RelationId rel, int pos,
+                                           EvalStats* stats) {
+    const uint64_t key =
+        (static_cast<uint64_t>(rel) << 32) | static_cast<uint32_t>(pos);
+    auto it = columns_.find(key);
+    if (it == columns_.end()) {
+      std::vector<Element> values;
+      for (const Tuple& t : db_->facts(rel)) values.push_back(t[pos]);
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      it = columns_.emplace(key, std::move(values)).first;
+      if (stats != nullptr) ++stats->index_builds;
+    } else if (stats != nullptr) {
+      ++stats->table_reuses;
+    }
+    return &it->second;
+  }
+
+ private:
+  const Database* db_;
+  std::unordered_map<uint64_t, std::unique_ptr<Index>> indexes_;
+  std::unordered_map<uint64_t, std::vector<Element>> columns_;
+};
+
+// ---------------------------------------------------------------------------
+// Pre-PR naive engine: per-depth index probes with a fresh Tuple key, and a
+// per-candidate newly_bound vector.
+
+struct NaiveContext {
+  const ConjunctiveQuery* q;
+  const Database* db;
+  Idb* idb = nullptr;
+  std::vector<int> atom_order;
+  std::vector<Element> assignment;  // -1 = unbound
+  std::vector<BoundMask> depth_mask;
+  std::vector<std::vector<int>> depth_key_vars;
+  std::vector<const Index*> depth_index;
+  std::vector<char> depth_fetched;
+  AnswerSet* answers;
+  EvalStats* stats;
+};
+
+std::vector<int> OrderAtoms(const ConjunctiveQuery& q) {
+  const int m = static_cast<int>(q.atoms().size());
+  std::vector<bool> used(m, false);
+  std::vector<bool> bound(q.num_variables(), false);
+  std::vector<int> order;
+  order.reserve(m);
+  for (int step = 0; step < m; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const int v : q.atoms()[i].vars) {
+        if (bound[v]) score += 2;
+      }
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const int v : q.atoms()[best].vars) bound[v] = true;
+  }
+  return order;
+}
+
+void PrepareIndexes(NaiveContext* ctx) {
+  const size_t depths = ctx->atom_order.size();
+  ctx->depth_mask.assign(depths, 0);
+  ctx->depth_key_vars.assign(depths, {});
+  ctx->depth_index.assign(depths, nullptr);
+  ctx->depth_fetched.assign(depths, 0);
+  if (ctx->idb == nullptr) return;
+  std::vector<bool> bound(ctx->q->num_variables(), false);
+  for (size_t d = 0; d < depths; ++d) {
+    const Atom& atom = ctx->q->atoms()[ctx->atom_order[d]];
+    std::vector<int> positions;
+    std::vector<int> key_vars;
+    if (static_cast<int>(atom.vars.size()) <= kMaxIndexableArity) {
+      for (size_t p = 0; p < atom.vars.size(); ++p) {
+        if (bound[atom.vars[p]]) {
+          positions.push_back(static_cast<int>(p));
+          key_vars.push_back(atom.vars[p]);
+        }
+      }
+    }
+    if (!positions.empty()) {
+      ctx->depth_mask[d] = MaskOfPositions(positions);
+      ctx->depth_key_vars[d] = std::move(key_vars);
+    }
+    for (const int v : atom.vars) bound[v] = true;
+  }
+}
+
+void Backtrack(NaiveContext* ctx, size_t depth) {
+  if (ctx->stats != nullptr) ++ctx->stats->nodes;
+  if (depth == ctx->atom_order.size()) {
+    const auto& free_tuple = ctx->q->free_variables();
+    Tuple answer(free_tuple.size());
+    for (size_t i = 0; i < free_tuple.size(); ++i) {
+      answer[i] = ctx->assignment[free_tuple[i]];
+    }
+    ctx->answers->Insert(std::move(answer));
+    return;
+  }
+  const Atom& atom = ctx->q->atoms()[ctx->atom_order[depth]];
+  const std::vector<Tuple>& facts = ctx->db->facts(atom.rel);
+
+  const std::vector<int>* bucket = nullptr;
+  const Index* index = nullptr;
+  if (ctx->depth_mask[depth] != 0) {
+    if (!ctx->depth_fetched[depth]) {
+      ctx->depth_index[depth] =
+          ctx->idb->GetIndex(atom.rel, ctx->depth_mask[depth], ctx->stats);
+      ctx->depth_fetched[depth] = 1;
+    }
+    index = ctx->depth_index[depth];
+  }
+  if (index != nullptr) {
+    const std::vector<int>& key_vars = ctx->depth_key_vars[depth];
+    Tuple key(key_vars.size());  // the per-probe heap key the rewrite kills
+    for (size_t i = 0; i < key_vars.size(); ++i) {
+      key[i] = ctx->assignment[key_vars[i]];
+    }
+    if (ctx->stats != nullptr) {
+      ++ctx->stats->index_probes;
+      ++ctx->stats->probe_key_allocs;
+    }
+    bucket = index->Probe(key);
+    if (bucket == nullptr) return;
+    if (ctx->stats != nullptr) ++ctx->stats->index_hits;
+  }
+
+  const size_t candidates = index != nullptr ? bucket->size() : facts.size();
+  for (size_t c = 0; c < candidates; ++c) {
+    const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
+    std::vector<int> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const int v = atom.vars[i];
+      if (ctx->assignment[v] < 0) {
+        ctx->assignment[v] = fact[i];
+        newly_bound.push_back(v);
+      } else if (ctx->assignment[v] != fact[i]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Backtrack(ctx, depth + 1);
+    for (const int v : newly_bound) ctx->assignment[v] = -1;
+  }
+}
+
+AnswerSet RunNaive(const ConjunctiveQuery& q, Idb* idb, EvalStats* stats) {
+  AnswerSet answers(static_cast<int>(q.free_variables().size()));
+  NaiveContext ctx;
+  ctx.q = &q;
+  ctx.db = &idb->db();
+  ctx.idb = idb;
+  ctx.atom_order = OrderAtoms(q);
+  ctx.assignment.assign(q.num_variables(), -1);
+  ctx.answers = &answers;
+  ctx.stats = stats;
+  PrepareIndexes(&ctx);
+  Backtrack(&ctx, 0);
+  return answers;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR row-major join tables and forest DP (as used by the treewidth
+// engine: bag tables carry no pristine source, so semijoins take the
+// key-set path).
+
+struct Table {
+  std::vector<int> vars;
+  std::vector<Tuple> rows;
+};
+
+std::vector<int> PositionsOf(const std::vector<int>& wanted,
+                             const std::vector<int>& vars) {
+  std::vector<int> pos;
+  pos.reserve(wanted.size());
+  for (const int w : wanted) {
+    const auto it = std::lower_bound(vars.begin(), vars.end(), w);
+    CQA_CHECK(it != vars.end() && *it == w);
+    pos.push_back(static_cast<int>(it - vars.begin()));
+  }
+  return pos;
+}
+
+std::vector<int> SharedVars(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  std::vector<int> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  return shared;
+}
+
+Tuple Select(const Tuple& row, const std::vector<int>& positions) {
+  Tuple out(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) out[i] = row[positions[i]];
+  return out;
+}
+
+void DedupRows(Table* t) {
+  std::unordered_set<Tuple, VectorHash> seen;
+  std::vector<Tuple> unique;
+  unique.reserve(t->rows.size());
+  for (Tuple& row : t->rows) {
+    if (seen.insert(row).second) unique.push_back(std::move(row));
+  }
+  t->rows = std::move(unique);
+}
+
+bool SemijoinInPlace(Table* a, const Table& b, EvalStats* stats) {
+  const std::vector<int> shared = SharedVars(a->vars, b.vars);
+  if (shared.empty()) {
+    if (!b.rows.empty()) return false;
+    const bool removed = !a->rows.empty();
+    a->rows.clear();
+    return removed;
+  }
+  const std::vector<int> pos_a = PositionsOf(shared, a->vars);
+  const std::vector<int> pos_b = PositionsOf(shared, b.vars);
+  std::unordered_set<Tuple, VectorHash> keys;
+  for (const Tuple& row : b.rows) keys.insert(Select(row, pos_b));
+  std::vector<Tuple> kept;
+  kept.reserve(a->rows.size());
+  for (Tuple& row : a->rows) {
+    if (stats != nullptr) ++stats->probe_key_allocs;
+    if (keys.count(Select(row, pos_a)) > 0) kept.push_back(std::move(row));
+  }
+  const bool removed = kept.size() != a->rows.size();
+  a->rows = std::move(kept);
+  return removed;
+}
+
+Table JoinProject(const Table& a, const Table& b,
+                  const std::vector<int>& keep_vars, EvalStats* stats) {
+  std::vector<int> all_vars;
+  std::set_union(a.vars.begin(), a.vars.end(), b.vars.begin(), b.vars.end(),
+                 std::back_inserter(all_vars));
+  const std::vector<int> shared = SharedVars(a.vars, b.vars);
+  const std::vector<int> pos_a = PositionsOf(shared, a.vars);
+  const std::vector<int> pos_b = PositionsOf(shared, b.vars);
+  std::unordered_map<Tuple, std::vector<const Tuple*>, VectorHash> index;
+  for (const Tuple& row : b.rows) {
+    index[Select(row, pos_b)].push_back(&row);
+  }
+  const std::vector<int> a_in_all = PositionsOf(a.vars, all_vars);
+  const std::vector<int> b_in_all = PositionsOf(b.vars, all_vars);
+  const std::vector<int> keep_in_all = PositionsOf(keep_vars, all_vars);
+  Table out;
+  out.vars = keep_vars;
+  out.rows.reserve(a.rows.size());
+  Tuple combined(all_vars.size());
+  for (const Tuple& row_a : a.rows) {
+    if (stats != nullptr) ++stats->probe_key_allocs;
+    const auto it = index.find(Select(row_a, pos_a));
+    if (it == index.end()) continue;
+    for (const Tuple* row_b : it->second) {
+      for (size_t i = 0; i < a.vars.size(); ++i) {
+        combined[a_in_all[i]] = row_a[i];
+      }
+      for (size_t i = 0; i < b.vars.size(); ++i) {
+        combined[b_in_all[i]] = (*row_b)[i];
+      }
+      out.rows.push_back(Select(combined, keep_in_all));
+    }
+  }
+  DedupRows(&out);
+  return out;
+}
+
+Table Project(const Table& a, const std::vector<int>& keep_vars) {
+  const std::vector<int> pos = PositionsOf(keep_vars, a.vars);
+  Table out;
+  out.vars = keep_vars;
+  out.rows.reserve(a.rows.size());
+  for (const Tuple& row : a.rows) out.rows.push_back(Select(row, pos));
+  DedupRows(&out);
+  return out;
+}
+
+AnswerSet EvaluateJoinForest(std::vector<Table> tables,
+                             const std::vector<int>& parent,
+                             const std::vector<int>& free_tuple,
+                             EvalStats* stats) {
+  const int n = static_cast<int>(tables.size());
+  AnswerSet answers(static_cast<int>(free_tuple.size()));
+
+  std::vector<int> free_vars = free_tuple;
+  std::sort(free_vars.begin(), free_vars.end());
+  free_vars.erase(std::unique(free_vars.begin(), free_vars.end()),
+                  free_vars.end());
+
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    if (parent[i] >= 0) {
+      children[parent[i]].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::vector<int> order;
+  {
+    std::vector<int> stack = roots;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (const int c : children[u]) stack.push_back(c);
+    }
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    if (parent[u] >= 0) {
+      SemijoinInPlace(&tables[parent[u]], tables[u], stats);
+    }
+  }
+  for (const int u : order) {
+    for (const int c : children[u]) {
+      SemijoinInPlace(&tables[c], tables[u], stats);
+    }
+  }
+  for (const int r : roots) {
+    if (tables[r].rows.empty()) return answers;
+  }
+
+  std::vector<std::vector<int>> subtree_vars(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    subtree_vars[u] = tables[u].vars;
+    for (const int c : children[u]) {
+      std::vector<int> merged;
+      std::set_union(subtree_vars[u].begin(), subtree_vars[u].end(),
+                     subtree_vars[c].begin(), subtree_vars[c].end(),
+                     std::back_inserter(merged));
+      subtree_vars[u] = std::move(merged);
+    }
+  }
+  std::vector<bool> needed(n, false);
+  for (const int u : order) {
+    if (parent[u] < 0) {
+      needed[u] = true;
+      continue;
+    }
+    if (!needed[parent[u]]) continue;
+    std::vector<int> out;
+    std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                          free_vars.begin(), free_vars.end(),
+                          std::back_inserter(out));
+    const auto& up = tables[parent[u]].vars;
+    for (const int v : out) {
+      if (!std::binary_search(up.begin(), up.end(), v)) {
+        needed[u] = true;
+        break;
+      }
+    }
+  }
+
+  std::vector<Table> solved(n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    if (!needed[u]) continue;
+    std::vector<int> keep;
+    std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                          free_vars.begin(), free_vars.end(),
+                          std::back_inserter(keep));
+    if (parent[u] >= 0) {
+      std::vector<int> with_parent;
+      std::set_intersection(subtree_vars[u].begin(), subtree_vars[u].end(),
+                            tables[parent[u]].vars.begin(),
+                            tables[parent[u]].vars.end(),
+                            std::back_inserter(with_parent));
+      std::vector<int> merged;
+      std::set_union(keep.begin(), keep.end(), with_parent.begin(),
+                     with_parent.end(), std::back_inserter(merged));
+      keep = std::move(merged);
+    }
+    Table acc = tables[u];
+    for (const int c : children[u]) {
+      if (!needed[c]) continue;
+      std::vector<int> wanted;
+      std::set_union(keep.begin(), keep.end(), acc.vars.begin(),
+                     acc.vars.end(), std::back_inserter(wanted));
+      std::vector<int> available;
+      std::set_union(acc.vars.begin(), acc.vars.end(), solved[c].vars.begin(),
+                     solved[c].vars.end(), std::back_inserter(available));
+      std::vector<int> step_keep;
+      std::set_intersection(wanted.begin(), wanted.end(), available.begin(),
+                            available.end(), std::back_inserter(step_keep));
+      acc = JoinProject(acc, solved[c], step_keep, stats);
+    }
+    solved[u] = Project(acc, keep);
+  }
+
+  Table result;
+  result.rows = {Tuple{}};
+  for (const int r : roots) {
+    std::vector<int> keep;
+    std::set_union(result.vars.begin(), result.vars.end(),
+                   solved[r].vars.begin(), solved[r].vars.end(),
+                   std::back_inserter(keep));
+    std::vector<int> restricted;
+    std::set_intersection(keep.begin(), keep.end(), free_vars.begin(),
+                          free_vars.end(), std::back_inserter(restricted));
+    result = JoinProject(result, solved[r], restricted, stats);
+  }
+
+  std::vector<int> tuple_pos;
+  tuple_pos.reserve(free_tuple.size());
+  for (const int v : free_tuple) {
+    const auto it = std::lower_bound(free_vars.begin(), free_vars.end(), v);
+    tuple_pos.push_back(static_cast<int>(it - free_vars.begin()));
+  }
+  for (const Tuple& row : result.rows) {
+    Tuple answer(free_tuple.size());
+    for (size_t i = 0; i < tuple_pos.size(); ++i) {
+      answer[i] = row[tuple_pos[i]];
+    }
+    answers.Insert(std::move(answer));
+  }
+  return answers;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR treewidth engine (indexed bag materialization).
+
+std::vector<std::vector<Element>> VariableCandidates(
+    const ConjunctiveQuery& q, Idb* idb, EvalStats* stats) {
+  const int n = q.num_variables();
+  std::vector<std::vector<Element>> candidates(n);
+  std::vector<bool> seeded(n, false);
+  for (const Atom& atom : q.atoms()) {
+    for (size_t pos = 0; pos < atom.vars.size(); ++pos) {
+      const int v = atom.vars[pos];
+      const std::vector<Element>* values =
+          idb->ColumnValues(atom.rel, static_cast<int>(pos), stats);
+      if (!seeded[v]) {
+        candidates[v] = *values;
+        seeded[v] = true;
+      } else {
+        std::vector<Element> merged;
+        std::set_intersection(candidates[v].begin(), candidates[v].end(),
+                              values->begin(), values->end(),
+                              std::back_inserter(merged));
+        candidates[v] = std::move(merged);
+      }
+    }
+  }
+  return candidates;
+}
+
+Table IndexedBagTable(const std::vector<int>& bag,
+                      const std::vector<const Atom*>& bag_atoms,
+                      const std::vector<std::vector<Element>>& candidates,
+                      Idb* idb, EvalStats* stats) {
+  const Database& db = idb->db();
+  Table out;
+  out.vars = bag;
+
+  const auto rank_of = [&](int v) {
+    const auto it = std::lower_bound(bag.begin(), bag.end(), v);
+    CQA_CHECK(it != bag.end() && *it == v);
+    return static_cast<size_t>(it - bag.begin());
+  };
+
+  const int m = static_cast<int>(bag_atoms.size());
+  std::vector<bool> used(m, false);
+  std::vector<bool> bound(bag.size(), false);
+  std::vector<int> order;
+  order.reserve(m);
+  for (int step = 0; step < m; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const int v : bag_atoms[i]->vars) {
+        if (bound[rank_of(v)]) score += 2;
+      }
+      if (best < 0 || score > best_score) {
+        best = i;
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const int v : bag_atoms[best]->vars) bound[rank_of(v)] = true;
+  }
+
+  std::vector<const Index*> depth_index(m, nullptr);
+  std::vector<std::vector<size_t>> depth_key_ranks(m);
+  std::fill(bound.begin(), bound.end(), false);
+  for (int d = 0; d < m; ++d) {
+    const Atom& atom = *bag_atoms[order[d]];
+    if (static_cast<int>(atom.vars.size()) > kMaxIndexableArity) {
+      for (const int v : atom.vars) bound[rank_of(v)] = true;
+      continue;
+    }
+    std::vector<int> positions;
+    std::vector<size_t> key_ranks;
+    for (size_t p = 0; p < atom.vars.size(); ++p) {
+      if (bound[rank_of(atom.vars[p])]) {
+        positions.push_back(static_cast<int>(p));
+        key_ranks.push_back(rank_of(atom.vars[p]));
+      }
+    }
+    if (!positions.empty()) {
+      depth_index[d] = idb->GetIndex(atom.rel, MaskOfPositions(positions),
+                                     stats);
+      depth_key_ranks[d] = std::move(key_ranks);
+    }
+    for (const int v : atom.vars) bound[rank_of(v)] = true;
+  }
+
+  std::vector<size_t> leftover;
+  for (size_t r = 0; r < bag.size(); ++r) {
+    if (!bound[r]) leftover.push_back(r);
+  }
+
+  Tuple row(bag.size(), -1);
+  std::function<void(size_t)> fill_leftover = [&](size_t i) {
+    if (i == leftover.size()) {
+      out.rows.push_back(row);
+      return;
+    }
+    for (const Element e : candidates[bag[leftover[i]]]) {
+      row[leftover[i]] = e;
+      fill_leftover(i + 1);
+    }
+    row[leftover[i]] = -1;
+  };
+  std::function<void(size_t)> search = [&](size_t depth) {
+    if (stats != nullptr) ++stats->nodes;
+    if (depth == static_cast<size_t>(m)) {
+      fill_leftover(0);
+      return;
+    }
+    const Atom& atom = *bag_atoms[order[depth]];
+    const std::vector<Tuple>& facts = db.facts(atom.rel);
+    const std::vector<int>* bucket = nullptr;
+    const Index* index = depth_index[depth];
+    if (index != nullptr) {
+      const std::vector<size_t>& key_ranks = depth_key_ranks[depth];
+      Tuple key(key_ranks.size());
+      for (size_t i = 0; i < key_ranks.size(); ++i) key[i] = row[key_ranks[i]];
+      if (stats != nullptr) {
+        ++stats->index_probes;
+        ++stats->probe_key_allocs;
+      }
+      bucket = index->Probe(key);
+      if (bucket == nullptr) return;
+      if (stats != nullptr) ++stats->index_hits;
+    }
+    const size_t n_cand = index != nullptr ? bucket->size() : facts.size();
+    for (size_t c = 0; c < n_cand; ++c) {
+      const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
+      std::vector<size_t> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < fact.size(); ++i) {
+        const size_t r = rank_of(atom.vars[i]);
+        if (row[r] < 0) {
+          row[r] = fact[i];
+          newly_bound.push_back(r);
+        } else if (row[r] != fact[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) search(depth + 1);
+      for (const size_t r : newly_bound) row[r] = -1;
+    }
+  };
+  search(0);
+  return out;
+}
+
+AnswerSet RunTreewidth(const ConjunctiveQuery& q, Idb* idb,
+                       EvalStats* stats) {
+  const TreeDecomposition td = MinFillDecomposition(GraphOfQuery(q));
+  const int b = static_cast<int>(td.bags.size());
+
+  std::vector<std::vector<const Atom*>> atoms_of_bag(b);
+  for (const Atom& atom : q.atoms()) {
+    std::vector<int> scope = atom.vars;
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::unique(scope.begin(), scope.end()), scope.end());
+    int chosen = -1;
+    for (int i = 0; i < b && chosen < 0; ++i) {
+      if (std::includes(td.bags[i].begin(), td.bags[i].end(), scope.begin(),
+                        scope.end())) {
+        chosen = i;
+      }
+    }
+    CQA_CHECK(chosen >= 0);
+    atoms_of_bag[chosen].push_back(&atom);
+  }
+
+  const auto candidates = VariableCandidates(q, idb, stats);
+  std::vector<Table> tables(b);
+  for (int i = 0; i < b; ++i) {
+    tables[i] =
+        IndexedBagTable(td.bags[i], atoms_of_bag[i], candidates, idb, stats);
+  }
+
+  std::vector<int> parent(b, -1);
+  {
+    std::vector<std::vector<int>> adj(b);
+    for (const auto& [x, y] : td.tree_edges) {
+      adj[x].push_back(y);
+      adj[y].push_back(x);
+    }
+    std::vector<bool> visited(b, false);
+    for (int r = 0; r < b; ++r) {
+      if (visited[r]) continue;
+      visited[r] = true;
+      std::vector<int> stack = {r};
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const int v : adj[u]) {
+          if (!visited[v]) {
+            visited[v] = true;
+            parent[v] = u;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return EvaluateJoinForest(std::move(tables), parent, q.free_variables(),
+                            stats);
+}
+
+}  // namespace legacy
+
+namespace {
+
+bool g_all_identical = true;
+
+struct SeriesCase {
+  std::string series;
+  std::string shape;
+  ConjunctiveQuery query;
+  const Database* db;
+  bool treewidth = false;
+};
+
+void RunSeries(const std::vector<SeriesCase>& cases, int reps) {
+  using bench::Fmt;
+  std::vector<std::string> stats_lines;
+  bench::PrintRow({"series", "shape", "reps", "legacy_ms", "new_ms",
+                   "speedup", "legacy_keys", "new_keys", "identical"},
+                  13);
+  bench::PrintRule(9, 13);
+  for (const SeriesCase& c : cases) {
+    // Caches persist across reps on both sides, as they would in serving.
+    legacy::Idb legacy_idb(*c.db);
+    const IndexedDatabase idb(*c.db);
+    EvalStats legacy_stats;
+    EvalStats new_stats;
+    AnswerSet legacy_answers(0);
+    AnswerSet new_answers(0);
+    const auto run_legacy = [&] {
+      legacy_answers = c.treewidth
+                           ? legacy::RunTreewidth(c.query, &legacy_idb,
+                                                  &legacy_stats)
+                           : legacy::RunNaive(c.query, &legacy_idb,
+                                              &legacy_stats);
+    };
+    const auto run_new = [&] {
+      new_answers = c.treewidth ? EvaluateTreewidth(c.query, idb, &new_stats)
+                                : EvaluateNaive(c.query, idb, &new_stats);
+    };
+    run_legacy();  // warm both cache layers, untimed
+    run_new();
+    double legacy_ms = 0;
+    double new_ms = 0;
+    for (int r = 0; r < reps; ++r) {
+      legacy_ms += bench::TimeMs(run_legacy);
+      new_ms += bench::TimeMs(run_new);
+    }
+    const bool identical = legacy_answers == new_answers;
+    g_all_identical &= identical;
+    g_all_identical &= new_stats.probe_key_allocs == 0;
+    const double speedup = new_ms > 1e-9 ? legacy_ms / new_ms : 0.0;
+    bench::PrintRow(
+        {c.series, c.shape, Fmt(reps), Fmt(legacy_ms), Fmt(new_ms),
+         Fmt(speedup), Fmt(legacy_stats.probe_key_allocs),
+         Fmt(new_stats.probe_key_allocs), identical ? "yes" : "NO"},
+        13);
+    stats_lines.push_back("  " + c.series + "/" + c.shape + "  new:    " +
+                          bench::StatsSummary(new_stats) + "\n  " + c.series +
+                          "/" + c.shape + "  legacy: " +
+                          bench::StatsSummary(legacy_stats));
+  }
+  std::printf("\nper-series counters (cumulative over warmup + reps):\n");
+  for (const std::string& line : stats_lines) {
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+// Q(x0, xlen) :- E(x0, x1), ..., E(x{len-1}, xlen).
+ConjunctiveQuery PathQuery(int len) {
+  ConjunctiveQuery q(Vocabulary::Graph());
+  const int first = q.AddVariables(len + 1);
+  for (int i = 0; i < len; ++i) q.AddAtom(0, {first + i, first + i + 1});
+  q.SetFreeVariables({first, first + len});
+  return q;
+}
+
+void RunAll(bool quick) {
+  bench::SetCsvSection("columnar");
+  Rng rng(515151);
+  const int n = quick ? 130 : 320;
+  const Database db = RandomDigraphDatabase(n, 8.0 / n, &rng);
+  const int n_tw = quick ? 110 : 170;
+  const Database db_tw = RandomDigraphDatabase(n_tw, 8.0 / n_tw, &rng);
+
+  std::printf("database: %d elements, %lld facts (treewidth: %d / %lld)\n\n",
+              n, db.NumFacts(), n_tw, db_tw.NumFacts());
+
+  std::vector<SeriesCase> cases;
+  cases.push_back({"naive", "triangle", TriangleOutputCQ(), &db, false});
+  cases.push_back({"naive", "path4", PathQuery(4), &db, false});
+  cases.push_back(
+      {"naive", "cyclic3+2", RandomCyclicGraphCQ(3, 2, &rng), &db, false});
+  cases.push_back(
+      {"treewidth", "triangle", TriangleOutputCQ(), &db_tw, true});
+  cases.push_back(
+      {"treewidth", "cyclic3+1", RandomCyclicGraphCQ(3, 1, &rng), &db_tw,
+       true});
+
+  RunSeries(cases, quick ? 3 : 5);
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  const bool quick = cqa::bench::QuickMode(argc, argv);
+  cqa::bench::InitCsv(argc, argv);
+  std::printf(
+      "Columnar storage & probe core vs the pre-columnar row-major path "
+      "(%s series).\nSame queries, same databases; answers must be "
+      "identical and the new path must\nmaterialize zero probe keys "
+      "(new_keys column).\n\n",
+      quick ? "quick" : "full");
+  cqa::RunAll(quick);
+  cqa::bench::CloseCsv();
+  if (!cqa::g_all_identical) {
+    std::fprintf(stderr,
+                 "FAILED: answer divergence or nonzero new-path key "
+                 "allocations\n");
+    return 1;
+  }
+  return 0;
+}

@@ -13,11 +13,16 @@
 //     sandwich as load management) before rejecting outright, every
 //     accepted future must resolve with correct answers, and the
 //     shed_degraded / shed_rejected counters must account for every
-//     submission.
+//     submission. The series also reports per-request latency quantiles
+//     (p50_ms / p99_ms, submit-to-completion over the served requests) so
+//     the queueing behavior under flood is gated by check_bench.py, not
+//     just the aggregate flood/drain walls.
 //
 // Pass --quick for the CI smoke run and --csv <path> to mirror the tables
 // (archived as overload.csv in the bench-baselines artifact).
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <string>
 #include <vector>
@@ -128,18 +133,27 @@ void RunOverload(const Database& db, bool quick) {
 
   const int submissions = quick ? 48 : 96;
   std::vector<std::future<EvalResponse>> futures;
+  std::vector<std::chrono::steady_clock::time_point> submit_at;
   long long rejected = 0;
   const double flood_ms = bench::TimeMs([&] {
     for (int i = 0; i < submissions; ++i) {
       futures.push_back(service.Submit({q, &db}));
+      submit_at.push_back(std::chrono::steady_clock::now());
     }
   });
-  const double drain_ms = bench::TimeMs([&] { service.Drain(); });
 
+  // Per-request latency (submit to completion): with one FIFO worker the
+  // completion order is the submission order, so waiting the futures in
+  // order stamps each get() at ~the moment the worker finished that
+  // request. Rejected submissions fail fast and carry no service latency.
+  std::vector<double> latency_ms;
   long long served = 0, degraded = 0;
-  for (auto& f : futures) {
+  for (size_t i = 0; i < futures.size(); ++i) {
     try {
-      const EvalResponse r = f.get();
+      const EvalResponse r = futures[i].get();
+      latency_ms.push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - submit_at[i])
+                               .count());
       ++served;
       degraded += r.degraded;
       const AnswerSet& got =
@@ -152,8 +166,18 @@ void RunOverload(const Database& db, bool quick) {
       ++rejected;
     }
   }
+  const double drain_ms = bench::TimeMs([&] { service.Drain(); });
   const BatchStats stats = service.StreamingStats();
   service.Shutdown();
+
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const auto quantile = [&latency_ms](double p) {
+    if (latency_ms.empty()) return 0.0;
+    const size_t i =
+        std::min(latency_ms.size() - 1,
+                 static_cast<size_t>(p * static_cast<double>(latency_ms.size())));
+    return latency_ms[i];
+  };
 
   if (stats.shed_degraded == 0 || stats.shed_rejected == 0) {
     std::fprintf(stderr,
@@ -169,12 +193,12 @@ void RunOverload(const Database& db, bool quick) {
   }
 
   bench::PrintRow({"submitted", "served", "degraded", "rejected", "flood_ms",
-                   "drain_ms"},
+                   "drain_ms", "p50_ms", "p99_ms"},
                   12);
-  bench::PrintRule(6, 12);
+  bench::PrintRule(8, 12);
   bench::PrintRow({Fmt(static_cast<long long>(submissions)), Fmt(served),
-                   Fmt(degraded), Fmt(rejected), Fmt(flood_ms),
-                   Fmt(drain_ms)},
+                   Fmt(degraded), Fmt(rejected), Fmt(flood_ms), Fmt(drain_ms),
+                   Fmt(quantile(0.50)), Fmt(quantile(0.99))},
                   12);
 }
 

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cqa {
@@ -14,9 +15,33 @@ inline size_t HashCombine(size_t seed, size_t value) {
   return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// Final avalanche mix (splitmix64 finalizer). Open-addressing tables mask
+/// the hash with a power-of-two capacity, so the LOW bits must be uniform;
+/// the boost combinator alone leaves small sequential integers (graph
+/// vertex ids) highly structured there, which degrades linear probing into
+/// long collision runs. Prime-modulus chaining tables do not need this.
+inline size_t HashFinalize(size_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 /// Hashes a vector of integers.
 template <typename Int>
 size_t HashVector(const std::vector<Int>& v) {
+  size_t h = v.size();
+  for (const Int x : v) h = HashCombine(h, static_cast<size_t>(x));
+  return h;
+}
+
+/// Hashes a contiguous range of integers. Agrees with HashVector on equal
+/// contents, so flat (span-keyed) and materialized (vector-keyed) probe
+/// paths may share one table.
+template <typename Int>
+size_t HashSpan(std::span<const Int> v) {
   size_t h = v.size();
   for (const Int x : v) h = HashCombine(h, static_cast<size_t>(x));
   return h;

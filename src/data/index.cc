@@ -1,7 +1,6 @@
 #include "data/index.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
 #include "base/check.h"
@@ -9,13 +8,20 @@
 namespace cqa {
 namespace {
 
-// Per-entry overhead estimates for the budget accounting: hash-node and
-// small-vector bookkeeping on typical 64-bit standard libraries.
-constexpr size_t kNodeOverhead = 48;
+// Vector-header bookkeeping estimate for the budget accounting.
 constexpr size_t kVectorOverhead = 24;
 
-size_t TupleBytes(size_t length) {
-  return kVectorOverhead + length * sizeof(Element);
+// Row-major flat keys of every fact of `rel` at `positions` — the build
+// input of the index's KeyedRowGroups.
+std::vector<Element> FlatKeysOfFacts(const Database& db, RelationId rel,
+                                     const std::vector<int>& positions) {
+  const std::vector<Tuple>& facts = db.facts(rel);
+  std::vector<Element> keys;
+  keys.reserve(facts.size() * positions.size());
+  for (const Tuple& fact : facts) {
+    for (const int p : positions) keys.push_back(fact[p]);
+  }
+  return keys;
 }
 
 }  // namespace
@@ -43,29 +49,13 @@ RelationIndex::RelationIndex(const Database& db, RelationId rel,
                              BoundMask mask)
     : rel_(rel),
       mask_(mask),
-      positions_(PositionsOfMask(mask, db.vocab()->arity(rel))) {
-  const std::vector<Tuple>& facts = db.facts(rel);
-  num_facts_ = facts.size();
-  buckets_.reserve(facts.size());
-  for (size_t id = 0; id < facts.size(); ++id) {
-    buckets_[KeyOf(facts[id])].push_back(static_cast<int>(id));
-  }
-  bytes_ = kVectorOverhead;
-  for (const auto& [key, bucket] : buckets_) {
-    bytes_ += kNodeOverhead + TupleBytes(key.size()) + kVectorOverhead +
-              bucket.size() * sizeof(int);
-  }
-}
+      positions_(PositionsOfMask(mask, db.vocab()->arity(rel))),
+      groups_(FlatKeysOfFacts(db, rel, positions_),
+              static_cast<int>(positions_.size()), db.facts(rel).size()) {}
 
-Tuple RelationIndex::KeyOf(const Tuple& fact) const {
-  Tuple key(positions_.size());
-  for (size_t i = 0; i < positions_.size(); ++i) key[i] = fact[positions_[i]];
-  return key;
-}
-
-const std::vector<int>* RelationIndex::Probe(const Tuple& key) const {
-  const auto it = buckets_.find(key);
-  return it == buckets_.end() ? nullptr : &it->second;
+size_t RelationIndex::ApproxBytes() const {
+  return kVectorOverhead + positions_.capacity() * sizeof(int) +
+         groups_.ApproxBytes();
 }
 
 IndexedDatabase::IndexedDatabase(const Database& db, IndexOptions options)
@@ -100,8 +90,8 @@ const RelationIndex* IndexedDatabase::Index(RelationId rel, BoundMask mask,
       ++stats_.index_reuses;
       return it->second.get();
     }
-    // True lower bound on the final footprint (every fact id lands in
-    // exactly one bucket): reject before the transient build, so max_bytes
+    // True lower bound on the final footprint (the id slab holds every fact
+    // id exactly once): reject before the transient build, so max_bytes
     // also bounds the allocation the build itself would make.
     const size_t lower =
         kVectorOverhead + db_->facts(rel).size() * sizeof(int);
@@ -134,7 +124,7 @@ const RelationIndex* IndexedDatabase::Index(RelationId rel, BoundMask mask,
   return indexes_.emplace(key, std::move(index)).first->second.get();
 }
 
-const std::vector<Tuple>* IndexedDatabase::ProjectedRows(
+const ColumnStore* IndexedDatabase::ProjectedRows(
     RelationId rel, const std::vector<int>& out_cols, int num_out,
     bool* built) const {
   if (built != nullptr) *built = false;
@@ -159,25 +149,28 @@ const std::vector<Tuple>* IndexedDatabase::ProjectedRows(
       return it->second.get();
     }
   }
-  auto rows = std::make_unique<std::vector<Tuple>>();  // outside the lock
-  std::unordered_set<Tuple, VectorHash> seen;
-  for (const Tuple& fact : db_->facts(rel)) {
-    Tuple row(num_out, -1);
-    bool ok = true;
-    for (size_t i = 0; i < fact.size(); ++i) {
-      const int col = out_cols[i];
-      CQA_CHECK(col >= 0 && col < num_out);
-      if (row[col] >= 0 && row[col] != fact[i]) {
-        ok = false;
-        break;
+  auto rows = std::make_unique<ColumnStore>(num_out);  // outside the lock
+  {
+    RowSet set(num_out);
+    set.Reserve(db_->facts(rel).size());
+    std::vector<Element> row(num_out);
+    for (const Tuple& fact : db_->facts(rel)) {
+      std::fill(row.begin(), row.end(), -1);
+      bool ok = true;
+      for (size_t i = 0; i < fact.size(); ++i) {
+        const int col = out_cols[i];
+        CQA_CHECK(col >= 0 && col < num_out);
+        if (row[col] >= 0 && row[col] != fact[i]) {
+          ok = false;
+          break;
+        }
+        row[col] = fact[i];
       }
-      row[col] = fact[i];
+      if (ok) set.Insert(row);
     }
-    if (ok && seen.insert(row).second) rows->push_back(std::move(row));
+    *rows = set.Take();
   }
-  rows->shrink_to_fit();
-  size_t cost = kVectorOverhead;
-  for (const Tuple& row : *rows) cost += TupleBytes(row.size());
+  const size_t cost = rows->ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = projections_.find(key);
   if (it != projections_.end()) {  // another thread won the race
@@ -196,6 +189,47 @@ const std::vector<Tuple>* IndexedDatabase::ProjectedRows(
   if (built != nullptr) *built = true;
   return projections_.emplace(std::move(key), std::move(rows))
       .first->second.get();
+}
+
+const ColumnStore* IndexedDatabase::FactColumns(RelationId rel,
+                                                bool* built) const {
+  if (built != nullptr) *built = false;
+  if (!options_.enabled) return nullptr;
+  CQA_CHECK(rel >= 0 && rel < db_->vocab()->num_relations());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = factcols_.find(rel);
+    if (it != factcols_.end()) {
+      if (it->second == nullptr) {
+        ++stats_.budget_rejections;
+        return nullptr;
+      }
+      ++stats_.factcol_reuses;
+      return it->second.get();
+    }
+  }
+  const int arity = db_->vocab()->arity(rel);
+  auto cols = std::make_unique<ColumnStore>(arity);  // outside the lock
+  cols->Reserve(db_->facts(rel).size());
+  for (const Tuple& fact : db_->facts(rel)) cols->AppendRow(fact);
+  const size_t cost = cols->ApproxBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = factcols_.find(rel);
+  if (it != factcols_.end()) {  // another thread won the race
+    if (it->second == nullptr) {
+      ++stats_.budget_rejections;
+      return nullptr;
+    }
+    ++stats_.factcol_reuses;
+    return it->second.get();
+  }
+  if (!ReserveBytes(cost)) {
+    factcols_.emplace(rel, nullptr);
+    return nullptr;
+  }
+  ++stats_.factcol_builds;
+  if (built != nullptr) *built = true;
+  return factcols_.emplace(rel, std::move(cols)).first->second.get();
 }
 
 const std::vector<Element>* IndexedDatabase::ColumnValues(RelationId rel,

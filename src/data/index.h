@@ -9,22 +9,29 @@
 // by earlier atoms, or shared with an already-reduced table) and wants every
 // fact of R agreeing with them. A bound set is encoded as a BoundMask: bit i
 // set means position i is bound. For a given (relation, mask) pair the index
-// groups the facts of R into buckets keyed by the subtuple of values at the
-// bound positions, taken in ascending position order. Probing with the
-// current values of the bound positions returns exactly the facts that can
-// still match — the innermost loop of every engine becomes a hash probe
-// instead of a scan of facts(rel).
+// groups the facts of R by the subtuple of values at the bound positions,
+// taken in ascending position order. Probing with the current values of the
+// bound positions returns exactly the facts that can still match — the
+// innermost loop of every engine becomes a hash probe instead of a scan of
+// facts(rel).
+//
+// Since the columnar rewrite the payload is flat: fact ids live in one
+// contiguous slab grouped by key (data/column_store.h's KeyedRowGroups), a
+// probe takes the key as a caller-owned span (no materialized Tuple on the
+// hot path), and a hit is a span into the slab — no per-key hash nodes.
 //
 // Masks are per-relation, so the same relation can carry several indexes
 // (e.g. E keyed by position {0}, by {1}, and by {0,1}); each is built once,
 // on first use, and cached. The special mask 0 (no position bound) is legal
-// and yields a single bucket holding every fact.
+// and yields a single group holding every fact.
 //
-// IndexedDatabase also caches two cheaper byproducts the evaluators share:
+// IndexedDatabase also caches cheaper byproducts the evaluators share:
 //  - ProjectedRows: the deduplicated projection of a relation onto "output
 //    columns" with a repeated-column equality filter — exactly the match
-//    table of an atom (e.g. E(x, x) keeps loops only), reusable across every
-//    query in a batch that mentions the same atom shape.
+//    table of an atom (e.g. E(x, x) keeps loops only), stored columnar and
+//    reusable across every query in a batch mentioning the same atom shape.
+//  - FactColumns: the facts of a relation transposed into a ColumnStore, so
+//    candidate iteration in the probe core walks contiguous columns.
 //  - ColumnValues: the sorted distinct values occurring at one argument
 //    position, the building block of per-variable candidate sets.
 //
@@ -40,10 +47,10 @@
 //    handled one layer up: eval/cache.h keys views by content fingerprint
 //    and invalidates on Database::version() mismatch.
 //  - The view owns every structure it builds and never frees one while it
-//    is alive: pointers returned by Index/ProjectedRows/ColumnValues stay
-//    valid for the lifetime of the view (which is why EvalCache hands views
-//    out as shared_ptr — eviction cannot tear structures out from under an
-//    in-flight evaluation).
+//    is alive: pointers returned by Index/ProjectedRows/FactColumns/
+//    ColumnValues stay valid for the lifetime of the view (which is why
+//    EvalCache hands views out as shared_ptr — eviction cannot tear
+//    structures out from under an in-flight evaluation).
 //  - Any number of threads may share one view. Each structure is built
 //    exactly once under the view's internal lock (concurrent first uses may
 //    race to build a duplicate; the loser's copy is discarded) and is
@@ -56,10 +63,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "base/hash.h"
+#include "data/column_store.h"
 #include "data/database.h"
 
 namespace cqa {
@@ -78,9 +87,10 @@ BoundMask MaskOfPositions(const std::vector<int>& positions);
 /// The positions of `mask`, ascending. All bits must be below `arity`.
 std::vector<int> PositionsOfMask(BoundMask mask, int arity);
 
-/// A hash index over the facts of one relation for one bound set: buckets of
-/// fact ids (indices into db.facts(rel)), keyed by the values at the bound
-/// positions in ascending position order. Immutable once built.
+/// A hash index over the facts of one relation for one bound set: fact ids
+/// (indices into db.facts(rel)) grouped by the values at the bound positions
+/// in ascending position order, stored as contiguous ranges of one id slab.
+/// Immutable once built.
 class RelationIndex {
  public:
   /// Builds the index by one scan of db.facts(rel).
@@ -92,26 +102,24 @@ class RelationIndex {
   /// Bound positions, ascending (the key layout).
   const std::vector<int>& bound_positions() const { return positions_; }
 
-  /// The key a full fact tuple falls under.
-  Tuple KeyOf(const Tuple& fact) const;
+  /// Fact ids whose bound positions equal `key`, in insertion order; empty
+  /// when no fact matches. `key` layout must match bound_positions(). The
+  /// span points into the index's slab and needs no per-probe allocation.
+  std::span<const int> Probe(std::span<const Element> key) const {
+    return groups_.Probe(key);
+  }
 
-  /// Fact ids whose bound positions equal `key`, in insertion order;
-  /// nullptr when no fact matches. `key` layout must match bound_positions().
-  const std::vector<int>* Probe(const Tuple& key) const;
-
-  size_t num_keys() const { return buckets_.size(); }
-  size_t num_facts() const { return num_facts_; }
+  size_t num_keys() const { return groups_.num_groups(); }
+  size_t num_facts() const { return groups_.num_rows(); }
 
   /// Rough heap footprint, used for cache budgeting.
-  size_t ApproxBytes() const { return bytes_; }
+  size_t ApproxBytes() const;
 
  private:
   RelationId rel_;
   BoundMask mask_;
   std::vector<int> positions_;
-  std::unordered_map<Tuple, std::vector<int>, VectorHash> buckets_;
-  size_t num_facts_ = 0;
-  size_t bytes_ = 0;
+  KeyedRowGroups groups_;
 };
 
 /// Knobs for the index cache (EngineOptions forwards these).
@@ -132,6 +140,8 @@ struct IndexCacheStats {
   long long projection_reuses = 0;  ///< cache hits on ProjectedRows()
   long long column_builds = 0;      ///< ColumnValues constructions
   long long column_reuses = 0;      ///< cache hits on ColumnValues()
+  long long factcol_builds = 0;     ///< FactColumns constructions
+  long long factcol_reuses = 0;     ///< cache hits on FactColumns()
   long long budget_rejections = 0;  ///< lookups refused by max_bytes
   long long bytes = 0;              ///< current approximate footprint
 };
@@ -162,10 +172,14 @@ class IndexedDatabase {
   /// two different values to the same output column are filtered out, so
   /// this is exactly the match table of an atom whose i-th argument is the
   /// variable with rank out_cols[i]. nullptr when disabled/over budget.
-  const std::vector<Tuple>* ProjectedRows(RelationId rel,
-                                          const std::vector<int>& out_cols,
-                                          int num_out,
-                                          bool* built = nullptr) const;
+  const ColumnStore* ProjectedRows(RelationId rel,
+                                   const std::vector<int>& out_cols,
+                                   int num_out, bool* built = nullptr) const;
+
+  /// The facts of `rel` transposed into a ColumnStore (same row ids as
+  /// db.facts(rel)), so candidate loops iterate contiguous columns.
+  /// nullptr when disabled/over budget.
+  const ColumnStore* FactColumns(RelationId rel, bool* built = nullptr) const;
 
   /// Sorted distinct values at argument position `pos` of `rel`.
   /// nullptr when disabled/over budget.
@@ -185,9 +199,10 @@ class IndexedDatabase {
   mutable std::mutex mu_;
   mutable std::unordered_map<uint64_t, std::unique_ptr<RelationIndex>>
       indexes_;
-  mutable std::unordered_map<std::vector<int>,
-                             std::unique_ptr<std::vector<Tuple>>, VectorHash>
+  mutable std::unordered_map<std::vector<int>, std::unique_ptr<ColumnStore>,
+                             VectorHash>
       projections_;
+  mutable std::unordered_map<int, std::unique_ptr<ColumnStore>> factcols_;
   mutable std::unordered_map<uint64_t, std::unique_ptr<std::vector<Element>>>
       columns_;
   mutable IndexCacheStats stats_;

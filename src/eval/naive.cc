@@ -3,206 +3,61 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "eval/probe_core.h"
 
 namespace cqa {
 namespace {
 
-struct NaiveContext {
-  const ConjunctiveQuery* q;
-  const Database* db;
-  const IndexedDatabase* idb = nullptr;  // null = scan-based matching
-  std::vector<int> atom_order;
-  std::vector<Element> assignment;  // -1 = unbound
-  // Per depth: the bound-position mask of the atom (0 = scan), the
-  // variables supplying the probe key (aligned with the index's
-  // bound_positions()), and the index itself — fetched lazily on first
-  // reach of the depth, so searches that exit early never pay for builds.
-  std::vector<BoundMask> depth_mask;
-  std::vector<std::vector<int>> depth_key_vars;
-  std::vector<const RelationIndex*> depth_index;
-  std::vector<char> depth_fetched;
-  AnswerSet* answers;
-  EvalStats* stats;
-  const EvalContext* ectx = nullptr;  // null = uninterruptible
-  bool boolean_early_exit = false;
-  bool found = false;
-  bool stopped = false;  // ectx tripped: unwind without visiting more nodes
-};
-
-// Greedy connected atom order: start from the atom with most free variables,
-// then repeatedly take an atom sharing a variable with the bound set.
-std::vector<int> OrderAtoms(const ConjunctiveQuery& q) {
-  const int m = static_cast<int>(q.atoms().size());
-  std::vector<bool> used(m, false);
-  std::vector<bool> bound(q.num_variables(), false);
-  std::vector<int> order;
-  order.reserve(m);
-  for (int step = 0; step < m; ++step) {
-    int best = -1;
-    int best_score = -1;
-    for (int i = 0; i < m; ++i) {
-      if (used[i]) continue;
-      int score = 0;
-      for (const int v : q.atoms()[i].vars) {
-        if (bound[v]) score += 2;
-      }
-      if (best < 0 || score > best_score) {
-        best = i;
-        best_score = score;
-      }
-    }
-    used[best] = true;
-    order.push_back(best);
-    for (const int v : q.atoms()[best].vars) bound[v] = true;
+// The query's atoms as probe atoms (slot = variable id), in the greedy
+// connected trial order.
+std::vector<ProbeAtom> OrderedProbeAtoms(const ConjunctiveQuery& q) {
+  std::vector<ProbeAtom> atoms;
+  atoms.reserve(q.atoms().size());
+  for (const Atom& atom : q.atoms()) {
+    atoms.push_back(ProbeAtom{atom.rel, atom.vars});
   }
-  return order;
-}
-
-// The set of variables bound before each depth is fixed by the atom order
-// (plus any pre-bound assignment), so the (relation, bound-set) pair of
-// every depth is known up front. Only the masks are computed here; the
-// indexes themselves are fetched lazily when the search first reaches the
-// depth (see Backtrack).
-void PrepareIndexes(NaiveContext* ctx) {
-  const size_t depths = ctx->atom_order.size();
-  ctx->depth_mask.assign(depths, 0);
-  ctx->depth_key_vars.assign(depths, {});
-  ctx->depth_index.assign(depths, nullptr);
-  ctx->depth_fetched.assign(depths, 0);
-  if (ctx->idb == nullptr) return;
-  std::vector<bool> bound(ctx->q->num_variables(), false);
-  for (int v = 0; v < ctx->q->num_variables(); ++v) {
-    bound[v] = ctx->assignment[v] >= 0;
-  }
-  for (size_t d = 0; d < depths; ++d) {
-    const Atom& atom = ctx->q->atoms()[ctx->atom_order[d]];
-    std::vector<int> positions;
-    std::vector<int> key_vars;
-    if (static_cast<int>(atom.vars.size()) <= kMaxIndexableArity) {
-      for (size_t p = 0; p < atom.vars.size(); ++p) {
-        if (bound[atom.vars[p]]) {
-          positions.push_back(static_cast<int>(p));
-          key_vars.push_back(atom.vars[p]);
-        }
-      }
-    }
-    if (!positions.empty()) {
-      ctx->depth_mask[d] = MaskOfPositions(positions);
-      ctx->depth_key_vars[d] = std::move(key_vars);
-    }
-    for (const int v : atom.vars) bound[v] = true;
-  }
-}
-
-void Backtrack(NaiveContext* ctx, size_t depth) {
-  if (ctx->stats != nullptr) ++ctx->stats->nodes;
-  if (ctx->ectx != nullptr && ctx->ectx->Interrupted()) {
-    ctx->stopped = true;
-    return;
-  }
-  if (ctx->found && ctx->boolean_early_exit) return;
-  if (depth == ctx->atom_order.size()) {
-    const auto& free_tuple = ctx->q->free_variables();
-    Tuple answer(free_tuple.size());
-    for (size_t i = 0; i < free_tuple.size(); ++i) {
-      answer[i] = ctx->assignment[free_tuple[i]];
-      CQA_CHECK(answer[i] >= 0);
-    }
-    if (ctx->answers != nullptr) ctx->answers->Insert(std::move(answer));
-    if (ctx->ectx != nullptr && ctx->ectx->RecordAnswer()) {
-      ctx->stopped = true;
-    }
-    ctx->found = true;
-    return;
-  }
-  const Atom& atom = ctx->q->atoms()[ctx->atom_order[depth]];
-  const std::vector<Tuple>& facts = ctx->db->facts(atom.rel);
-
-  // Candidate facts: a bucket probe when an index covers this depth's bound
-  // positions, the full fact list otherwise.
-  const std::vector<int>* bucket = nullptr;
-  const RelationIndex* index = nullptr;
-  if (ctx->depth_mask[depth] != 0) {
-    if (!ctx->depth_fetched[depth]) {
-      bool built = false;
-      ctx->depth_index[depth] =
-          ctx->idb->Index(atom.rel, ctx->depth_mask[depth], &built);
-      ctx->depth_fetched[depth] = 1;
-      if (ctx->stats != nullptr && built) ++ctx->stats->index_builds;
-    }
-    index = ctx->depth_index[depth];
-  }
-  if (index != nullptr) {
-    const std::vector<int>& key_vars = ctx->depth_key_vars[depth];
-    Tuple key(key_vars.size());
-    for (size_t i = 0; i < key_vars.size(); ++i) {
-      key[i] = ctx->assignment[key_vars[i]];
-    }
-    if (ctx->stats != nullptr) ++ctx->stats->index_probes;
-    bucket = index->Probe(key);
-    if (bucket == nullptr) return;  // no fact matches the bound positions
-    if (ctx->stats != nullptr) ++ctx->stats->index_hits;
-  }
-
-  const size_t candidates = index != nullptr ? bucket->size() : facts.size();
-  for (size_t c = 0; c < candidates; ++c) {
-    const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
-    // Try to unify the atom with this fact.
-    std::vector<int> newly_bound;
-    bool ok = true;
-    for (size_t i = 0; i < fact.size(); ++i) {
-      const int v = atom.vars[i];
-      if (ctx->assignment[v] < 0) {
-        ctx->assignment[v] = fact[i];
-        newly_bound.push_back(v);
-      } else if (ctx->assignment[v] != fact[i]) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      Backtrack(ctx, depth + 1);
-    }
-    for (const int v : newly_bound) ctx->assignment[v] = -1;
-    if (ctx->stopped) return;
-    if (ctx->found && ctx->boolean_early_exit) return;
-  }
+  const std::vector<int> order = GreedyProbeOrder(atoms, q.num_variables());
+  std::vector<ProbeAtom> ordered;
+  ordered.reserve(atoms.size());
+  for (const int i : order) ordered.push_back(std::move(atoms[i]));
+  return ordered;
 }
 
 AnswerSet RunNaive(const ConjunctiveQuery& q, const Database& db,
                    const IndexedDatabase* idb, EvalStats* stats,
                    const EvalContext* ectx) {
   q.Validate();
-  AnswerSet answers(static_cast<int>(q.free_variables().size()));
-  NaiveContext ctx;
-  ctx.q = &q;
-  ctx.db = &db;
-  ctx.idb = idb;
-  ctx.atom_order = OrderAtoms(q);
-  ctx.assignment.assign(q.num_variables(), -1);
-  ctx.answers = &answers;
-  ctx.stats = stats;
-  ctx.ectx = ectx;
-  PrepareIndexes(&ctx);
-  Backtrack(&ctx, 0);
+  const auto& free_tuple = q.free_variables();
+  AnswerSet answers(static_cast<int>(free_tuple.size()));
+  std::vector<Element> assignment(q.num_variables(), -1);
+  ProbeBacktracker search(OrderedProbeAtoms(q), q.num_variables(),
+                          std::vector<bool>(q.num_variables(), false), db,
+                          idb, stats, ectx);
+  search.Search(&assignment, [&](std::span<const Element> a) {
+    Tuple answer(free_tuple.size());
+    for (size_t i = 0; i < free_tuple.size(); ++i) {
+      answer[i] = a[free_tuple[i]];
+      CQA_CHECK(answer[i] >= 0);
+    }
+    answers.Insert(std::move(answer));
+    return ectx != nullptr && ectx->RecordAnswer();
+  });
   return answers;
 }
 
 bool RunNaiveBoolean(const ConjunctiveQuery& q, const Database& db,
                      const IndexedDatabase* idb, EvalStats* stats) {
   q.Validate();
-  NaiveContext ctx;
-  ctx.q = &q;
-  ctx.db = &db;
-  ctx.idb = idb;
-  ctx.atom_order = OrderAtoms(q);
-  ctx.assignment.assign(q.num_variables(), -1);
-  ctx.answers = nullptr;
-  ctx.stats = stats;
-  ctx.boolean_early_exit = true;
-  PrepareIndexes(&ctx);
-  Backtrack(&ctx, 0);
-  return ctx.found;
+  std::vector<Element> assignment(q.num_variables(), -1);
+  ProbeBacktracker search(OrderedProbeAtoms(q), q.num_variables(),
+                          std::vector<bool>(q.num_variables(), false), db,
+                          idb, stats, /*ctx=*/nullptr);
+  bool found = false;
+  search.Search(&assignment, [&](std::span<const Element>) {
+    found = true;
+    return true;  // one witness suffices
+  });
+  return found;
 }
 
 }  // namespace
@@ -230,25 +85,25 @@ bool EvaluateNaiveBoolean(const ConjunctiveQuery& q,
 bool AnswerContains(const ConjunctiveQuery& q, const Database& db,
                     const Tuple& answer) {
   CQA_CHECK(answer.size() == q.free_variables().size());
-  // Bind the free tuple, then run Boolean early-exit search.
-  NaiveContext ctx;
-  ctx.q = &q;
-  ctx.db = &db;
-  ctx.atom_order = OrderAtoms(q);
-  ctx.assignment.assign(q.num_variables(), -1);
+  // Bind the free tuple, then run a Boolean early-exit search (scan-based:
+  // membership checks are one-shot, not worth index builds).
+  std::vector<Element> assignment(q.num_variables(), -1);
   for (size_t i = 0; i < answer.size(); ++i) {
     const int v = q.free_variables()[i];
-    if (ctx.assignment[v] >= 0 && ctx.assignment[v] != answer[i]) {
-      return false;
-    }
-    ctx.assignment[v] = answer[i];
+    if (assignment[v] >= 0 && assignment[v] != answer[i]) return false;
+    assignment[v] = answer[i];
   }
-  ctx.answers = nullptr;
-  ctx.stats = nullptr;
-  ctx.boolean_early_exit = true;
-  PrepareIndexes(&ctx);
-  Backtrack(&ctx, 0);
-  return ctx.found;
+  std::vector<bool> bound(q.num_variables(), false);
+  for (int v = 0; v < q.num_variables(); ++v) bound[v] = assignment[v] >= 0;
+  ProbeBacktracker search(OrderedProbeAtoms(q), q.num_variables(), bound, db,
+                          /*idb=*/nullptr, /*stats=*/nullptr,
+                          /*ctx=*/nullptr);
+  bool found = false;
+  search.Search(&assignment, [&](std::span<const Element>) {
+    found = true;
+    return true;
+  });
+  return found;
 }
 
 }  // namespace cqa

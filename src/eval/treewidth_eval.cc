@@ -7,6 +7,7 @@
 #include "base/union_find.h"
 #include "cq/properties.h"
 #include "decomp/treewidth.h"
+#include "eval/probe_core.h"
 #include "eval/var_table.h"
 
 namespace cqa {
@@ -69,6 +70,7 @@ VarTable BagTable(const std::vector<int>& bag,
                   const Database& db, const EvalContext* ctx) {
   VarTable out;
   out.vars = bag;
+  out.rows = ColumnStore(static_cast<int>(bag.size()));
   Tuple row(bag.size());
   bool stopped = false;  // partial bag table = subset: sound downstream
   std::function<void(size_t)> enumerate = [&](size_t i) {
@@ -86,7 +88,7 @@ VarTable BagTable(const std::vector<int>& bag,
         }
         if (!db.HasFact(atom->rel, fact)) return;
       }
-      out.rows.push_back(row);
+      out.rows.AppendRow(row);
       return;
     }
     for (const Element e : candidates[bag[i]]) {
@@ -99,85 +101,54 @@ VarTable BagTable(const std::vector<int>& bag,
   return out;
 }
 
-// Indexed bag materialization: a mini backtracking search over the bag's
-// atoms (probing the relation index for the positions bound so far, exactly
-// like the naive engine) followed by candidate enumeration of bag variables
-// no in-bag atom constrains. The resulting table may be a superset of the
-// scan-based bag table (scan also filters atom-bound variables through their
-// global candidate lists), but the join over all bags — and hence the final
-// answer set — is identical: every satisfying assignment passes both.
+// Indexed bag materialization: the shared probe-backtracking core searches
+// the bag's atoms (probing the relation index for the positions bound so
+// far, exactly like the naive engine), then candidate enumeration fills bag
+// variables no in-bag atom constrains. The resulting table may be a superset
+// of the scan-based bag table (scan also filters atom-bound variables
+// through their global candidate lists), but the join over all bags — and
+// hence the final answer set — is identical: every satisfying assignment
+// passes both.
 VarTable IndexedBagTable(const std::vector<int>& bag,
                          const std::vector<const Atom*>& bag_atoms,
                          const std::vector<std::vector<Element>>& candidates,
                          const IndexedDatabase& idb, EvalStats* stats,
                          const EvalContext* ctx) {
-  const Database& db = idb.db();
   VarTable out;
   out.vars = bag;
+  out.rows = ColumnStore(static_cast<int>(bag.size()));
 
   const auto rank_of = [&](int v) {
     const auto it = std::lower_bound(bag.begin(), bag.end(), v);
     CQA_CHECK(it != bag.end() && *it == v);
-    return static_cast<size_t>(it - bag.begin());
+    return static_cast<int>(it - bag.begin());
   };
 
-  // Greedy connected atom order within the bag (most bound vars first).
-  const int m = static_cast<int>(bag_atoms.size());
-  std::vector<bool> used(m, false);
-  std::vector<bool> bound(bag.size(), false);
-  std::vector<int> order;
-  order.reserve(m);
-  for (int step = 0; step < m; ++step) {
-    int best = -1;
-    int best_score = -1;
-    for (int i = 0; i < m; ++i) {
-      if (used[i]) continue;
-      int score = 0;
-      for (const int v : bag_atoms[i]->vars) {
-        if (bound[rank_of(v)]) score += 2;
-      }
-      if (best < 0 || score > best_score) {
-        best = i;
-        best_score = score;
-      }
-    }
-    used[best] = true;
-    order.push_back(best);
-    for (const int v : bag_atoms[best]->vars) bound[rank_of(v)] = true;
+  // The bag's atoms as probe atoms (slot = rank of the variable within the
+  // bag), in the greedy connected trial order.
+  std::vector<ProbeAtom> atoms;
+  atoms.reserve(bag_atoms.size());
+  for (const Atom* atom : bag_atoms) {
+    ProbeAtom pa;
+    pa.rel = atom->rel;
+    pa.slots.reserve(atom->vars.size());
+    for (const int v : atom->vars) pa.slots.push_back(rank_of(v));
+    atoms.push_back(std::move(pa));
   }
-
-  // Per-depth indexes over the positions bound at entry (cf. eval/naive).
-  std::vector<const RelationIndex*> depth_index(m, nullptr);
-  std::vector<std::vector<size_t>> depth_key_ranks(m);
-  std::fill(bound.begin(), bound.end(), false);
-  for (int d = 0; d < m; ++d) {
-    const Atom& atom = *bag_atoms[order[d]];
-    if (static_cast<int>(atom.vars.size()) > kMaxIndexableArity) {
-      for (const int v : atom.vars) bound[rank_of(v)] = true;
-      continue;  // too wide for a bound mask: scan this atom
-    }
-    std::vector<int> positions;
-    std::vector<size_t> key_ranks;
-    for (size_t p = 0; p < atom.vars.size(); ++p) {
-      if (bound[rank_of(atom.vars[p])]) {
-        positions.push_back(static_cast<int>(p));
-        key_ranks.push_back(rank_of(atom.vars[p]));
-      }
-    }
-    if (!positions.empty()) {
-      bool built = false;
-      depth_index[d] =
-          idb.Index(atom.rel, MaskOfPositions(positions), &built);
-      depth_key_ranks[d] = std::move(key_ranks);
-      if (stats != nullptr && built) ++stats->index_builds;
-    }
-    for (const int v : atom.vars) bound[rank_of(v)] = true;
-  }
+  const std::vector<int> order =
+      GreedyProbeOrder(atoms, static_cast<int>(bag.size()));
+  std::vector<ProbeAtom> ordered;
+  ordered.reserve(atoms.size());
+  for (const int i : order) ordered.push_back(std::move(atoms[i]));
 
   // Bag variables no in-bag atom constrains: enumerated from candidates.
+  std::vector<bool> covered(bag.size(), false);
+  for (const ProbeAtom& pa : ordered) {
+    for (const int s : pa.slots) covered[s] = true;
+  }
   std::vector<size_t> leftover;
   for (size_t r = 0; r < bag.size(); ++r) {
-    if (!bound[r]) leftover.push_back(r);
+    if (!covered[r]) leftover.push_back(r);
   }
 
   Tuple row(bag.size(), -1);
@@ -188,7 +159,7 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
       return;
     }
     if (i == leftover.size()) {
-      out.rows.push_back(row);
+      out.rows.AppendRow(row);
       return;
     }
     for (const Element e : candidates[bag[leftover[i]]]) {
@@ -198,50 +169,16 @@ VarTable IndexedBagTable(const std::vector<int>& bag,
     }
     row[leftover[i]] = -1;
   };
-  std::function<void(size_t)> search = [&](size_t depth) {
-    if (stats != nullptr) ++stats->nodes;
-    if (ctx != nullptr && ctx->Interrupted()) {
-      stopped = true;
-      return;
-    }
-    if (depth == static_cast<size_t>(m)) {
-      fill_leftover(0);
-      return;
-    }
-    const Atom& atom = *bag_atoms[order[depth]];
-    const std::vector<Tuple>& facts = db.facts(atom.rel);
-    const std::vector<int>* bucket = nullptr;
-    const RelationIndex* index = depth_index[depth];
-    if (index != nullptr) {
-      const std::vector<size_t>& key_ranks = depth_key_ranks[depth];
-      Tuple key(key_ranks.size());
-      for (size_t i = 0; i < key_ranks.size(); ++i) key[i] = row[key_ranks[i]];
-      if (stats != nullptr) ++stats->index_probes;
-      bucket = index->Probe(key);
-      if (bucket == nullptr) return;
-      if (stats != nullptr) ++stats->index_hits;
-    }
-    const size_t n_cand = index != nullptr ? bucket->size() : facts.size();
-    for (size_t c = 0; c < n_cand; ++c) {
-      const Tuple& fact = index != nullptr ? facts[(*bucket)[c]] : facts[c];
-      std::vector<size_t> newly_bound;
-      bool ok = true;
-      for (size_t i = 0; i < fact.size(); ++i) {
-        const size_t r = rank_of(atom.vars[i]);
-        if (row[r] < 0) {
-          row[r] = fact[i];
-          newly_bound.push_back(r);
-        } else if (row[r] != fact[i]) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) search(depth + 1);
-      for (const size_t r : newly_bound) row[r] = -1;
-      if (stopped) return;
-    }
-  };
-  search(0);
+
+  ProbeBacktracker search(std::move(ordered), static_cast<int>(bag.size()),
+                          std::vector<bool>(bag.size(), false), idb.db(),
+                          &idb, stats, ctx);
+  std::vector<Element> assignment(bag.size(), -1);
+  search.Search(&assignment, [&](std::span<const Element> a) {
+    std::copy(a.begin(), a.end(), row.begin());
+    fill_leftover(0);
+    return stopped;
+  });
   return out;
 }
 

@@ -1,11 +1,10 @@
 #include "eval/var_table.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "eval/probe_core.h"
 
 namespace cqa {
 namespace {
@@ -31,31 +30,29 @@ std::vector<int> SharedVars(const std::vector<int>& a,
   return shared;
 }
 
-Tuple Select(const Tuple& row, const std::vector<int>& positions) {
-  Tuple out(positions.size());
-  for (size_t i = 0; i < positions.size(); ++i) out[i] = row[positions[i]];
-  return out;
-}
-
-void DedupRows(VarTable* t) {
-  std::unordered_set<Tuple, VectorHash> seen;
-  std::vector<Tuple> unique;
-  unique.reserve(t->rows.size());
-  for (Tuple& row : t->rows) {
-    if (seen.insert(row).second) unique.push_back(std::move(row));
+// Row-major flat keys of `rows` restricted to columns `pos` — the build
+// input of a KeyedRowGroups. Reads column-major, scatters row-major.
+std::vector<Element> FlatKeysOfColumns(const ColumnStore& rows,
+                                       const std::vector<int>& pos) {
+  const size_t n = rows.size();
+  const size_t k = pos.size();
+  std::vector<Element> keys(n * k);
+  for (size_t j = 0; j < k; ++j) {
+    const std::span<const Element> col = rows.Column(pos[j]);
+    for (size_t r = 0; r < n; ++r) keys[r * k + j] = col[r];
   }
-  t->rows = std::move(unique);
+  return keys;
 }
 
 }  // namespace
 
 VarTable AtomMatches(const Atom& atom, const Database& db) {
   VarTable out;
-  out.rows.reserve(db.facts(atom.rel).size());
   out.vars = atom.vars;
   std::sort(out.vars.begin(), out.vars.end());
   out.vars.erase(std::unique(out.vars.begin(), out.vars.end()),
                  out.vars.end());
+  const int width = static_cast<int>(out.vars.size());
   const std::vector<int> pos_of_var = [&] {
     std::vector<int> map;
     for (const int v : atom.vars) {
@@ -64,9 +61,12 @@ VarTable AtomMatches(const Atom& atom, const Database& db) {
     }
     return map;
   }();
+  RowSet set(width);
+  set.Reserve(db.facts(atom.rel).size());
+  std::vector<Element> row(width);
   for (const Tuple& fact : db.facts(atom.rel)) {
     // Repeated-variable consistency, then project to distinct vars.
-    Tuple row(out.vars.size(), -1);
+    std::fill(row.begin(), row.end(), -1);
     bool ok = true;
     for (size_t i = 0; i < fact.size(); ++i) {
       const int slot = pos_of_var[i];
@@ -76,9 +76,9 @@ VarTable AtomMatches(const Atom& atom, const Database& db) {
       }
       row[slot] = fact[i];
     }
-    if (ok) out.rows.push_back(std::move(row));
+    if (ok) set.Insert(row);
   }
-  DedupRows(&out);
+  out.rows = set.Take();
   // Repeat-free atoms leave the table pristine: record where each variable
   // sits in the fact so semijoins can probe a relation index later.
   if (out.vars.size() == atom.vars.size()) {
@@ -93,32 +93,33 @@ VarTable AtomMatches(const Atom& atom, const Database& db) {
 
 VarTable IntersectSameVars(const VarTable& a, const VarTable& b) {
   CQA_CHECK(a.vars == b.vars);
-  std::unordered_set<Tuple, VectorHash> in_b(b.Rows().begin(),
-                                             b.Rows().end());
+  const int width = static_cast<int>(a.vars.size());
+  std::vector<int> all_cols(width);
+  for (int j = 0; j < width; ++j) all_cols[j] = j;
+  const ColumnStore& brows = b.Rows();
+  const KeyedRowGroups in_b(FlatKeysOfColumns(brows, all_cols), width,
+                            brows.size());
   VarTable out;
   out.vars = a.vars;
-  for (const Tuple& row : a.Rows()) {
-    if (in_b.count(row) > 0) out.rows.push_back(row);
+  out.rows = ColumnStore(width);
+  const ColumnStore& arows = a.Rows();
+  std::vector<Element> row(width);
+  for (size_t r = 0; r < arows.size(); ++r) {
+    arows.ReadRow(r, row);
+    if (!in_b.Probe(row).empty()) out.rows.AppendRow(row);
   }
   return out;
 }
 
 namespace {
 
-// Replaces a's rows with the surviving subset (noted by index). No-op —
+// Replaces a's rows with the surviving subset (noted by row id). No-op —
 // keeping borrows and pristine sources intact — when nothing was removed.
-bool ApplySurvivors(VarTable* a, const std::vector<size_t>& kept_idx) {
-  const std::vector<Tuple>& rows = a->Rows();
-  if (kept_idx.size() == rows.size()) return false;
-  std::vector<Tuple> kept;
-  kept.reserve(kept_idx.size());
-  if (a->borrowed != nullptr) {
-    for (const size_t i : kept_idx) kept.push_back((*a->borrowed)[i]);
-    a->borrowed = nullptr;
-  } else {
-    for (const size_t i : kept_idx) kept.push_back(std::move(a->rows[i]));
-  }
-  a->rows = std::move(kept);
+bool ApplySurvivors(VarTable* a, const std::vector<uint32_t>& kept_ids) {
+  const ColumnStore& rows = a->Rows();
+  if (kept_ids.size() == rows.size()) return false;
+  a->rows = rows.Gather(kept_ids);  // column-major copy, detaches any borrow
+  a->borrowed = nullptr;
   a->ClearSource();
   return true;
 }
@@ -133,65 +134,71 @@ bool SemijoinInPlace(VarTable* a, const VarTable& b,
     // Degenerate semijoin: keep a iff b nonempty.
     if (!b.Rows().empty()) return false;
     const bool removed = !a->Rows().empty();
-    a->rows.clear();
+    a->rows = ColumnStore(static_cast<int>(a->vars.size()));
     a->borrowed = nullptr;
     if (removed) a->ClearSource();
     return removed;
   }
 
+  const std::vector<int> pos_a = PositionsOf(shared, a->vars);
+  const ColumnStore& rows = a->Rows();
+
   // Probe path: b is a pristine atom table, so "agrees with some row of b"
   // is "some fact of b's relation has these values at the shared positions"
-  // — one index probe per row of a, no key set over b.
+  // — one flat index probe per row of a, no key set over b, no key tuples.
   if (idb != nullptr && b.source_rel >= 0 &&
       idb->db().vocab()->arity(b.source_rel) <= kMaxIndexableArity) {
+    const int width = static_cast<int>(a->vars.size());
+    const int arity = idb->db().vocab()->arity(b.source_rel);
     const std::vector<int> rank_b = PositionsOf(shared, b.vars);
-    // Key components must follow ascending fact position; carry the shared
-    // var along so a's probe key can be assembled in the same order.
-    std::vector<std::pair<int, int>> pos_and_var;  // (fact position, var)
-    pos_and_var.reserve(shared.size());
+    // One single-atom probe step: the shared variables' fact positions map
+    // to a's columns (pre-bound slots), every other position to a fresh
+    // slot. The probe core assembles the key in ascending fact position —
+    // exactly the index's key layout.
+    ProbeAtom atom;
+    atom.rel = b.source_rel;
+    atom.slots.assign(arity, -1);
     for (size_t i = 0; i < shared.size(); ++i) {
-      pos_and_var.emplace_back(b.source_pos[rank_b[i]], shared[i]);
+      atom.slots[b.source_pos[rank_b[i]]] = pos_a[i];
     }
-    std::sort(pos_and_var.begin(), pos_and_var.end());
-    std::vector<int> positions;
-    std::vector<int> key_vars;
-    for (const auto& [pos, var] : pos_and_var) {
-      positions.push_back(pos);
-      key_vars.push_back(var);
+    int num_slots = width;
+    for (int p = 0; p < arity; ++p) {
+      if (atom.slots[p] < 0) atom.slots[p] = num_slots++;
     }
-    bool built = false;
-    const RelationIndex* index =
-        idb->Index(b.source_rel, MaskOfPositions(positions), &built);
-    if (index != nullptr) {
-      if (stats != nullptr && built) ++stats->index_builds;
-      const std::vector<int> pos_a = PositionsOf(key_vars, a->vars);
-      const std::vector<Tuple>& rows = a->Rows();
-      std::vector<size_t> kept_idx;
-      kept_idx.reserve(rows.size());
+    std::vector<bool> bound_at_entry(num_slots, false);
+    for (int j = 0; j < width; ++j) bound_at_entry[j] = true;
+    ProbeBacktracker probe({atom}, num_slots, bound_at_entry, idb->db(), idb,
+                           stats, ctx);
+    if (probe.EnsureIndex(0) != nullptr) {
+      std::vector<Element> assignment(num_slots, -1);
+      std::vector<uint32_t> kept_ids;
+      kept_ids.reserve(rows.size());
       for (size_t i = 0; i < rows.size(); ++i) {
         if (ctx != nullptr && ctx->Interrupted()) break;  // drop the rest
-        if (stats != nullptr) ++stats->index_probes;
-        if (index->Probe(Select(rows[i], pos_a)) != nullptr) {
-          if (stats != nullptr) ++stats->index_hits;
-          kept_idx.push_back(i);
+        for (const int col : pos_a) assignment[col] = rows.at(i, col);
+        if (probe.ProbeExists(assignment)) {
+          kept_ids.push_back(static_cast<uint32_t>(i));
         }
       }
-      return ApplySurvivors(a, kept_idx);
+      return ApplySurvivors(a, kept_ids);
     }
   }
 
-  const std::vector<int> pos_a = PositionsOf(shared, a->vars);
+  // Fallback: group b's rows by the shared key and keep a-rows whose key
+  // has a nonempty group.
   const std::vector<int> pos_b = PositionsOf(shared, b.vars);
-  std::unordered_set<Tuple, VectorHash> keys;
-  for (const Tuple& row : b.Rows()) keys.insert(Select(row, pos_b));
-  const std::vector<Tuple>& rows = a->Rows();
-  std::vector<size_t> kept_idx;
-  kept_idx.reserve(rows.size());
+  const ColumnStore& brows = b.Rows();
+  const KeyedRowGroups keys(FlatKeysOfColumns(brows, pos_b),
+                            static_cast<int>(shared.size()), brows.size());
+  std::vector<Element> key(shared.size());
+  std::vector<uint32_t> kept_ids;
+  kept_ids.reserve(rows.size());
   for (size_t i = 0; i < rows.size(); ++i) {
     if (ctx != nullptr && ctx->Interrupted()) break;  // drop the rest
-    if (keys.count(Select(rows[i], pos_a)) > 0) kept_idx.push_back(i);
+    for (size_t j = 0; j < pos_a.size(); ++j) key[j] = rows.at(i, pos_a[j]);
+    if (!keys.Probe(key).empty()) kept_ids.push_back(static_cast<uint32_t>(i));
   }
-  return ApplySurvivors(a, kept_idx);
+  return ApplySurvivors(a, kept_ids);
 }
 
 VarTable JoinProject(const VarTable& a, const VarTable& b,
@@ -203,36 +210,41 @@ VarTable JoinProject(const VarTable& a, const VarTable& b,
   const std::vector<int> shared = SharedVars(a.vars, b.vars);
   const std::vector<int> pos_a = PositionsOf(shared, a.vars);
   const std::vector<int> pos_b = PositionsOf(shared, b.vars);
-  // Hash b by its shared-variable key.
-  std::unordered_map<Tuple, std::vector<const Tuple*>, VectorHash> index;
-  for (const Tuple& row : b.Rows()) {
-    index[Select(row, pos_b)].push_back(&row);
-  }
+  // Group b by its shared-variable key (contiguous row-id ranges).
+  const ColumnStore& brows = b.Rows();
+  const KeyedRowGroups index(FlatKeysOfColumns(brows, pos_b),
+                             static_cast<int>(shared.size()), brows.size());
   // For composing output rows.
   const std::vector<int> a_in_all = PositionsOf(a.vars, all_vars);
   const std::vector<int> b_in_all = PositionsOf(b.vars, all_vars);
   const std::vector<int> keep_in_all = PositionsOf(keep_vars, all_vars);
   VarTable out;
   out.vars = keep_vars;
+  const ColumnStore& arows = a.Rows();
+  RowSet set(static_cast<int>(keep_vars.size()));
   // Lower bound on the output: every a-row with a partner emits at least one
   // row, so a's cardinality is a cheap reallocation-avoiding estimate.
-  out.rows.reserve(a.Rows().size());
-  Tuple combined(all_vars.size());
-  for (const Tuple& row_a : a.Rows()) {
+  set.Reserve(arows.size());
+  std::vector<Element> combined(all_vars.size());
+  std::vector<Element> key(shared.size());
+  std::vector<Element> projected(keep_vars.size());
+  for (size_t r = 0; r < arows.size(); ++r) {
     if (ctx != nullptr && ctx->Interrupted()) break;  // partial = subset
-    const auto it = index.find(Select(row_a, pos_a));
-    if (it == index.end()) continue;
-    for (const Tuple* row_b : it->second) {
-      for (size_t i = 0; i < a.vars.size(); ++i) {
-        combined[a_in_all[i]] = row_a[i];
+    for (size_t j = 0; j < pos_a.size(); ++j) key[j] = arows.at(r, pos_a[j]);
+    for (const int id : index.Probe(key)) {
+      for (size_t i = 0; i < a_in_all.size(); ++i) {
+        combined[a_in_all[i]] = arows.at(r, static_cast<int>(i));
       }
-      for (size_t i = 0; i < b.vars.size(); ++i) {
-        combined[b_in_all[i]] = (*row_b)[i];
+      for (size_t i = 0; i < b_in_all.size(); ++i) {
+        combined[b_in_all[i]] = brows.at(id, static_cast<int>(i));
       }
-      out.rows.push_back(Select(combined, keep_in_all));
+      for (size_t i = 0; i < keep_in_all.size(); ++i) {
+        projected[i] = combined[keep_in_all[i]];
+      }
+      set.Insert(projected);
     }
   }
-  DedupRows(&out);
+  out.rows = set.Take();
   return out;
 }
 
@@ -240,9 +252,15 @@ VarTable Project(const VarTable& a, const std::vector<int>& keep_vars) {
   const std::vector<int> pos = PositionsOf(keep_vars, a.vars);
   VarTable out;
   out.vars = keep_vars;
-  out.rows.reserve(a.Rows().size());
-  for (const Tuple& row : a.Rows()) out.rows.push_back(Select(row, pos));
-  DedupRows(&out);
+  const ColumnStore& arows = a.Rows();
+  RowSet set(static_cast<int>(keep_vars.size()));
+  set.Reserve(arows.size());
+  std::vector<Element> row(keep_vars.size());
+  for (size_t r = 0; r < arows.size(); ++r) {
+    for (size_t j = 0; j < pos.size(); ++j) row[j] = arows.at(r, pos[j]);
+    set.Insert(row);
+  }
+  out.rows = set.Take();
   return out;
 }
 
@@ -389,7 +407,8 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
   // Cross product across roots, projected to free variables.
   VarTable result;
   result.vars = {};
-  result.rows = {Tuple{}};
+  result.rows = ColumnStore(0);
+  result.rows.AppendRow({});  // the nullary seed row
   for (const int r : roots) {
     std::vector<int> keep;
     std::set_union(result.vars.begin(), result.vars.end(),
@@ -411,11 +430,12 @@ AnswerSet EvaluateJoinForest(std::vector<VarTable> tables,
   }
   // Emission: every row of `result` is a genuine answer (joins of shrunken
   // tables only lose answers), so stopping mid-loop stays sound.
-  for (const Tuple& row : result.Rows()) {
+  const ColumnStore& rows = result.Rows();
+  for (size_t r = 0; r < rows.size(); ++r) {
     if (ctx != nullptr && ctx->Interrupted()) break;
     Tuple answer(free_tuple.size());
     for (size_t i = 0; i < tuple_pos.size(); ++i) {
-      answer[i] = row[tuple_pos[i]];
+      answer[i] = rows.at(r, tuple_pos[i]);
     }
     answers.Insert(std::move(answer));
     if (ctx != nullptr && ctx->RecordAnswer()) break;

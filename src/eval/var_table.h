@@ -1,7 +1,9 @@
 // Variable-indexed materialized tables and the join-tree dynamic program
 // shared by the Yannakakis engine (acyclic queries) and the bounded-
 // treewidth engine: semijoin full reduction followed by bottom-up
-// join-project.
+// join-project. Rows live in a ColumnStore (data/column_store.h): column-
+// major slabs, no per-row allocation, with transient join/semijoin key
+// tables stored as KeyedRowGroups instead of hash-node containers.
 
 #ifndef CQA_EVAL_VAR_TABLE_H_
 #define CQA_EVAL_VAR_TABLE_H_
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "cq/cq.h"
+#include "data/column_store.h"
 #include "data/database.h"
 #include "data/index.h"
 #include "eval/answer_set.h"
@@ -22,13 +25,13 @@ namespace cqa {
 /// (`borrowed`, e.g. IndexedDatabase's projection cache): read through
 /// Rows(); the first actual mutation materializes owned rows.
 struct VarTable {
-  std::vector<int> vars;    ///< sorted, distinct
-  std::vector<Tuple> rows;  ///< aligned with `vars`, deduplicated
+  std::vector<int> vars;  ///< sorted, distinct
+  ColumnStore rows;       ///< width == vars.size(), deduplicated
   /// When set, the table's rows live in an external cache that outlives the
   /// evaluation; `rows` is ignored until a mutation detaches the borrow.
-  const std::vector<Tuple>* borrowed = nullptr;
+  const ColumnStore* borrowed = nullptr;
 
-  const std::vector<Tuple>& Rows() const {
+  const ColumnStore& Rows() const {
     return borrowed != nullptr ? *borrowed : rows;
   }
 
@@ -57,7 +60,8 @@ VarTable IntersectSameVars(const VarTable& a, const VarTable& b);
 /// Semijoin a ⋉ b: keeps rows of `a` that agree with some row of `b` on the
 /// shared variables. Returns true if rows were removed. When `idb` is given
 /// and `b` is pristine (source_rel set), the filter probes the relation
-/// index for b's shared positions instead of building a key set over b.
+/// index for b's shared positions (through the shared probe core's flat key
+/// buffer) instead of building a key set over b.
 /// A non-null `ctx` is polled per scanned row; on interruption the rows not
 /// yet scanned are dropped too — removal-only, so the result stays a subset
 /// of the true semijoin (sound for under-approximation).

@@ -26,7 +26,7 @@ VarTable IndexedAtomMatches(const Atom& atom, const IndexedDatabase& idb,
     out_cols[i] = static_cast<int>(it - out.vars.begin());
   }
   bool built = false;
-  const std::vector<Tuple>* rows = idb.ProjectedRows(
+  const ColumnStore* rows = idb.ProjectedRows(
       atom.rel, out_cols, static_cast<int>(out.vars.size()), &built);
   if (rows == nullptr) return AtomMatches(atom, idb.db());
   if (stats != nullptr) {

@@ -222,28 +222,28 @@ TEST(VarTableTest, AtomMatchesRepeatedVars) {
   const VarTable t = AtomMatches(loop, g.ToDatabase());
   ASSERT_EQ(t.vars, (std::vector<int>{5}));
   ASSERT_EQ(t.rows.size(), 1u);
-  EXPECT_EQ(t.rows[0], (Tuple{0}));
+  EXPECT_EQ(t.rows.RowTuple(0), (Tuple{0}));
 }
 
 TEST(VarTableTest, SemijoinFilters) {
   VarTable a;
   a.vars = {0, 1};
-  a.rows = {{1, 2}, {3, 4}};
+  a.rows = ColumnStore::FromRows(2, {{1, 2}, {3, 4}});
   VarTable b;
   b.vars = {1, 2};
-  b.rows = {{2, 9}};
+  b.rows = ColumnStore::FromRows(2, {{2, 9}});
   EXPECT_TRUE(SemijoinInPlace(&a, b));
   ASSERT_EQ(a.rows.size(), 1u);
-  EXPECT_EQ(a.rows[0], (Tuple{1, 2}));
+  EXPECT_EQ(a.rows.RowTuple(0), (Tuple{1, 2}));
 }
 
 TEST(VarTableTest, JoinProjectSharedVars) {
   VarTable a;
   a.vars = {0, 1};
-  a.rows = {{1, 2}, {5, 6}};
+  a.rows = ColumnStore::FromRows(2, {{1, 2}, {5, 6}});
   VarTable b;
   b.vars = {1, 2};
-  b.rows = {{2, 7}, {2, 8}};
+  b.rows = ColumnStore::FromRows(2, {{2, 7}, {2, 8}});
   const VarTable j = JoinProject(a, b, {0, 2});
   EXPECT_EQ(j.rows.size(), 2u);
 }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "base/rng.h"
@@ -24,6 +25,10 @@ namespace {
 
 VocabularyPtr G() { return Vocabulary::Graph(); }
 
+std::vector<int> ToVec(std::span<const int> ids) {
+  return std::vector<int>(ids.begin(), ids.end());
+}
+
 TEST(BoundMaskTest, RoundTrip) {
   EXPECT_EQ(MaskOfPositions({}), 0u);
   EXPECT_EQ(MaskOfPositions({0}), 1u);
@@ -40,7 +45,7 @@ TEST(RelationIndexTest, EmptyRelation) {
   const RelationIndex index(db, 0, MaskOfPositions({0}));
   EXPECT_EQ(index.num_keys(), 0u);
   EXPECT_EQ(index.num_facts(), 0u);
-  EXPECT_EQ(index.Probe({0}), nullptr);
+  EXPECT_TRUE(index.Probe(Tuple{0}).empty());
 }
 
 TEST(RelationIndexTest, SingleBoundPosition) {
@@ -50,14 +55,11 @@ TEST(RelationIndexTest, SingleBoundPosition) {
   db.AddFact(0, {1, 2});
   const RelationIndex index(db, 0, MaskOfPositions({0}));
   EXPECT_EQ(index.num_keys(), 2u);
-  const std::vector<int>* bucket = index.Probe({0});
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(*bucket, (std::vector<int>{0, 1}));  // insertion order
-  bucket = index.Probe({1});
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(*bucket, (std::vector<int>{2}));
-  EXPECT_EQ(index.Probe({2}), nullptr);
-  EXPECT_EQ(index.Probe({3}), nullptr);
+  EXPECT_EQ(ToVec(index.Probe(Tuple{0})),
+            (std::vector<int>{0, 1}));  // insertion order
+  EXPECT_EQ(ToVec(index.Probe(Tuple{1})), (std::vector<int>{2}));
+  EXPECT_TRUE(index.Probe(Tuple{2}).empty());
+  EXPECT_TRUE(index.Probe(Tuple{3}).empty());
 }
 
 TEST(RelationIndexTest, AllBound) {
@@ -67,10 +69,8 @@ TEST(RelationIndexTest, AllBound) {
   const RelationIndex index(db, 0, MaskOfPositions({0, 1}));
   // Facts are deduplicated, so every bucket is a singleton.
   EXPECT_EQ(index.num_keys(), 2u);
-  const std::vector<int>* bucket = index.Probe({1, 2});
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(*bucket, std::vector<int>{1});
-  EXPECT_EQ(index.Probe({2, 1}), nullptr);
+  EXPECT_EQ(ToVec(index.Probe(Tuple{1, 2})), std::vector<int>{1});
+  EXPECT_TRUE(index.Probe(Tuple{2, 1}).empty());
 }
 
 TEST(RelationIndexTest, NoneBound) {
@@ -80,9 +80,7 @@ TEST(RelationIndexTest, NoneBound) {
   const RelationIndex index(db, 0, /*mask=*/0);
   // Mask 0 is legal: one bucket, keyed by the empty tuple, holding all facts.
   EXPECT_EQ(index.num_keys(), 1u);
-  const std::vector<int>* bucket = index.Probe(Tuple{});
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(*bucket, (std::vector<int>{0, 1}));
+  EXPECT_EQ(ToVec(index.Probe(Tuple{})), (std::vector<int>{0, 1}));
 }
 
 TEST(RelationIndexTest, DuplicateHeavyRelation) {
@@ -92,10 +90,9 @@ TEST(RelationIndexTest, DuplicateHeavyRelation) {
   db.AddFact(0, {1, 2});
   const RelationIndex index(db, 0, MaskOfPositions({0}));
   EXPECT_EQ(index.num_keys(), 2u);
-  const std::vector<int>* bucket = index.Probe({0});
-  ASSERT_NE(bucket, nullptr);
-  ASSERT_EQ(bucket->size(), 63u);
-  EXPECT_TRUE(std::is_sorted(bucket->begin(), bucket->end()));
+  const std::span<const int> bucket = index.Probe(Tuple{0});
+  ASSERT_EQ(bucket.size(), 63u);
+  EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
   EXPECT_GT(index.ApproxBytes(), 63 * sizeof(int));
 }
 
@@ -150,19 +147,19 @@ TEST(IndexedDatabaseTest, ProjectedRowsPatterns) {
   db.AddFact(0, {1, 0});
   const IndexedDatabase idb(db);
   // Identity pattern: all facts.
-  const std::vector<Tuple>* rows = idb.ProjectedRows(0, {0, 1}, 2);
+  const ColumnStore* rows = idb.ProjectedRows(0, {0, 1}, 2);
   ASSERT_NE(rows, nullptr);
   EXPECT_EQ(rows->size(), 4u);
   // Swapped pattern: columns transposed.
   rows = idb.ProjectedRows(0, {1, 0}, 2);
   ASSERT_NE(rows, nullptr);
-  EXPECT_EQ(rows->front(), (Tuple{1, 0}));
+  EXPECT_EQ(rows->RowTuple(0), (Tuple{1, 0}));
   // Diagonal pattern (the match table of E(x, x)): loops only.
   rows = idb.ProjectedRows(0, {0, 0}, 1);
   ASSERT_NE(rows, nullptr);
   ASSERT_EQ(rows->size(), 2u);
-  EXPECT_EQ((*rows)[0], Tuple{1});
-  EXPECT_EQ((*rows)[1], Tuple{2});
+  EXPECT_EQ(rows->RowTuple(0), Tuple{1});
+  EXPECT_EQ(rows->RowTuple(1), Tuple{2});
   // Second request is a cache hit.
   bool built = true;
   idb.ProjectedRows(0, {0, 0}, 1, &built);
