@@ -46,9 +46,15 @@ if ! grep -q "^## Resource limits & cancellation" docs/ARCHITECTURE.md; then
   echo "STALE: docs/ARCHITECTURE.md lost its 'Resource limits & cancellation' section"
   fail=1
 fi
+if ! grep -q "^## Incremental maintenance & subscriptions" docs/ARCHITECTURE.md; then
+  echo "STALE: docs/ARCHITECTURE.md lost its 'Incremental maintenance & subscriptions' section"
+  fail=1
+fi
 for term in QueryService AnswerMode EvalRequest ShardedDatabase \
             IsShardSound num_shards EvalContext ResponseStatus \
-            max_answers deadline; do
+            max_answers deadline \
+            Subscribe Publish Poll SubscriptionDelta \
+            DeltaEvaluateQuery CatchUp index_delta_appends; do
   if ! grep -q "$term" docs/ARCHITECTURE.md; then
     echo "STALE: docs/ARCHITECTURE.md does not mention $term"
     fail=1

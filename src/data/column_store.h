@@ -139,6 +139,9 @@ class RowSet {
   /// Moves the deduplicated table out (the RowSet must not be reused).
   ColumnStore Take() { return std::move(store_); }
 
+  /// Rough heap footprint (store + hash table), for cache budgeting.
+  size_t ApproxBytes() const;
+
  private:
   void Rehash(size_t new_capacity);
 
@@ -151,7 +154,16 @@ class RowSet {
 /// flat_keys[r*key_width .. (r+1)*key_width)) into contiguous row-id ranges.
 /// Probe(key) returns the ids of the rows carrying `key`, in insertion
 /// order, as a span into one shared id slab — the columnar replacement for
-/// `unordered_map<Tuple, std::vector<int>>`. Immutable once built.
+/// `unordered_map<Tuple, std::vector<int>>`.
+///
+/// Groups are append-friendly: AppendRow(key, id) places one new row in O(1)
+/// amortized by giving each group a capacity-doubling range inside the id
+/// slab (a full group relocates to the slab's end, leaving its old range
+/// dead — bounded by the total number of appends). Probe spans therefore
+/// stay contiguous and stable between appends, and the within-group
+/// insertion-order contract is preserved. Appending and probing must not
+/// overlap across threads (same single-writer contract as the rest of the
+/// columnar layer).
 class KeyedRowGroups {
  public:
   KeyedRowGroups() = default;
@@ -162,14 +174,16 @@ class KeyedRowGroups {
   /// no row matches. key_width 0 is legal: every row is in the one group.
   std::span<const int> Probe(std::span<const Element> key) const;
 
-  size_t num_groups() const {
-    return begins_.empty() ? 0 : begins_.size() - 1;
-  }
+  /// Appends one row with the given key and id (the delta path: one hash
+  /// probe, amortized O(1), no rebuild). The key becomes row
+  /// `num_rows()`'s key; `row_id` is what Probe/GroupRows will return.
+  void AppendRow(std::span<const Element> key, int row_id);
+
+  size_t num_groups() const { return offsets_.size(); }
   size_t num_rows() const { return num_rows_; }
 
   std::span<const int> GroupRows(size_t g) const {
-    return std::span<const int>(row_ids_.data() + begins_[g],
-                                begins_[g + 1] - begins_[g]);
+    return std::span<const int>(row_ids_.data() + offsets_[g], counts_[g]);
   }
 
   /// The flat key of group `g`.
@@ -185,13 +199,22 @@ class KeyedRowGroups {
         keys_.data() + static_cast<size_t>(row) * key_width_, key_width_);
   }
 
+  /// Group id for row `rep_row`'s key, creating an empty group (with
+  /// `rep_row` as representative, growing the hash table) if the key is new.
+  size_t GroupForKey(uint32_t rep_row);
+  void GrowTable(size_t min_groups);
+  /// Moves group `g` to the end of the id slab with doubled capacity.
+  void Relocate(size_t g);
+
   int key_width_ = 0;
   size_t num_rows_ = 0;
-  std::vector<Element> keys_;     // row-major flat keys, one per row
-  std::vector<int> row_ids_;      // all rows, grouped; stable within a group
-  std::vector<uint32_t> begins_;  // per group: offset into row_ids_ (+ end)
-  std::vector<uint32_t> reps_;    // per group: a row carrying the group key
-  std::vector<uint32_t> table_;   // open addressing: group id + 1; 0 = empty
+  std::vector<Element> keys_;      // row-major flat keys, one per row
+  std::vector<int> row_ids_;       // id slab; each group owns one range
+  std::vector<uint32_t> offsets_;  // per group: start of its range
+  std::vector<uint32_t> counts_;   // per group: live rows in its range
+  std::vector<uint32_t> caps_;     // per group: range capacity
+  std::vector<uint32_t> reps_;     // per group: a row carrying the group key
+  std::vector<uint32_t> table_;    // open addressing: group id + 1; 0 = empty
   size_t mask_ = 0;
 };
 

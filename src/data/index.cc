@@ -24,6 +24,51 @@ std::vector<Element> FlatKeysOfFacts(const Database& db, RelationId rel,
   return keys;
 }
 
+// Pushes facts [from, facts.size()) of `rel` through the repeated-column
+// equality filter into the deduplicating builder — shared by the
+// ProjectedRows build and the CatchUp delta path.
+void ProjectFactsInto(const Database& db, RelationId rel,
+                      const std::vector<int>& out_cols, int num_out,
+                      size_t from, RowSet* set) {
+  const std::vector<Tuple>& facts = db.facts(rel);
+  std::vector<Element> row(num_out);
+  for (size_t id = from; id < facts.size(); ++id) {
+    const Tuple& fact = facts[id];
+    std::fill(row.begin(), row.end(), -1);
+    bool ok = true;
+    for (size_t i = 0; i < fact.size(); ++i) {
+      const int col = out_cols[i];
+      CQA_CHECK(col >= 0 && col < num_out);
+      if (row[col] >= 0 && row[col] != fact[i]) {
+        ok = false;
+        break;
+      }
+      row[col] = fact[i];
+    }
+    if (ok) set->Insert(row);
+  }
+}
+
+// Merges the values at position `pos` of facts [from, facts.size()) into the
+// sorted-distinct vector `values` (the ColumnValues catch-up path). Cheap
+// when the delta introduces no new values (pure binary searches); sorts only
+// when it must.
+void MergeColumnValues(const Database& db, RelationId rel, int pos,
+                       size_t from, std::vector<Element>* values) {
+  const std::vector<Tuple>& facts = db.facts(rel);
+  std::vector<Element> fresh;
+  for (size_t id = from; id < facts.size(); ++id) {
+    const Element v = facts[id][pos];
+    if (!std::binary_search(values->begin(), values->end(), v)) {
+      fresh.push_back(v);
+    }
+  }
+  if (fresh.empty()) return;
+  values->insert(values->end(), fresh.begin(), fresh.end());
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
 }  // namespace
 
 BoundMask MaskOfPositions(const std::vector<int>& positions) {
@@ -56,6 +101,19 @@ RelationIndex::RelationIndex(const Database& db, RelationId rel,
 size_t RelationIndex::ApproxBytes() const {
   return kVectorOverhead + positions_.capacity() * sizeof(int) +
          groups_.ApproxBytes();
+}
+
+size_t RelationIndex::Append(const Database& db) {
+  const std::vector<Tuple>& facts = db.facts(rel_);
+  const size_t from = groups_.num_rows();
+  CQA_CHECK(from <= facts.size());
+  std::vector<Element> key(positions_.size());
+  for (size_t id = from; id < facts.size(); ++id) {
+    const Tuple& fact = facts[id];
+    for (size_t j = 0; j < positions_.size(); ++j) key[j] = fact[positions_[j]];
+    groups_.AppendRow(key, static_cast<int>(id));
+  }
+  return facts.size() - from;
 }
 
 IndexedDatabase::IndexedDatabase(const Database& db, IndexOptions options)
@@ -146,31 +204,14 @@ const ColumnStore* IndexedDatabase::ProjectedRows(
         return nullptr;
       }
       ++stats_.projection_reuses;
-      return it->second.get();
+      return &it->second->set.rows();
     }
   }
-  auto rows = std::make_unique<ColumnStore>(num_out);  // outside the lock
-  {
-    RowSet set(num_out);
-    set.Reserve(db_->facts(rel).size());
-    std::vector<Element> row(num_out);
-    for (const Tuple& fact : db_->facts(rel)) {
-      std::fill(row.begin(), row.end(), -1);
-      bool ok = true;
-      for (size_t i = 0; i < fact.size(); ++i) {
-        const int col = out_cols[i];
-        CQA_CHECK(col >= 0 && col < num_out);
-        if (row[col] >= 0 && row[col] != fact[i]) {
-          ok = false;
-          break;
-        }
-        row[col] = fact[i];
-      }
-      if (ok) set.Insert(row);
-    }
-    *rows = set.Take();
-  }
-  const size_t cost = rows->ApproxBytes();
+  auto entry = std::make_unique<ProjectionEntry>(num_out);  // outside the lock
+  entry->set.Reserve(db_->facts(rel).size());
+  ProjectFactsInto(*db_, rel, out_cols, num_out, 0, &entry->set);
+  entry->facts_seen = db_->facts(rel).size();
+  const size_t cost = entry->set.ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = projections_.find(key);
   if (it != projections_.end()) {  // another thread won the race
@@ -179,7 +220,7 @@ const ColumnStore* IndexedDatabase::ProjectedRows(
       return nullptr;
     }
     ++stats_.projection_reuses;
-    return it->second.get();
+    return &it->second->set.rows();
   }
   if (!ReserveBytes(cost)) {
     projections_.emplace(std::move(key), nullptr);
@@ -187,8 +228,8 @@ const ColumnStore* IndexedDatabase::ProjectedRows(
   }
   ++stats_.projection_builds;
   if (built != nullptr) *built = true;
-  return projections_.emplace(std::move(key), std::move(rows))
-      .first->second.get();
+  return &projections_.emplace(std::move(key), std::move(entry))
+              .first->second->set.rows();
 }
 
 const ColumnStore* IndexedDatabase::FactColumns(RelationId rel,
@@ -250,15 +291,17 @@ const std::vector<Element>* IndexedDatabase::ColumnValues(RelationId rel,
         return nullptr;
       }
       ++stats_.column_reuses;
-      return it->second.get();
+      return &it->second->values;
     }
   }
-  auto values = std::make_unique<std::vector<Element>>();  // outside the lock
-  values->reserve(db_->facts(rel).size());
-  for (const Tuple& fact : db_->facts(rel)) values->push_back(fact[pos]);
-  std::sort(values->begin(), values->end());
-  values->erase(std::unique(values->begin(), values->end()), values->end());
-  values->shrink_to_fit();  // duplicate-heavy columns keep no dead capacity
+  auto entry = std::make_unique<ColumnEntry>();  // outside the lock
+  entry->values.reserve(db_->facts(rel).size());
+  for (const Tuple& fact : db_->facts(rel)) entry->values.push_back(fact[pos]);
+  std::sort(entry->values.begin(), entry->values.end());
+  entry->values.erase(std::unique(entry->values.begin(), entry->values.end()),
+                      entry->values.end());
+  entry->values.shrink_to_fit();  // duplicate-heavy columns: no dead capacity
+  entry->facts_seen = db_->facts(rel).size();
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = columns_.find(key);
   if (it != columns_.end()) {  // another thread won the race
@@ -267,15 +310,75 @@ const std::vector<Element>* IndexedDatabase::ColumnValues(RelationId rel,
       return nullptr;
     }
     ++stats_.column_reuses;
-    return it->second.get();
+    return &it->second->values;
   }
-  if (!ReserveBytes(kVectorOverhead + values->size() * sizeof(Element))) {
+  if (!ReserveBytes(kVectorOverhead + entry->values.size() * sizeof(Element))) {
     columns_.emplace(key, nullptr);
     return nullptr;
   }
   ++stats_.column_builds;
   if (built != nullptr) *built = true;
-  return columns_.emplace(key, std::move(values)).first->second.get();
+  return &columns_.emplace(key, std::move(entry)).first->second->values;
+}
+
+size_t IndexedDatabase::CatchUp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t appended = 0;
+  long long bytes_delta = 0;
+  for (auto& [key, index] : indexes_) {
+    if (index == nullptr) continue;
+    const size_t before = index->ApproxBytes();
+    appended += index->Append(*db_);
+    bytes_delta += static_cast<long long>(index->ApproxBytes()) -
+                   static_cast<long long>(before);
+  }
+  for (auto& [key, entry] : projections_) {
+    if (entry == nullptr) continue;
+    const RelationId rel = key[0];
+    const int num_out = key[1];
+    const std::vector<int> out_cols(key.begin() + 2, key.end());
+    const size_t total = db_->facts(rel).size();
+    if (entry->facts_seen >= total) continue;
+    const size_t before = entry->set.ApproxBytes();
+    ProjectFactsInto(*db_, rel, out_cols, num_out, entry->facts_seen,
+                     &entry->set);
+    appended += total - entry->facts_seen;
+    entry->facts_seen = total;
+    bytes_delta += static_cast<long long>(entry->set.ApproxBytes()) -
+                   static_cast<long long>(before);
+  }
+  for (auto& [rel, cols] : factcols_) {
+    if (cols == nullptr) continue;
+    const std::vector<Tuple>& facts = db_->facts(rel);
+    const size_t before = cols->ApproxBytes();
+    for (size_t id = cols->size(); id < facts.size(); ++id) {
+      cols->AppendRow(facts[id]);
+      ++appended;
+    }
+    bytes_delta += static_cast<long long>(cols->ApproxBytes()) -
+                   static_cast<long long>(before);
+  }
+  for (auto& [key, entry] : columns_) {
+    if (entry == nullptr) continue;
+    const RelationId rel = static_cast<RelationId>(key >> 32);
+    const int pos = static_cast<int>(key & 0xffffffffu);
+    const size_t total = db_->facts(rel).size();
+    if (entry->facts_seen >= total) continue;
+    const long long before =
+        static_cast<long long>(entry->values.size() * sizeof(Element));
+    MergeColumnValues(*db_, rel, pos, entry->facts_seen, &entry->values);
+    appended += total - entry->facts_seen;
+    entry->facts_seen = total;
+    bytes_delta +=
+        static_cast<long long>(entry->values.size() * sizeof(Element)) -
+        before;
+  }
+  // Appends may overshoot max_bytes (catching up an existing structure beats
+  // throwing the whole view away); the EvalCache layer's budget enforcement
+  // re-polls bytes and evicts whole views when the total drifts too high.
+  stats_.bytes += bytes_delta;
+  stats_.catchup_facts += static_cast<long long>(appended);
+  return appended;
 }
 
 IndexCacheStats IndexedDatabase::stats() const {

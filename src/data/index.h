@@ -45,7 +45,9 @@
 //    the view, and must not gain facts/elements while the view is in use
 //    (structures hold fact ids into db.facts(rel)). Cross-batch mutation is
 //    handled one layer up: eval/cache.h keys views by content fingerprint
-//    and invalidates on Database::version() mismatch.
+//    and, when the same Database gained facts between uses, calls CatchUp()
+//    to append the delta into every cached structure (~O(delta)) instead of
+//    rebuilding the view from scratch.
 //  - The view owns every structure it builds and never frees one while it
 //    is alive: pointers returned by Index/ProjectedRows/FactColumns/
 //    ColumnValues stay valid for the lifetime of the view (which is why
@@ -90,11 +92,18 @@ std::vector<int> PositionsOfMask(BoundMask mask, int arity);
 /// A hash index over the facts of one relation for one bound set: fact ids
 /// (indices into db.facts(rel)) grouped by the values at the bound positions
 /// in ascending position order, stored as contiguous ranges of one id slab.
-/// Immutable once built.
+/// Immutable under concurrent probing; Append() is the single-writer delta
+/// path (see KeyedRowGroups).
 class RelationIndex {
  public:
   /// Builds the index by one scan of db.facts(rel).
   RelationIndex(const Database& db, RelationId rel, BoundMask mask);
+
+  /// Catches up with facts appended to db.facts(rel()) since the index was
+  /// built (ids [num_facts(), facts.size())): one bucket append per new
+  /// fact, ~O(delta) instead of the O(db) rebuild. Must not run concurrently
+  /// with probes. Returns the number of facts appended.
+  size_t Append(const Database& db);
 
   RelationId rel() const { return rel_; }
   BoundMask mask() const { return mask_; }
@@ -143,6 +152,7 @@ struct IndexCacheStats {
   long long factcol_builds = 0;     ///< FactColumns constructions
   long long factcol_reuses = 0;     ///< cache hits on FactColumns()
   long long budget_rejections = 0;  ///< lookups refused by max_bytes
+  long long catchup_facts = 0;      ///< structure-appends done by CatchUp()
   long long bytes = 0;              ///< current approximate footprint
 };
 
@@ -186,10 +196,34 @@ class IndexedDatabase {
   const std::vector<Element>* ColumnValues(RelationId rel, int pos,
                                            bool* built = nullptr) const;
 
+  /// Catches every cached structure up with facts/elements the underlying
+  /// Database gained since the structure was built — one append per (new
+  /// fact, structure) pair, ~O(delta × structures) instead of the O(db)
+  /// rebuild of a fresh view. Budget-rejected (nullptr) entries stay
+  /// rejected. Must not run concurrently with evaluations using the view
+  /// (the caller — EvalCache — serializes mutation against use, same as the
+  /// borrow contract above); concurrent CatchUp calls are safe. Returns the
+  /// total number of structure-appends performed.
+  size_t CatchUp();
+
   /// Snapshot of the cache counters.
   IndexCacheStats stats() const;
 
  private:
+  // A cached projection: the deduplicating builder stays alive so CatchUp
+  // can push new facts through the same filter; ProjectedRows hands out
+  // &set.rows(), which is stable for the entry's lifetime.
+  struct ProjectionEntry {
+    explicit ProjectionEntry(int width) : set(width) {}
+    RowSet set;
+    size_t facts_seen = 0;
+  };
+  // A cached sorted-distinct column plus how many facts fed it.
+  struct ColumnEntry {
+    std::vector<Element> values;
+    size_t facts_seen = 0;
+  };
+
   // Accounts for `cost` bytes; false (and a rejection tick) if over budget.
   bool ReserveBytes(size_t cost) const;
 
@@ -199,12 +233,11 @@ class IndexedDatabase {
   mutable std::mutex mu_;
   mutable std::unordered_map<uint64_t, std::unique_ptr<RelationIndex>>
       indexes_;
-  mutable std::unordered_map<std::vector<int>, std::unique_ptr<ColumnStore>,
+  mutable std::unordered_map<std::vector<int>, std::unique_ptr<ProjectionEntry>,
                              VectorHash>
       projections_;
   mutable std::unordered_map<int, std::unique_ptr<ColumnStore>> factcols_;
-  mutable std::unordered_map<uint64_t, std::unique_ptr<std::vector<Element>>>
-      columns_;
+  mutable std::unordered_map<uint64_t, std::unique_ptr<ColumnEntry>> columns_;
   mutable IndexCacheStats stats_;
 };
 

@@ -25,6 +25,7 @@ ShardedDatabase::ShardedDatabase(const Database& db, int num_shards) {
   for (int k = 0; k < num_shards; ++k) {
     shards_.emplace_back(db.vocab(), db.num_elements());
   }
+  consumed_.assign(db.vocab()->num_relations(), 0);
   for (RelationId r = 0; r < db.vocab()->num_relations(); ++r) {
     for (const Tuple& fact : db.facts(r)) {
       if (fact.empty()) {
@@ -38,6 +39,30 @@ ShardedDatabase::ShardedDatabase(const Database& db, int num_shards) {
         shards_[ShardOfTuple(fact, num_shards)].AddFact(r, fact);
       }
     }
+    consumed_[r] = db.facts(r).size();
+  }
+}
+
+void ShardedDatabase::CatchUp(const Database& parent) {
+  CQA_CHECK(consumed_.size() ==
+            static_cast<size_t>(parent.vocab()->num_relations()));
+  const int growth = parent.num_elements() - shards_[0].num_elements();
+  if (growth > 0) {
+    for (Database& shard : shards_) shard.AddElements(growth);
+  }
+  const int num_shards = static_cast<int>(shards_.size());
+  for (RelationId r = 0; r < parent.vocab()->num_relations(); ++r) {
+    const std::vector<Tuple>& facts = parent.facts(r);
+    CQA_CHECK(consumed_[r] <= facts.size());
+    for (size_t id = consumed_[r]; id < facts.size(); ++id) {
+      const Tuple& fact = facts[id];
+      if (fact.empty()) {
+        for (Database& shard : shards_) shard.AddFact(r, fact);
+      } else {
+        shards_[ShardOfTuple(fact, num_shards)].AddFact(r, fact);
+      }
+    }
+    consumed_[r] = facts.size();
   }
 }
 

@@ -68,9 +68,10 @@ int ShardOfTuple(const Tuple& fact, int num_shards);
 /// A Database hash-partitioned into `num_shards` shard Databases. Shards
 /// share the parent's vocabulary and universe size; every positive-arity
 /// parent fact appears in exactly one shard (disjoint cover) and every
-/// nullary fact appears in all of them (broadcast). Immutable once built:
-/// partitioning does not track later parent mutations — callers that mutate
-/// the parent must re-partition (QueryService does this via the parent's
+/// nullary fact appears in all of them (broadcast). The partition does not
+/// track parent mutations automatically, but when the parent only *gained*
+/// facts, CatchUp(parent) routes the new facts to their owning shards in
+/// ~O(delta) — no repartition (QueryService drives this via the parent's
 /// version counter).
 class ShardedDatabase {
  public:
@@ -78,6 +79,16 @@ class ShardedDatabase {
   /// num_shards == 1 yields a single shard holding a copy of every fact
   /// (the degenerate partition, useful for testing the sharded path).
   ShardedDatabase(const Database& db, int num_shards);
+
+  /// Routes the facts (and universe growth) `parent` gained since this
+  /// partition was built or last caught up — one AddFact into the owning
+  /// shard per new fact (broadcast for nullary), ~O(delta). `parent` must be
+  /// the database this partition was built from, with facts only appended
+  /// since. Not thread-safe against concurrent shard reads: callers
+  /// serialize catch-up against evaluation (QueryService does). The shards_
+  /// vector never reallocates, so shard addresses — and the cached index
+  /// views keyed by them — stay valid across catch-ups.
+  void CatchUp(const Database& parent);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -97,6 +108,7 @@ class ShardedDatabase {
 
  private:
   std::vector<Database> shards_;
+  std::vector<size_t> consumed_;  // per relation: parent facts routed so far
 };
 
 }  // namespace cqa

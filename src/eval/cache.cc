@@ -30,9 +30,12 @@ std::shared_ptr<const IndexedDatabase> EvalCache::AcquireIndexed(
   if (it != index_map_.end()) {
     IndexEntry& entry = *it->second;
     if (entry.source->version() != entry.source_version) {
-      // The source database gained facts/elements since the view was built:
-      // a content-equal twin must not be served the stale view.
+      // A content-equal twin landed on an entry whose own source database
+      // has since diverged — the twin must not be served the stale view,
+      // and catch-up would chase the wrong database. Rebuild from zero
+      // (the only remaining full-rebuild path).
       ++stats_.index_invalidations;
+      ++stats_.index_rebuilds;
       index_lru_.erase(it->second);
       index_map_.erase(it);
     } else if (entry.num_facts != db.NumFacts() ||
@@ -44,6 +47,43 @@ std::shared_ptr<const IndexedDatabase> EvalCache::AcquireIndexed(
     } else {
       ++stats_.index_hits;
       index_lru_.splice(index_lru_.begin(), index_lru_, it->second);
+      if (hit != nullptr) *hit = true;
+      EnforceIndexBudgetLocked();
+      return index_lru_.front().view;
+    }
+  } else {
+    // Fingerprint miss: if this same database already has a cached view
+    // built at an older version, it has merely gained facts — catch the
+    // view up by appending the delta (~O(delta)) instead of rebuilding
+    // (~O(db)). Safe because the mutation contract (file comment) says no
+    // evaluation is in flight on the stale view once the source mutated.
+    for (auto lit = index_lru_.begin(); lit != index_lru_.end(); ++lit) {
+      IndexEntry& entry = *lit;
+      if (entry.source != &db || entry.source_version == db.version()) {
+        continue;
+      }
+      if (entry.num_facts > db.NumFacts() ||
+          entry.num_elements > db.num_elements()) {
+        break;  // shrank (not possible via AddFact): fall through to rebuild
+      }
+      entry.view->CatchUp();
+      index_map_.erase(entry.fingerprint);
+      entry.fingerprint = fp;
+      entry.source_version = db.version();
+      entry.num_facts = db.NumFacts();
+      entry.num_elements = db.num_elements();
+      const auto clash = index_map_.find(fp);
+      if (clash != index_map_.end()) {
+        // A content-equal entry already sits under the new fingerprint;
+        // the caught-up view supersedes it (in-flight holders keep the
+        // other view alive).
+        ++stats_.index_evictions;
+        index_lru_.erase(clash->second);
+      }
+      index_map_[fp] = lit;
+      ++stats_.index_hits;
+      ++stats_.index_delta_appends;
+      index_lru_.splice(index_lru_.begin(), index_lru_, lit);
       if (hit != nullptr) *hit = true;
       EnforceIndexBudgetLocked();
       return index_lru_.front().view;

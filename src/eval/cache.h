@@ -32,12 +32,15 @@
 // bytes, approximate ones add a handful of small rewritten queries.
 //
 // Every cached view records the source Database's version() at build time.
-// A lookup that lands on an entry whose source database has since gained
-// facts (version mismatch) invalidates the entry and rebuilds — a mutated
-// database can never serve stale answers. (In the common case mutation also
-// changes the fingerprint, so the stale entry is simply never found again
-// and ages out via LRU; the version check closes the cross-database case
-// where a content-equal twin would otherwise hit the stale entry.)
+// When the *same* Database object is acquired again after gaining facts, the
+// cache does not rebuild: it calls IndexedDatabase::CatchUp() on the cached
+// view — appending the new facts into every cached structure, ~O(delta) —
+// re-keys the entry under the new fingerprint, and serves it as a hit
+// (counted in index_delta_appends). Rebuild-from-zero survives only for the
+// cross-database case: a content-equal twin landing on an entry whose source
+// has since diverged (version mismatch under a foreign fingerprint)
+// invalidates the entry and rebuilds (counted in index_rebuilds) — a mutated
+// database can never serve stale answers either way.
 //
 // Ownership and thread-safety contracts
 // -------------------------------------
@@ -99,6 +102,8 @@ struct EvalCacheStats {
   long long index_misses = 0;         ///< AcquireIndexed built a fresh view
   long long index_evictions = 0;      ///< views dropped by the byte budget
   long long index_invalidations = 0;  ///< views dropped by version mismatch
+  long long index_delta_appends = 0;  ///< views caught up in place (O(delta))
+  long long index_rebuilds = 0;       ///< version-mismatch full rebuilds
   long long index_entries = 0;        ///< current number of cached views
   long long index_bytes = 0;          ///< current approximate footprint
   long long plan_hits = 0;            ///< LookupPlan found the key
@@ -157,7 +162,9 @@ class EvalCache {
     uint64_t source_version = 0;
     long long num_facts = 0;  ///< collision guard
     int num_elements = 0;     ///< collision guard
-    std::shared_ptr<const IndexedDatabase> view;
+    // Non-const so the identity catch-up path can CatchUp() in place;
+    // handed out as shared_ptr<const IndexedDatabase>.
+    std::shared_ptr<IndexedDatabase> view;
   };
   using IndexList = std::list<IndexEntry>;  // front = most recently used
   struct PlanEntry {

@@ -1,0 +1,184 @@
+// Semi-naive delta evaluation: given a query's current answers and a batch
+// of newly inserted facts, produce exactly the *new* answers — the
+// incremental-maintenance core under QueryService subscriptions.
+//
+// Delta algebra
+// -------------
+// CQs are monotone: inserting facts can only add answers, never remove one.
+// Every answer that is new after inserting delta facts Δ must use at least
+// one fact of Δ as a witness. So, semi-naive style, for each atom i of the
+// query and each delta fact of atom i's relation, we pin atom i to the fact
+// (binding its variables; repeated-variable conflicts prune immediately) and
+// search the *remaining* atoms against the full updated database through the
+// shared ProbeBacktracker — index probes, no scan. Answers already present
+// are deduplicated away; what remains is the answer delta. Searching the
+// full database (rather than stratified old/new tables) is sound because
+// the database already contains Δ, and complete because an answer using k
+// delta facts is found when the last of them is the pinned seed.
+//
+// The same algebra covers all four AnswerModes, because the paper's
+// approximation sandwich is monotone too: under- and over-approximations
+// are CQs themselves, so insertions only grow the union of under-rewrites
+// (certain answers) and only grow the intersection of over-rewrites
+// (possible answers — intersections of growing sets grow). Bounds deltas
+// are therefore pure additions: StandingQueryState maintains both sides
+// incrementally and reports per-tick additions only.
+//
+// Interruption contract (same soundly-partial rules as eval/eval_context.h):
+// delta application commits fact by fact. A tick interrupted mid-fact
+// discards that fact's partial temporaries and reports how many facts fully
+// committed — reported deltas are always genuine answers, and uncommitted
+// facts are simply re-applied on the next tick. An interrupted over-side
+// update would make the intersection under-complete, so over state is only
+// ever committed for fully processed facts.
+
+#ifndef CQA_EVAL_DELTA_EVAL_H_
+#define CQA_EVAL_DELTA_EVAL_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "data/index.h"
+#include "eval/answer_set.h"
+#include "eval/engine.h"
+#include "eval/eval_context.h"
+#include "eval/eval_stats.h"
+#include "eval/probe_core.h"
+
+namespace cqa {
+
+/// One inserted fact, as the maintenance layer sees it.
+struct DeltaFact {
+  RelationId rel = -1;
+  Tuple tuple;
+};
+
+/// Per-query delta evaluator: one prebuilt seeded search per atom. Borrows
+/// the query, database, and view — all must outlive it, and the database
+/// must already contain every fact passed to ApplyFact. Construct once per
+/// tick (searches cache index pointers) and discard.
+class DeltaEvaluator {
+ public:
+  DeltaEvaluator(const ConjunctiveQuery& q, const Database& db,
+                 const IndexedDatabase* idb, EvalStats* stats = nullptr,
+                 const EvalContext* ctx = nullptr);
+
+  /// Joins `fact` against the database through every atom of the matching
+  /// relation, inserting answers that are in neither `existing` nor `out`
+  /// into `out`. Returns false iff the context tripped mid-fact (out may
+  /// hold a sound partial delta; the fact should be re-applied later).
+  bool ApplyFact(const DeltaFact& fact, const AnswerSet& existing,
+                 AnswerSet* out);
+
+ private:
+  // The search for "atom i is pinned to the delta fact": the remaining
+  // atoms in a greedy order seeded by atom i's variables.
+  struct SeededSearch {
+    std::vector<int> seed_vars;  // slot per pinned-atom argument position
+    std::unique_ptr<ProbeBacktracker> search;
+  };
+
+  const ConjunctiveQuery* query_;
+  std::vector<RelationId> atom_rels_;
+  std::vector<SeededSearch> seeds_;  // one per atom, same order
+  const EvalContext* ctx_;
+  std::vector<Element> assignment_;  // reused across facts
+};
+
+/// Convenience one-shot: the new answers `delta` adds to `existing`
+/// (disjoint from it). Facts are applied in order; if `ctx` trips, the
+/// result holds the sound partial delta of the fully applied prefix.
+AnswerSet DeltaEvaluateQuery(const ConjunctiveQuery& q, const Database& db,
+                             const IndexedDatabase* idb,
+                             std::span<const DeltaFact> delta,
+                             const AnswerSet& existing,
+                             EvalStats* stats = nullptr,
+                             const EvalContext* ctx = nullptr);
+
+/// The maintained state of one standing query in one AnswerMode: the
+/// certain side (exact answers, or the union of under-rewrites) and the
+/// possible side (the intersection of over-rewrites) of the plan, kept
+/// current fact-by-fact. Not thread-safe; the owner (Subscription)
+/// serializes access.
+class StandingQueryState {
+ public:
+  /// `plan` must be the decision PlanQuery made for (`query`, `mode`).
+  StandingQueryState(ConjunctiveQuery query, AnswerMode mode,
+                     PlanDecision plan);
+
+  /// Full from-scratch evaluation (the subscription's baseline). Partial
+  /// results of an interrupted run are kept — they are sound and monotone —
+  /// but the state stays uninitialized and the next Apply re-runs this.
+  /// Returns initialized().
+  bool Initialize(const Database& db, const IndexedDatabase* idb,
+                  EvalStats* stats = nullptr, const EvalContext* ctx = nullptr);
+
+  /// One maintenance tick.
+  struct TickResult {
+    explicit TickResult(int arity) : new_answers(arity), new_possible(arity) {}
+    ResponseStatus status = ResponseStatus::kOk;
+    size_t facts_applied = 0;    ///< fully committed prefix of `delta`
+    bool reinitialized = false;  ///< tick ran Initialize instead of deltas
+    AnswerSet new_answers;       ///< additions to certain()
+    AnswerSet new_possible;      ///< additions to possible()
+  };
+
+  /// Applies `delta` (facts already inserted into `db`), committing fact by
+  /// fact; on interruption the partially processed fact is rolled back and
+  /// facts_applied reports the committed prefix. When the state is not
+  /// initialized (first tick, or a previous interruption), the tick instead
+  /// re-runs Initialize and reports the full diff; facts_applied is then
+  /// delta.size() on success and 0 on another interruption.
+  TickResult Apply(const Database& db, const IndexedDatabase* idb,
+                   std::span<const DeltaFact> delta,
+                   EvalStats* stats = nullptr,
+                   const EvalContext* ctx = nullptr);
+
+  const ConjunctiveQuery& query() const { return query_; }
+  AnswerMode mode() const { return mode_; }
+  const PlanDecision& plan() const { return plan_; }
+  int arity() const { return arity_; }
+
+  /// True after a complete Initialize with no interruption since.
+  bool initialized() const { return initialized_; }
+
+  /// The certain side: always ⊆ Q(D), complete when initialized() and the
+  /// plan is exact (or the exhaustive union of under-rewrites otherwise).
+  const AnswerSet& certain() const { return certain_; }
+
+  /// The possible side: ⊇ Q(D) when over_valid(). For exact plans this is
+  /// certain() (the sandwich collapses).
+  const AnswerSet& possible() const {
+    return plan_.approximate ? possible_ : certain_;
+  }
+
+  /// False while an interruption has left the over side incomplete (an
+  /// under-complete intersection is not a sound over-approximation).
+  bool over_valid() const { return over_valid_; }
+
+ private:
+  TickResult MakeTick() const;
+  bool ApplyExact(const Database& db, const IndexedDatabase* idb,
+                  std::span<const DeltaFact> delta, EvalStats* stats,
+                  const EvalContext* ctx, TickResult* tick);
+  bool ApplyApproximate(const Database& db, const IndexedDatabase* idb,
+                        std::span<const DeltaFact> delta, EvalStats* stats,
+                        const EvalContext* ctx, TickResult* tick);
+
+  ConjunctiveQuery query_;
+  AnswerMode mode_;
+  PlanDecision plan_;
+  int arity_;
+  bool initialized_ = false;
+  bool over_valid_ = false;
+  AnswerSet certain_;
+  AnswerSet possible_;                    // approximate plans only
+  std::vector<AnswerSet> over_parts_;     // one per plan_.over rewrite
+};
+
+}  // namespace cqa
+
+#endif  // CQA_EVAL_DELTA_EVAL_H_

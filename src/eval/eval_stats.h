@@ -25,6 +25,10 @@ struct EvalStats {
   /// index_probes is the work across all shards, comparable to an
   /// unsharded run's.
   long long shard_evals = 0;
+  /// Incremental-maintenance ticks (StandingQueryState::Apply calls) and
+  /// delta facts pushed through them (eval/delta_eval.h); 0 on full runs.
+  long long delta_ticks = 0;
+  long long delta_facts = 0;
 
   /// Accumulates `other` (batch aggregation).
   void Add(const EvalStats& other) {
@@ -35,6 +39,8 @@ struct EvalStats {
     table_reuses += other.table_reuses;
     probe_key_allocs += other.probe_key_allocs;
     shard_evals += other.shard_evals;
+    delta_ticks += other.delta_ticks;
+    delta_facts += other.delta_facts;
   }
 };
 

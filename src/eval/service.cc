@@ -13,6 +13,7 @@
 #include "data/index.h"
 #include "data/shard.h"
 #include "eval/cache.h"
+#include "eval/delta_eval.h"
 #include "eval/shard_eval.h"
 
 namespace cqa {
@@ -414,12 +415,35 @@ std::shared_ptr<const ShardedDatabase> QueryService::AcquireShards(
   const auto find_or_alias_locked =
       [&]() -> std::shared_ptr<const ShardedDatabase> {
     for (ShardPartition& p : shard_partitions_) {
-      if (p.live && p.source == &db && p.source_version != db.version()) {
+      if (!p.live || p.source != &db || p.source_version == db.version()) {
+        continue;
+      }
+      // The source mutated. Facts-only growth is caught up in place —
+      // ShardedDatabase::CatchUp routes just the new facts, O(delta)
+      // instead of the O(db) repartition — but only when no other registry
+      // entry shares the shards: a content-equal twin (or a superseded
+      // alias) may have in-flight jobs probing them, and in-place mutation
+      // would race. (Jobs over `db` itself are excluded by the header's
+      // no-mutation-while-in-flight contract.) Cached per-shard views stay
+      // registered: CatchUp bumps each shard's own version(), so the
+      // EvalCache catches each view up on its next acquisition.
+      bool shared = false;
+      for (const ShardPartition& q : shard_partitions_) {
+        shared |= &q != &p && q.shards == p.shards;
+      }
+      if (!shared && p.num_facts <= num_facts &&
+          p.num_elements <= num_elements) {
+        p.shards->CatchUp(db);
+        p.source_version = db.version();
+        p.fingerprint = fingerprint;
+        p.num_facts = num_facts;
+        p.num_elements = num_elements;
+      } else {
         p.live = false;
         UnregisterShardViews(p, caches);
       }
     }
-    std::shared_ptr<const ShardedDatabase> found;
+    std::shared_ptr<ShardedDatabase> found;
     bool have_identity = false;
     for (const ShardPartition& p : shard_partitions_) {
       if (!p.live || p.fingerprint != fingerprint ||
@@ -451,7 +475,7 @@ std::shared_ptr<const ShardedDatabase> QueryService::AcquireShards(
   // True miss: build the partition, then re-check — a racing thread may
   // have registered the same content while we built (drop ours then: no
   // view was built from it, so dropping is safe).
-  auto built = std::make_shared<const ShardedDatabase>(db, num_shards);
+  auto built = std::make_shared<ShardedDatabase>(db, num_shards);
 
   std::lock_guard<std::mutex> lock(shard_mu_);
   if (auto raced = find_or_alias_locked()) return raced;
@@ -818,5 +842,161 @@ EvalCache* QueryService::serving_cache() const {
   std::lock_guard<std::mutex> lock(mu_);
   return options_.cache != nullptr ? options_.cache.get() : own_cache_.get();
 }
+
+std::shared_ptr<std::mutex> QueryService::WriteMutexFor(const Database* db) {
+  std::lock_guard<std::mutex> lock(pub_mu_);
+  std::shared_ptr<std::mutex>& slot = write_mu_by_db_[db];
+  if (slot == nullptr) slot = std::make_shared<std::mutex>();
+  return slot;
+}
+
+bool QueryService::Publish(Database* db, RelationId rel, Tuple fact) {
+  CQA_CHECK(db != nullptr);
+  const std::shared_ptr<std::mutex> write_mu = WriteMutexFor(db);
+  std::lock_guard<std::mutex> lock(*write_mu);
+  return db->AddFact(rel, std::move(fact));
+}
+
+std::unique_ptr<Subscription> QueryService::Subscribe(EvalRequest request) {
+  CQA_CHECK(request.db != nullptr);
+  // The subscription's view source: the shared cache when configured, else
+  // the private streaming cache (created here if Submit has not yet). Its
+  // identity catch-up path (eval/cache.h) is what keeps per-tick index
+  // maintenance O(delta) instead of a per-tick rebuild.
+  std::shared_ptr<EvalCache> cache;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.cache != nullptr) {
+      cache = options_.cache;
+    } else {
+      if (own_cache_ == nullptr) {
+        EvalCacheOptions cache_options;
+        cache_options.index = options_.engine.ToIndexOptions();
+        own_cache_ = std::make_shared<EvalCache>(cache_options);
+      }
+      cache = own_cache_;
+    }
+  }
+  // Plan like any other request, through the shared plan tier. The plan is
+  // fixed for the subscription's lifetime — the decision depends on the
+  // query shape and mode only, never on the data.
+  const std::vector<int> key =
+      PlanCacheKey(request.query, options_.planner, request.mode);
+  std::shared_ptr<const PlanDecision> cached = cache->LookupPlan(key);
+  PlanDecision plan;
+  if (cached != nullptr) {
+    plan = *cached;
+  } else {
+    plan = PlanQuery(request.query, options_.planner, request.mode);
+    cache->StorePlan(key, std::make_shared<const PlanDecision>(plan));
+  }
+  const EvalLimits limits = EvalLimits::Merge(options_.limits, request.limits);
+  auto state = std::make_unique<StandingQueryState>(
+      std::move(request.query), request.mode, std::move(plan));
+  return std::unique_ptr<Subscription>(new Subscription(
+      std::move(state), request.db, limits, request.cancel, std::move(cache),
+      options_.engine.use_index, WriteMutexFor(request.db)));
+}
+
+Subscription::Subscription(std::unique_ptr<StandingQueryState> state,
+                           const Database* db, EvalLimits limits,
+                           CancelFlag cancel, std::shared_ptr<EvalCache> cache,
+                           bool use_index, std::shared_ptr<std::mutex> write_mu)
+    : db_(db),
+      limits_(limits),
+      cancel_(std::move(cancel)),
+      cache_(std::move(cache)),
+      use_index_(use_index),
+      write_mu_(std::move(write_mu)),
+      state_(std::move(state)),
+      consumed_(db->vocab()->num_relations(), 0) {}
+
+Subscription::~Subscription() = default;
+
+SubscriptionDelta Subscription::Poll() {
+  // The write lock first — Publish calls on this database block for the
+  // whole tick, so the fact vectors are stable while the tick reads them —
+  // then the subscription's own state lock. Same order in caught_up();
+  // the cache and view locks nest strictly inside: no cycles.
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
+  std::lock_guard<std::mutex> state_lock(mu_);
+  SubscriptionDelta out;
+
+  // The view rides the cache's catch-up path: same database object, newer
+  // version — appended in place, never rebuilt (EvalCacheStats::
+  // index_delta_appends counts it).
+  std::shared_ptr<const IndexedDatabase> view;
+  if (use_index_) view = cache_->AcquireIndexed(*db_);
+
+  const int num_relations = db_->vocab()->num_relations();
+  std::vector<DeltaFact> delta;
+  for (RelationId r = 0; r < num_relations; ++r) {
+    const std::vector<Tuple>& facts = db_->facts(r);
+    for (size_t id = consumed_[r]; id < facts.size(); ++id) {
+      delta.push_back(DeltaFact{r, facts[id]});
+    }
+  }
+
+  // Per-tick interruption token (deadline armed now, covering this tick
+  // only); an interrupted tick commits a prefix and the rest stays pending.
+  std::optional<EvalContext> ectx;
+  if (limits_.any() || cancel_ != nullptr) ectx.emplace(limits_, cancel_);
+  StandingQueryState::TickResult tick = state_->Apply(
+      *db_, view.get(), delta, &out.eval, ectx.has_value() ? &*ectx : nullptr);
+
+  // Advance the per-relation cursors over the committed prefix, in the same
+  // relation-major order the delta was collected.
+  size_t applied = tick.facts_applied;
+  for (RelationId r = 0; r < num_relations && applied > 0; ++r) {
+    const size_t pending = db_->facts(r).size() - consumed_[r];
+    const size_t take = std::min(applied, pending);
+    consumed_[r] += take;
+    applied -= take;
+  }
+
+  out.status = tick.status;
+  out.facts_applied = tick.facts_applied;
+  out.reinitialized = tick.reinitialized;
+  out.new_answers = std::move(tick.new_answers);
+  out.new_possible = std::move(tick.new_possible);
+  bool all_consumed = state_->initialized();
+  for (RelationId r = 0; r < num_relations && all_consumed; ++r) {
+    all_consumed = consumed_[r] == db_->facts(r).size();
+  }
+  out.caught_up = all_consumed;
+  return out;
+}
+
+AnswerSet Subscription::answers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->certain();
+}
+
+AnswerSet Subscription::possible() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->possible();
+}
+
+bool Subscription::over_valid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_->over_valid();
+}
+
+bool Subscription::caught_up() const {
+  // Write lock too: the fact-vector sizes are read here, and a concurrent
+  // Publish writes them.
+  std::lock_guard<std::mutex> write_lock(*write_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  bool all_consumed = state_->initialized();
+  const int num_relations = db_->vocab()->num_relations();
+  for (RelationId r = 0; r < num_relations && all_consumed; ++r) {
+    all_consumed = consumed_[r] == db_->facts(r).size();
+  }
+  return all_consumed;
+}
+
+const ConjunctiveQuery& Subscription::query() const { return state_->query(); }
+AnswerMode Subscription::mode() const { return state_->mode(); }
+const PlanDecision& Subscription::plan() const { return state_->plan(); }
 
 }  // namespace cqa

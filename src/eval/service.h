@@ -2,7 +2,10 @@
 // (query + database ref + AnswerMode + one consolidated EvalOptions) and get
 // EvalResponses back (answers or an AnswerBounds sandwich, plus the plan,
 // where it came from, and per-request stats) — blocking one at a time, as a
-// deterministic batch, or streamed through a persistent worker pool. The
+// deterministic batch, streamed through a persistent worker pool, or as a
+// *standing query* (Subscribe/Publish + Subscription::Poll): the answers are
+// maintained incrementally as facts are inserted, each Poll returning just
+// the additions (eval/delta_eval.h has the delta algebra). The
 // approximation-aware planner (eval/engine.h) sits behind it: a request in
 // an approximate mode on a width-over-budget query is answered by evaluating
 // synthesized TW(width_budget) rewrites, whose synthesis is cached per query
@@ -51,9 +54,11 @@
 //  - With num_shards >= 1 the service keeps one ShardedDatabase partition
 //    per distinct database content it has served *shard-sound plans* for
 //    (partitions are acquired lazily, only when a request actually takes
-//    the sharded path; re-partitioned when the source's version() shows a
-//    mutation; superseded partitions are retained until the service is
-//    destroyed so cached views can never dangle). The destructor
+//    the sharded path; when the source's version() shows growth the
+//    partition is caught up in place — only the new facts are routed —
+//    and re-partitioned when it shrank or the shards are shared with a
+//    content-equal twin; superseded partitions are retained until the
+//    service is destroyed so cached views can never dangle). The destructor
 //    unregisters every shard from EvalOptions::cache; when that cache is
 //    shared with other services, the cache's usual lifetime contract
 //    applies to the shards exactly as it does to caller-owned databases
@@ -74,6 +79,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cq/cq.h"
@@ -85,8 +91,9 @@
 
 namespace cqa {
 
-class EvalCache;        // eval/cache.h
-class ShardedDatabase;  // data/shard.h
+class EvalCache;           // eval/cache.h
+class ShardedDatabase;     // data/shard.h
+class StandingQueryState;  // eval/delta_eval.h
 
 /// The consolidated serving options: everything that used to be spread over
 /// EngineOptions, PlannerOptions and the batch knobs, in one struct. The
@@ -271,6 +278,109 @@ class SubmitRejectedError : public std::runtime_error {
   Reason reason_;
 };
 
+/// One batch of standing-query changes — the result of one
+/// Subscription::Poll. CQs (and the approximation sandwich) are monotone, so
+/// deltas are pure additions; see eval/delta_eval.h for the algebra.
+struct SubscriptionDelta {
+  /// Why the tick finished. Anything but kOk means the tick stopped early
+  /// (deadline / cancel / budget): the reported additions are still genuine
+  /// (sound), but the tick is partial — unapplied facts stay pending and
+  /// the next Poll picks them up.
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Newly inserted facts this tick fully committed (the contiguous prefix
+  /// of the pending facts, in insertion order per relation).
+  size_t facts_applied = 0;
+  /// True when the tick (re)ran a full from-scratch evaluation instead of
+  /// delta maintenance: the first Poll, or the first after an interrupted
+  /// initialization. The additions then describe the full current answers.
+  bool reinitialized = false;
+  /// True when, at the end of this tick, every inserted fact has been
+  /// applied and the state is fully initialized — answers() is current.
+  bool caught_up = false;
+  /// Additions to the certain side (answers() — exact answers, or the
+  /// union of under-rewrites for width-over-budget queries).
+  AnswerSet new_answers = AnswerSet(0);
+  /// Additions to the possible side (possible() — the intersection of
+  /// over-rewrites; equals new_answers when the plan is exact).
+  AnswerSet new_possible = AnswerSet(0);
+  EvalStats eval;  ///< per-tick evaluation counters (delta_ticks et al.)
+};
+
+/// A standing query: the maintained answers of one EvalRequest, kept
+/// current as facts are inserted into its database. Created only by
+/// QueryService::Subscribe; destroy in any order relative to the service.
+///
+/// Lifecycle: Subscribe registers the query (planning it like any request,
+/// through the same plan cache). Each Poll() applies the facts inserted
+/// since the previous Poll through semi-naive delta evaluation
+/// (eval/delta_eval.h) — the first Poll runs the from-scratch baseline —
+/// and returns the answer additions. Per-tick resource limits come from
+/// EvalOptions::limits merged with the request's own; an interrupted tick
+/// is soundly partial (see SubscriptionDelta::status) and the next Poll
+/// resumes where it stopped.
+///
+/// Writer contract: insert facts through QueryService::Publish(db, ...) —
+/// it serializes writers against this subscription's Polls, so a writer
+/// thread and a polling subscriber thread need no external locking. (Facts
+/// inserted by bare Database::AddFact are picked up too, but then the
+/// caller must not run AddFact concurrently with Poll.) Deletions are not
+/// supported — the delta algebra is insert-only, matching CQ monotonicity.
+///
+/// Subscriptions always evaluate on the unsharded path (the per-tick work
+/// is O(delta), below any useful fan-out), and EvalOptions::forced_engine
+/// does not apply (delta seeding drives the shared probe core directly).
+/// Thread-safe: Poll, answers(), possible(), and caught_up() may be called
+/// from different threads.
+class Subscription {
+ public:
+  ~Subscription();
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  /// Applies all facts inserted since the last Poll (the first Poll runs
+  /// the full baseline) and returns the additions. Blocks concurrent
+  /// Publish calls on the same database for the duration of the tick.
+  SubscriptionDelta Poll();
+
+  /// Snapshot of the certain side: always a sound subset of Q(D) as of the
+  /// last Poll; the exact answers when caught_up() and the plan is exact.
+  AnswerSet answers() const;
+
+  /// Snapshot of the possible side (⊇ Q(D) as of the last Poll, when
+  /// over_valid(); equals answers() for exact plans).
+  AnswerSet possible() const;
+
+  /// False while an interruption has left the over side incomplete.
+  bool over_valid() const;
+
+  /// True when every fact inserted before the last Poll has been applied.
+  bool caught_up() const;
+
+  const ConjunctiveQuery& query() const;
+  AnswerMode mode() const;
+  const PlanDecision& plan() const;
+
+ private:
+  friend class QueryService;
+  Subscription(std::unique_ptr<StandingQueryState> state, const Database* db,
+               EvalLimits limits, CancelFlag cancel,
+               std::shared_ptr<EvalCache> cache, bool use_index,
+               std::shared_ptr<std::mutex> write_mu);
+
+  const Database* db_;
+  EvalLimits limits_;
+  CancelFlag cancel_;
+  std::shared_ptr<EvalCache> cache_;  ///< view source; null = scan path
+  bool use_index_;
+  /// The database's write lock, shared with QueryService::Publish: held for
+  /// the whole tick so the fact vectors are stable while Poll reads them.
+  std::shared_ptr<std::mutex> write_mu_;
+
+  mutable std::mutex mu_;  ///< guards state_ and consumed_
+  std::unique_ptr<StandingQueryState> state_;
+  std::vector<size_t> consumed_;  ///< facts applied, per relation
+};
+
 /// The serving facade. One service instance handles blocking, batch, and
 /// streaming evaluation in all four AnswerModes through one options struct
 /// and (optionally) one shared cross-batch cache.
@@ -331,6 +441,20 @@ class QueryService {
   /// Thread-safe.
   void Shutdown();
 
+  /// Registers a standing query: plans `request` (same plan cache as any
+  /// other request) and returns a Subscription whose Poll() maintains the
+  /// answers incrementally as facts are inserted into request.db. The
+  /// request's limits (merged with EvalOptions::limits) apply per tick, and
+  /// its cancel flag stops ticks cooperatively. Thread-safe.
+  std::unique_ptr<Subscription> Subscribe(EvalRequest request);
+
+  /// Inserts one fact, serialized against every subscription on `db` (the
+  /// subscription writer seam: a writer thread publishing while a
+  /// subscriber thread polls needs no external locking). Returns
+  /// Database::AddFact's verdict (false = duplicate, nothing inserted).
+  /// Thread-safe; `db` must outlive the call.
+  bool Publish(Database* db, RelationId rel, Tuple fact);
+
   /// Unregisters every shard partition built from `db` (by identity): the
   /// partition is marked dead and its shard views are dropped from the
   /// serving caches, exactly as the destructor does for all partitions
@@ -359,19 +483,26 @@ class QueryService {
 
   // One cached partition of one database content (num_shards is fixed by
   // the options). `source`/`source_version` make steady-state lookups an
-  // identity check instead of an O(facts) fingerprint; `live` flips to
-  // false when the source mutates and a fresh partition supersedes this one
-  // — the superseded shards are *retained* (not freed) because a shared
-  // EvalCache may have handed views built from them to concurrently running
-  // batches (see the file comment; they are unregistered from the caches
-  // immediately, so nothing new can acquire them).
+  // identity check instead of an O(facts) fingerprint. When the source
+  // grows (facts only added — the AddFact-only mutation model), the
+  // partition is caught up in place (ShardedDatabase::CatchUp routes just
+  // the new facts) — unless another partition entry shares the same shards
+  // (a content-equal twin may have in-flight jobs probing them, so in-place
+  // mutation would race); then, or when the source shrank, `live` flips to
+  // false and a fresh partition supersedes this one — the superseded shards
+  // are *retained* (not freed) because a shared EvalCache may have handed
+  // views built from them to concurrently running batches (see the file
+  // comment; they are unregistered from the caches immediately, so nothing
+  // new can acquire them).
   struct ShardPartition {
     const Database* source = nullptr;
     uint64_t source_version = 0;
     uint64_t fingerprint = 0;
     long long num_facts = 0;  ///< fingerprint-collision guard
     int num_elements = 0;     ///< fingerprint-collision guard
-    std::shared_ptr<const ShardedDatabase> shards;
+    /// Non-const so the registry can CatchUp in place; handed out to
+    /// evaluation as shared_ptr<const ShardedDatabase>.
+    std::shared_ptr<ShardedDatabase> shards;
     bool live = true;
   };
 
@@ -392,6 +523,11 @@ class QueryService {
   /// and the mutation-supersede path in AcquireShards.
   static void UnregisterShardViews(const ShardPartition& partition,
                                    const std::vector<EvalCache*>& caches);
+
+  /// The per-database write mutex shared by Publish and every Subscription
+  /// on that database (created on first use, retained for the service's
+  /// lifetime; entries are keyed by identity, like the other registries).
+  std::shared_ptr<std::mutex> WriteMutexFor(const Database* db);
 
   EvalOptions options_;
 
@@ -416,6 +552,12 @@ class QueryService {
   // database content served sharded, plus one per observed mutation.
   mutable std::mutex shard_mu_;
   mutable std::vector<ShardPartition> shard_partitions_;
+
+  // Per-database write mutexes for the subscription seam (its own lock,
+  // held only for map access — never together with mu_ or shard_mu_).
+  std::mutex pub_mu_;
+  std::unordered_map<const Database*, std::shared_ptr<std::mutex>>
+      write_mu_by_db_;
 };
 
 }  // namespace cqa

@@ -167,7 +167,7 @@ TEST(EvalCacheTest, EvictsUnderBytePressureWithoutBreakingInFlightViews) {
   EXPECT_TRUE(EvaluateNaive(q, *rebuilt) == before);
 }
 
-TEST(EvalCacheTest, FactInsertionBumpsVersionAndMissesStaleFingerprint) {
+TEST(EvalCacheTest, FactInsertionCatchesUpTheCachedViewInPlace) {
   auto cache = std::make_shared<EvalCache>();
   Database db = GraphDb(4, {{0, 1}, {1, 2}});
   const ConjunctiveQuery q = EdgeEnumerationCQ();
@@ -179,19 +179,27 @@ TEST(EvalCacheTest, FactInsertionBumpsVersionAndMissesStaleFingerprint) {
 
   const auto cold = evaluator.EvaluateBatch({{q, &db}});
   EXPECT_EQ(cold[0].answers.size(), 2u);
+  const auto view_before = cache->AcquireIndexed(db);
 
-  // The database gains a fact: its version bumps, its fingerprint changes,
-  // and the next batch must see the new fact (a stale-view hit would not).
+  // The database gains a fact: its version bumps and its fingerprint
+  // changes, but the entry is keyed to this same database object, so the
+  // cache appends the delta to the existing view instead of rebuilding —
+  // a single AddFact must cause zero index rebuilds (regression pin).
   const uint64_t version_before = db.version();
   db.AddFact(0, {2, 3});
   EXPECT_GT(db.version(), version_before);
 
   BatchStats stats;
   const auto warm = evaluator.EvaluateBatch({{q, &db}}, &stats);
-  EXPECT_EQ(stats.index_cache_hits, 0);  // stale fingerprint missed
+  EXPECT_EQ(stats.index_cache_hits, 1);  // the caught-up view is a hit
   EXPECT_EQ(warm[0].answers.size(), 3u);
   EXPECT_TRUE(warm[0].answers.Contains({2, 3}));
   EXPECT_TRUE(warm[0].answers == EvaluateNaive(q, db));
+
+  const auto view_after = cache->AcquireIndexed(db);
+  EXPECT_EQ(view_after.get(), view_before.get());  // same view, appended
+  EXPECT_GE(cache->stats().index_delta_appends, 1);
+  EXPECT_EQ(cache->stats().index_rebuilds, 0);
 }
 
 TEST(EvalCacheTest, MutatedSourceInvalidatesEntryForContentEqualTwin) {
@@ -212,6 +220,9 @@ TEST(EvalCacheTest, MutatedSourceInvalidatesEntryForContentEqualTwin) {
   EXPECT_FALSE(hit);
   EXPECT_NE(fresh.get(), view.get());
   EXPECT_EQ(cache.stats().index_invalidations, 1);
+  // Catch-up cannot rescue a twin (it would chase the mutated source), so
+  // this is the one remaining full-rebuild path.
+  EXPECT_EQ(cache.stats().index_rebuilds, 1);
   EXPECT_EQ(EvaluateNaive(EdgeEnumerationCQ(), *fresh).size(), 2u);
 }
 
