@@ -1,0 +1,165 @@
+// Request latency through the network front end: a real loopback socket,
+// the wire protocol, and the full serving stack behind it (parse ->
+// Submit -> cursors). Three request series — one-shot EVAL, paged EVAL
+// (limit + FETCH drain), and kBounds — each reporting p50/p99 request
+// latency (request write to response read, client-side) into the CSV
+// baseline gate (server.csv; scripts/check_bench.py watches the *_ms
+// columns).
+//
+// Checked (exit nonzero on violation): every answer delivered over the
+// socket — including every page of the paged series — must be exactly the
+// in-process QueryService::Evaluate answers; the paged series must
+// concatenate to the one-shot series; the drain at the end must shut the
+// server down cleanly.
+//
+// Pass --quick for the CI smoke run and --csv <path> to mirror the tables.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "cq/parse.h"
+#include "data/generators.h"
+#include "eval/service.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace cqa {
+namespace {
+
+bool g_all_ok = true;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    g_all_ok = false;
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what);
+  }
+}
+
+using Rows = std::vector<std::vector<std::string>>;
+
+Rows NamedRows(const AnswerCursor& cursor, const Database& db) {
+  Rows out;
+  for (const Tuple& t : cursor.rows()) {
+    std::vector<std::string> row;
+    for (const Element e : t) row.push_back(db.ElementName(e));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+double Quantile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t i = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[i];
+}
+
+}  // namespace
+}  // namespace cqa
+
+int main(int argc, char** argv) {
+  using namespace cqa;
+  using namespace cqa::bench;
+  const bool quick = QuickMode(argc, argv);
+  InitCsv(argc, argv);
+
+  const int kRequests = quick ? 60 : 600;
+  const int kGraphSize = quick ? 24 : 60;
+  const char* kQuery = "Q(x, z) :- E(x, y), E(y, z)";
+
+  Rng rng(20260808);
+  Database db =
+      RandomDigraphDatabase(kGraphSize, 0.12, &rng, /*allow_loops=*/false);
+  for (Element e = 0; e < db.num_elements(); ++e) {
+    db.SetElementName(e, "v" + std::to_string(e));
+  }
+
+  // The in-process reference every socket answer must match exactly.
+  const QueryService reference_service;
+  EvalRequest reference{MustParseQuery(db.vocab(), kQuery), &db,
+                        AnswerMode::kExact};
+  const CursorResponse reference_cursors = QueryService::MakeCursors(
+      reference_service.Evaluate(reference), db);
+  const Rows expected = NamedRows(*reference_cursors.answers, db);
+
+  CqaServer server(ServerOptions{});
+  server.AddDatabase("bench", &db);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  CqaClient client;
+  if (!client.Connect("127.0.0.1", server.port())) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.last_error().message.c_str());
+    return 1;
+  }
+
+  std::printf("bench_server: %d requests/series, %d answers over loopback\n\n",
+              kRequests, static_cast<int>(expected.size()));
+  SetCsvSection("latency");
+  PrintRow({"series", "requests", "answers", "p50_ms", "p99_ms", "wall_ms"});
+  PrintRule(6);
+
+  struct Series {
+    const char* name;
+    const char* mode;
+    size_t limit;  // 0 = one page (server default covers the whole set)
+  };
+  for (const Series& series :
+       {Series{"eval", "exact", 0}, Series{"paged", "exact", 8},
+        Series{"bounds", "bounds", 0}}) {
+    CqaClient::EvalParams params;
+    params.db = "bench";
+    params.query = kQuery;
+    params.mode = series.mode;
+    params.limit = series.limit;
+    std::vector<double> latency_ms;
+    latency_ms.reserve(static_cast<size_t>(kRequests));
+    const double wall_ms = TimeMs([&] {
+      for (int i = 0; i < kRequests; ++i) {
+        Rows got;
+        latency_ms.push_back(TimeMs([&] {
+          std::optional<CqaClient::EvalResult> result = client.Eval(params);
+          Check(result.has_value(), "request failed");
+          if (!result.has_value()) return;
+          Check(client.DrainCursor(result->answers, series.limit, &got),
+                "cursor drain failed");
+          if (series.mode == std::string("bounds")) {
+            Rows over;
+            Check(client.DrainCursor(result->over, series.limit, &over),
+                  "over drain failed");
+            Check(over == expected, "bounds over side diverged");
+          }
+        }));
+        Check(got == expected, "socket answers diverged from in-process");
+        if (!g_all_ok) break;
+      }
+    });
+    std::sort(latency_ms.begin(), latency_ms.end());
+    PrintRow({series.name, Fmt(kRequests),
+              Fmt(static_cast<long long>(expected.size())),
+              Fmt(Quantile(latency_ms, 0.50)),
+              Fmt(Quantile(latency_ms, 0.99)), Fmt(wall_ms)});
+    if (!g_all_ok) break;
+  }
+
+  const double drain_ms = TimeMs([&] { server.Shutdown(); });
+  SetCsvSection("drain");
+  PrintRow({"drain", "1", "0", Fmt(drain_ms), Fmt(drain_ms), Fmt(drain_ms)});
+  CloseCsv();
+
+  if (!g_all_ok) {
+    std::fprintf(stderr, "\nbench_server: FAILED (divergence above)\n");
+    return 1;
+  }
+  std::printf("\nbench_server: all socket answers matched in-process "
+              "evaluation\n");
+  return 0;
+}

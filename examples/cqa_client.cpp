@@ -1,0 +1,136 @@
+// cqa_client: command-line client for cqa_server (src/net/client.h).
+//
+//   cqa_client --port P [--host H] [--api-key K] [--mode M] [--limit N]
+//              [--deadline-ms D] <command>
+//
+// Commands:
+//   eval DB QUERY      evaluate a rule ("Q(x) :- E(x, y)") and print every
+//                      answer, one "(a, b)" tuple per line, paging through
+//                      the server cursor. --mode bounds prints the certain
+//                      rows under a "certain N" header and the possible rows
+//                      under "possible N".
+//   publish DB FACT    insert one fact ("E(a, b)")
+//   stats              print the server's STATS response (JSON)
+//
+// Exit status: 0 success, 1 typed server error (code printed to stderr),
+// 2 usage / transport error.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+void Usage(const std::string& message) {
+  std::cerr << "cqa_client: " << message
+            << " (see the file comment for usage)\n";
+  std::exit(2);
+}
+
+void PrintRows(const std::vector<std::vector<std::string>>& rows) {
+  for (const std::vector<std::string>& row : rows) {
+    std::cout << "(";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << row[i];
+    }
+    std::cout << ")\n";
+  }
+}
+
+int TypedError(const cqa::CqaClient& client) {
+  std::cerr << "error: " << client.last_error().code << ": "
+            << client.last_error().message << "\n";
+  return client.last_error().code == "transport" ? 2 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7457;
+  std::string api_key;
+  cqa::CqaClient::EvalParams params;
+  std::vector<std::string> command;
+
+  auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) Usage(std::string(flag) + " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host") {
+      host = need_value(i++, "--host");
+    } else if (arg == "--port") {
+      port = std::atoi(need_value(i++, "--port").c_str());
+    } else if (arg == "--api-key") {
+      api_key = need_value(i++, "--api-key");
+    } else if (arg == "--mode") {
+      params.mode = need_value(i++, "--mode");
+    } else if (arg == "--limit") {
+      params.limit =
+          static_cast<size_t>(std::atoll(need_value(i++, "--limit").c_str()));
+    } else if (arg == "--deadline-ms") {
+      params.deadline_ms = std::atof(need_value(i++, "--deadline-ms").c_str());
+    } else if (arg.rfind("--", 0) == 0) {
+      Usage("unknown flag " + arg);
+    } else {
+      command.push_back(arg);
+    }
+  }
+  if (command.empty()) Usage("missing command");
+
+  cqa::CqaClient client;
+  client.set_api_key(api_key);
+  if (!client.Connect(host, port)) return TypedError(client);
+
+  if (command[0] == "eval") {
+    if (command.size() != 3) Usage("eval needs DB and QUERY");
+    params.db = command[1];
+    params.query = command[2];
+    const std::optional<cqa::CqaClient::EvalResult> result =
+        client.Eval(params);
+    if (!result.has_value()) return TypedError(client);
+    if (result->status != "ok") {
+      std::cerr << "warning: partial answers (status " << result->status
+                << ")\n";
+    }
+    std::vector<std::vector<std::string>> rows;
+    if (!client.DrainCursor(result->answers, params.limit, &rows)) {
+      return TypedError(client);
+    }
+    if (result->mode == "bounds") {
+      std::cout << "certain " << result->answer_count << "\n";
+      PrintRows(rows);
+      std::vector<std::vector<std::string>> possible;
+      if (!client.DrainCursor(result->over, params.limit, &possible)) {
+        return TypedError(client);
+      }
+      std::cout << "possible " << result->possible_count
+                << (result->over_valid ? "" : " (invalid: interrupted)")
+                << "\n";
+      PrintRows(possible);
+    } else {
+      PrintRows(rows);
+    }
+    return 0;
+  }
+  if (command[0] == "publish") {
+    if (command.size() != 3) Usage("publish needs DB and FACT");
+    const std::optional<bool> inserted =
+        client.Publish(command[1], command[2]);
+    if (!inserted.has_value()) return TypedError(client);
+    std::cout << (*inserted ? "inserted" : "duplicate") << "\n";
+    return 0;
+  }
+  if (command[0] == "stats") {
+    const std::optional<cqa::Json> stats = client.Stats();
+    if (!stats.has_value()) return TypedError(client);
+    std::cout << stats->Dump() << "\n";
+    return 0;
+  }
+  Usage("unknown command " + command[0]);
+}

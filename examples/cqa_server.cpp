@@ -1,0 +1,185 @@
+// cqa_server: the network serving binary. Hosts named databases behind the
+// wire protocol (src/net/server.h) and drains gracefully on SIGTERM/SIGINT.
+//
+// Quickstart (the built-in demo graph):
+//
+//   cqa_server --demo --port 7457 &
+//   cqa_client --port 7457 eval demo "Q(x, z) :- E(x, y), E(y, z)"
+//
+// Serving your own data:
+//
+//   cqa_server --schema "E/2,R/3" --db mydb=facts.txt --port 7457
+//
+// where facts.txt holds one fact per line, "E(a, b)" syntax (data/text.h).
+// Tenants: --tenant key:name:rate:burst:max_concurrent (repeatable); with
+// at least one --tenant, anonymous requests are refused. --port 0 picks an
+// ephemeral port; --port-file writes the bound port for scripts.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "data/text.h"
+#include "net/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+void Fail(const std::string& message) {
+  std::cerr << "cqa_server: " << message << "\n";
+  std::exit(2);
+}
+
+// "E/2,R/3" -> a vocabulary.
+cqa::VocabularyPtr ParseSchema(const std::string& text) {
+  auto vocab = std::make_shared<cqa::Vocabulary>();
+  for (const std::string& part : cqa::Split(text, ',')) {
+    const std::string_view spec = cqa::Trim(part);
+    if (spec.empty()) continue;
+    const size_t slash = spec.find('/');
+    if (slash == std::string_view::npos) {
+      Fail("bad --schema entry (want Name/arity): " + std::string(spec));
+    }
+    const std::string_view name = cqa::Trim(spec.substr(0, slash));
+    const int arity = std::atoi(std::string(spec.substr(slash + 1)).c_str());
+    if (!cqa::IsIdentifier(name) || arity <= 0) {
+      Fail("bad --schema entry: " + std::string(spec));
+    }
+    vocab->AddRelation(std::string(name), arity);
+  }
+  if (vocab->num_relations() == 0) Fail("--schema declared no relations");
+  return vocab;
+}
+
+// "key:name:rate:burst:max_concurrent" (trailing fields optional).
+cqa::TenantConfig ParseTenant(const std::string& text) {
+  const std::vector<std::string> f = cqa::Split(text, ':');
+  if (f.size() < 2 || f[0].empty() || f[1].empty()) {
+    Fail("bad --tenant (want key:name[:rate[:burst[:max_concurrent]]]): " +
+         text);
+  }
+  cqa::TenantConfig config;
+  config.api_key = f[0];
+  config.name = f[1];
+  if (f.size() > 2) config.rate_per_sec = std::atof(f[2].c_str());
+  if (f.size() > 3) config.burst = std::atof(f[3].c_str());
+  if (f.size() > 4) config.max_concurrent = std::atoi(f[4].c_str());
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cqa::ServerOptions options;
+  options.port = 7457;
+  std::string schema;
+  std::string port_file;
+  bool demo = false;
+  std::vector<std::pair<std::string, std::string>> db_files;  // name, path
+
+  auto need_value = [&](int i, const char* flag) -> std::string {
+    if (i + 1 >= argc) Fail(std::string(flag) + " needs a value");
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      options.port = std::atoi(need_value(i++, "--port").c_str());
+    } else if (arg == "--host") {
+      options.host = need_value(i++, "--host");
+    } else if (arg == "--port-file") {
+      port_file = need_value(i++, "--port-file");
+    } else if (arg == "--schema") {
+      schema = need_value(i++, "--schema");
+    } else if (arg == "--db") {
+      const std::string spec = need_value(i++, "--db");
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) Fail("bad --db (want name=path): " + spec);
+      db_files.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--tenant") {
+      options.admission.tenants.push_back(
+          ParseTenant(need_value(i++, "--tenant")));
+      options.admission.allow_anonymous = false;
+    } else if (arg == "--threads") {
+      options.eval.num_threads = std::atoi(need_value(i++, "--threads").c_str());
+    } else if (arg == "--max-queue") {
+      options.eval.max_queue = std::atoi(need_value(i++, "--max-queue").c_str());
+    } else if (arg == "--degrade-queue") {
+      options.eval.degrade_queue =
+          std::atoi(need_value(i++, "--degrade-queue").c_str());
+    } else {
+      Fail("unknown flag " + arg + " (see the file comment for usage)");
+    }
+  }
+  if (!demo && db_files.empty()) {
+    Fail("nothing to serve: pass --demo or --schema ... --db name=path");
+  }
+
+  // Build the hosted databases (owned here; the server borrows them).
+  std::vector<std::unique_ptr<cqa::Database>> owned;
+  cqa::CqaServer server(options);
+  if (demo) {
+    // A small digraph: two triangles sharing the vertex "c".
+    auto db = std::make_unique<cqa::Database>(cqa::Vocabulary::Graph());
+    std::string error;
+    std::optional<cqa::Database> parsed = cqa::ParseDatabase(
+        cqa::Vocabulary::Graph(),
+        "E(a, b)\nE(b, c)\nE(c, a)\nE(c, d)\nE(d, e)\nE(e, c)\n", &error);
+    if (!parsed.has_value()) Fail("demo database: " + error);
+    *db = std::move(*parsed);
+    server.AddDatabase("demo", db.get());
+    owned.push_back(std::move(db));
+  }
+  if (!db_files.empty() && schema.empty()) {
+    Fail("--db needs --schema to declare the relations");
+  }
+  for (auto& [name, path] : db_files) {
+    std::ifstream in(path);
+    if (!in) Fail("cannot read --db file " + path);
+    std::stringstream text;
+    text << in.rdbuf();
+    std::string error;
+    std::optional<cqa::Database> parsed =
+        cqa::ParseDatabase(ParseSchema(schema), text.str(), &error);
+    if (!parsed.has_value()) Fail("parsing " + path + ": " + error);
+    auto db = std::make_unique<cqa::Database>(std::move(*parsed));
+    server.AddDatabase(name, db.get());
+    owned.push_back(std::move(db));
+  }
+
+  std::string error;
+  if (!server.Start(&error)) Fail(error);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << "\n";
+    if (!out) Fail("cannot write --port-file " + port_file);
+  }
+  std::cout << "cqa_server listening on " << options.host << ":"
+            << server.port() << std::endl;
+
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  while (g_stop == 0) ::usleep(100 * 1000);
+
+  // Graceful drain: stop accepting, let in-flight requests finish, then
+  // drain the QueryService (net/server.h, Shutdown).
+  std::cout << "cqa_server draining" << std::endl;
+  server.Shutdown();
+  std::cout << "cqa_server drained cleanly" << std::endl;
+  return 0;
+}

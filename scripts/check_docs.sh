@@ -50,11 +50,17 @@ if ! grep -q "^## Incremental maintenance & subscriptions" docs/ARCHITECTURE.md;
   echo "STALE: docs/ARCHITECTURE.md lost its 'Incremental maintenance & subscriptions' section"
   fail=1
 fi
+if ! grep -q "^## Network front end" docs/ARCHITECTURE.md; then
+  echo "STALE: docs/ARCHITECTURE.md lost its 'Network front end' section"
+  fail=1
+fi
 for term in QueryService AnswerMode EvalRequest ShardedDatabase \
             IsShardSound num_shards EvalContext ResponseStatus \
             max_answers deadline \
             Subscribe Publish Poll SubscriptionDelta \
-            DeltaEvaluateQuery CatchUp index_delta_appends; do
+            DeltaEvaluateQuery CatchUp index_delta_appends \
+            cqa_server cqa_client AnswerCursor MakeCursors \
+            cursor_invalidated TenantAdmission api_key rate_limited; do
   if ! grep -q "$term" docs/ARCHITECTURE.md; then
     echo "STALE: docs/ARCHITECTURE.md does not mention $term"
     fail=1

@@ -6,6 +6,7 @@
 #ifndef CQA_DATA_DATABASE_H_
 #define CQA_DATA_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_set>
@@ -69,9 +70,14 @@ class Database {
   /// shape, universe size, and the *set* of facts of every relation. Two
   /// databases with the same content fingerprint-collide deliberately even
   /// when their facts were inserted in different orders, so content-keyed
-  /// caches can share derived structures across database objects. O(total
-  /// facts) per call — callers that need it repeatedly should memoize it
-  /// against version().
+  /// caches can share derived structures across database objects.
+  ///
+  /// Maintained incrementally: AddFact folds each new fact's hash into a
+  /// per-relation commutative sum as it lands, so a call costs
+  /// O(num_relations) — and O(1) when the database has not mutated since
+  /// the previous call (a version-keyed memo, safe to race from concurrent
+  /// readers). There is no O(facts) term left in a cache lookup or a
+  /// subscription tick.
   uint64_t Fingerprint() const;
 
   /// True if every relation of this database is a subset of `other`'s
@@ -130,6 +136,30 @@ class Database {
   std::vector<std::vector<Tuple>> facts_;
   std::unordered_set<FactKey, FactKeyHash> fact_set_;
   std::vector<std::string> names_;  // may be shorter than num_elements_
+  /// Per-relation wrapping sums of per-fact hashes, maintained by AddFact;
+  /// Fingerprint() folds these instead of re-hashing every fact.
+  std::vector<uint64_t> fact_hash_sums_;
+  /// Fingerprint memo, keyed by version()+1 (0 = empty). Atomics so
+  /// concurrent const readers may race benignly: both compute the same
+  /// value, and the version slot is published after the value (release /
+  /// acquire pairing in Fingerprint()). Copying transfers the memo without
+  /// making Database non-copyable.
+  struct FingerprintMemo {
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint64_t> value{0};
+    FingerprintMemo() = default;
+    FingerprintMemo(const FingerprintMemo& o) { *this = o; }
+    FingerprintMemo& operator=(const FingerprintMemo& o) {
+      // Version first (acquire): observing it guarantees the matching value
+      // store is visible; a db has one valid (version, value) pair.
+      const uint64_t v = o.version.load(std::memory_order_acquire);
+      value.store(o.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      version.store(v, std::memory_order_release);
+      return *this;
+    }
+  };
+  mutable FingerprintMemo fp_memo_;
 };
 
 /// A database with a distinguished tuple of elements: the semantic object

@@ -1,5 +1,7 @@
 #include "eval/answer_set.h"
 
+#include <algorithm>
+
 #include "base/check.h"
 
 namespace cqa {
@@ -26,6 +28,19 @@ bool AnswerSet::IsSubsetOf(const AnswerSet& other) const {
 bool AnswerSet::operator==(const AnswerSet& other) const {
   return arity_ == other.arity_ && size() == other.size() &&
          IsSubsetOf(other);
+}
+
+AnswerCursor::AnswerCursor(AnswerSet answers, uint64_t db_version)
+    : arity_(answers.arity()), db_version_(db_version) {
+  rows_.reserve(answers.size());
+  for (const Tuple& t : answers.tuples()) rows_.push_back(t);
+  std::sort(rows_.begin(), rows_.end());
+}
+
+std::span<const Tuple> AnswerCursor::Page(size_t offset, size_t limit) const {
+  if (offset >= rows_.size()) return {};
+  const size_t n = std::min(limit, rows_.size() - offset);
+  return std::span<const Tuple>(rows_.data() + offset, n);
 }
 
 }  // namespace cqa

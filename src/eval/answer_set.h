@@ -1,10 +1,19 @@
 // Answer sets of conjunctive queries: finite sets of tuples over database
 // elements. Boolean queries use arity-0 tuples (nonempty set = true).
+//
+// AnswerCursor is the streaming reading of an AnswerSet: an immutable,
+// deterministically ordered snapshot that hands out `limit`-sized pages by
+// offset, so a large result can be delivered incrementally (the network
+// front end's answer paging, src/net/server.h) instead of as one
+// materialized payload.
 
 #ifndef CQA_EVAL_ANSWER_SET_H_
 #define CQA_EVAL_ANSWER_SET_H_
 
+#include <cstdint>
+#include <span>
 #include <unordered_set>
+#include <vector>
 
 #include "data/database.h"
 
@@ -40,6 +49,49 @@ class AnswerSet {
  private:
   int arity_;
   std::unordered_set<Tuple, VectorHash> tuples_;
+};
+
+/// An immutable paging snapshot of an AnswerSet.
+///
+/// Construction sorts the tuples lexicographically once, so page order is
+/// deterministic (independent of hash-set iteration order, platform, and
+/// insertion history) and an offset is a *resumable* position: the tuple at
+/// offset k is the same on every read until the cursor is destroyed. The
+/// cursor owns its rows — the source AnswerSet (and the EvalResponse it
+/// came from) may be destroyed immediately after construction.
+///
+/// Snapshot rule (shared with Subscription::Poll, eval/service.h): a reader
+/// observes the database at one version, never a mix. The cursor records
+/// the version of the database it was evaluated against (`db_version`); it
+/// either finishes on that snapshot — in-process callers just keep paging,
+/// the rows are owned — or a serving layer that bounds staleness compares
+/// db_version against the live database and refuses further pages with a
+/// typed kCursorInvalidated error (src/net/server.h does exactly that after
+/// a Publish). What can never happen is a torn page that straddles two
+/// database versions.
+class AnswerCursor {
+ public:
+  /// Snapshots `answers` (consuming it) as evaluated at `db_version`.
+  AnswerCursor(AnswerSet answers, uint64_t db_version);
+
+  int arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  uint64_t db_version() const { return db_version_; }
+
+  /// The page [offset, offset+limit): up to `limit` rows, in the cursor's
+  /// fixed order. An offset at or past the end returns an empty page.
+  std::span<const Tuple> Page(size_t offset, size_t limit) const;
+
+  /// True when `offset` is past the last row (the page would be empty).
+  bool Exhausted(size_t offset) const { return offset >= rows_.size(); }
+
+  /// All rows in cursor order (the concatenation of all pages).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+ private:
+  int arity_;
+  uint64_t db_version_;
+  std::vector<Tuple> rows_;
 };
 
 }  // namespace cqa

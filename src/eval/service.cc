@@ -760,6 +760,25 @@ BatchStats QueryService::StreamingStats() const {
   return stats;
 }
 
+CursorResponse QueryService::MakeCursors(EvalResponse response,
+                                         const Database& db) {
+  CursorResponse out;
+  const uint64_t version = db.version();
+  out.answers = std::make_shared<const AnswerCursor>(
+      std::move(response.answers), version);
+  response.answers = AnswerSet(out.answers->arity());
+  if (response.bounds.has_value()) {
+    // The under side duplicates `answers`; both sets are consumed so the
+    // response carries no materialized copy of a large result.
+    out.over = std::make_shared<const AnswerCursor>(
+        std::move(response.bounds->over), version);
+    response.bounds->under = AnswerSet(out.answers->arity());
+    response.bounds->over = AnswerSet(out.over->arity());
+  }
+  out.meta = std::move(response);
+  return out;
+}
+
 void QueryService::WorkerLoop() {
   const EngineSet engines;
   std::unique_lock<std::mutex> lock(mu_);

@@ -257,6 +257,33 @@ struct BatchStats {
   long long index_bytes = 0;  ///< footprint of the index views this batch used
 };
 
+/// The cursor handoff (the streaming reading of an EvalResponse): the
+/// response's answer sets moved — never copied — into immutable
+/// AnswerCursor paging snapshots (eval/answer_set.h). `meta` keeps every
+/// scalar field (mode, status, degraded, exact, plan, stats, timings) but
+/// its `answers` (and, in kBounds, `bounds`) have been consumed; sizes and
+/// rows live on the cursors.
+///
+/// Snapshot rule, shared with Subscription::Poll: both readers observe the
+/// database at a single version. A Poll tick applies pending facts
+/// atomically under the database's write mutex and moves the subscription
+/// from one version snapshot to the next; a cursor is pinned to the version
+/// it evaluated at (AnswerCursor::db_version — captured here from the live
+/// database, which cannot have mutated mid-request per the EvalRequest
+/// contract). A cursor opened before a Publish either finishes on its
+/// snapshot (the rows are owned) or is refused by a staleness-bounding
+/// serving layer with a typed kCursorInvalidated error (src/net/server.h);
+/// a torn page mixing two versions can never be produced.
+struct CursorResponse {
+  EvalResponse meta;
+  /// The mode's primary answer set (kExact/kOver/kUnder answers; the
+  /// certain side in kBounds). Never null.
+  std::shared_ptr<const AnswerCursor> answers;
+  /// The possible side (kBounds only; null otherwise). Check
+  /// meta.bounds->over_valid before trusting it after an interruption.
+  std::shared_ptr<const AnswerCursor> over;
+};
+
 /// Why QueryService::Submit refused a request; delivered through the
 /// returned future (std::future::get throws it).
 class SubmitRejectedError : public std::runtime_error {
@@ -432,6 +459,15 @@ class QueryService {
   /// deadline/cancel/budget trips. Other BatchStats fields stay 0.
   /// Thread-safe.
   BatchStats StreamingStats() const;
+
+  /// The cursor handoff: moves `response`'s answer sets into paging
+  /// snapshots pinned to `db`'s current version (see CursorResponse for the
+  /// snapshot rule). Call with the database the response was evaluated
+  /// against, after the response is ready — Evaluate returned or the Submit
+  /// future resolved — and before any later mutation of `db`; the
+  /// EvalRequest contract (no mutation while a request is in flight) makes
+  /// the version read here the evaluation-time version.
+  static CursorResponse MakeCursors(EvalResponse response, const Database& db);
 
   /// Blocks until every submitted request has completed. Thread-safe.
   void Drain();

@@ -1,0 +1,460 @@
+#include "net/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/check.h"
+
+namespace cqa {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double n, std::string* out) {
+  // Counters and ids dominate the protocol: print 53-bit-safe integers
+  // without a decimal point so they round-trip as written.
+  if (std::isfinite(n) && n == std::floor(n) && std::fabs(n) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  *out += buf;
+}
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> Run() {
+    SkipWs();
+    Json value;
+    if (!ParseValue(&value, 0)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = msg + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        *out = Json::Null();
+        return Literal("null");
+      case 't':
+        *out = Json::Bool(true);
+        return Literal("true");
+      case 'f':
+        *out = Json::Bool(false);
+        return Literal("false");
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json::Str(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double n = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("invalid number");
+    *out = Json::Number(n);
+    return true;
+  }
+
+  bool ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    for (;;) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!ParseHex4(&cp)) return false;
+          if (cp >= 0xD800 && cp < 0xDC00 &&
+              text_.substr(pos_, 2) == "\\u") {
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHex4(&low)) return false;
+            if (low >= 0xDC00 && low < 0xE000) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Fail("invalid surrogate pair");
+            }
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::Array();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      Json element;
+      SkipWs();
+      if (!ParseValue(&element, depth + 1)) return false;
+      out->Append(std::move(element));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::Object();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      Json value;
+      if (!ParseValue(&value, depth + 1)) return false;
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double n) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = n;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  CQA_CHECK(is_bool());
+  return bool_;
+}
+
+double Json::AsNumber() const {
+  CQA_CHECK(is_number());
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  CQA_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  CQA_CHECK(is_array());
+  return items_;
+}
+
+Json& Json::Append(Json value) {
+  CQA_CHECK(is_array());
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  CQA_CHECK(is_object());
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  CQA_CHECK(is_object());
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::fields() const {
+  CQA_CHECK(is_object());
+  return fields_;
+}
+
+std::string Json::GetString(std::string_view key, std::string def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : std::move(def);
+}
+
+double Json::GetNumber(std::string_view key, double def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : def;
+}
+
+bool Json::GetBool(std::string_view key, bool def) const {
+  const Json* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : def;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendNumber(number_, &out);
+      break;
+    case Kind::kString:
+      AppendEscaped(string_, &out);
+      break;
+    case Kind::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += items_[i].Dump();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out.push_back('{');
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendEscaped(fields_[i].first, &out);
+        out.push_back(':');
+        out += fields_[i].second.Dump();
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).Run();
+}
+
+}  // namespace cqa

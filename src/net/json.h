@@ -1,0 +1,86 @@
+// A minimal JSON value type with a strict parser and a deterministic
+// writer — the payload format of the wire protocol (net/wire.h). Kept
+// dependency-free on purpose: the container bakes no JSON library, and the
+// protocol needs only objects/arrays/strings/numbers/bools/null.
+//
+// Objects preserve insertion order (Dump output is deterministic, so golden
+// tests and byte-identity checks are stable) and Find is a linear scan —
+// protocol envelopes are a dozen keys, never a dictionary workload.
+
+#ifndef CQA_NET_JSON_H_
+#define CQA_NET_JSON_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cqa {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default: null.
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double n);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Scalar reads; each CHECKs the kind.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+
+  /// Array access. Append CHECKs this is an array.
+  const std::vector<Json>& items() const;
+  Json& Append(Json value);
+
+  /// Object access. Set replaces an existing key; Find returns nullptr when
+  /// absent. Both CHECK this is an object.
+  Json& Set(std::string key, Json value);
+  const Json* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& fields() const;
+
+  /// Typed object getters with defaults: absent key or wrong kind returns
+  /// `def` — protocol fields are all optional-with-default.
+  std::string GetString(std::string_view key, std::string def = "") const;
+  double GetNumber(std::string_view key, double def = 0.0) const;
+  bool GetBool(std::string_view key, bool def = false) const;
+
+  /// Compact single-line serialization (no insignificant whitespace).
+  /// Integral numbers in the 53-bit-safe range print without a decimal
+  /// point, so counters round-trip as written.
+  std::string Dump() const;
+
+  /// Strict parse of exactly one JSON document (trailing garbage is an
+  /// error). Returns nullopt and fills `error` (if non-null) on malformed
+  /// input; nesting beyond 64 levels is rejected.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+}  // namespace cqa
+
+#endif  // CQA_NET_JSON_H_

@@ -1,0 +1,221 @@
+#include "net/wire.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cqa {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+bool WriteAll(int fd, const char* data, size_t len, std::string* error) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "send failed");
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Resolves `host` to an IPv4 address. Accepts dotted quads and
+/// "localhost"; anything else goes through getaddrinfo.
+bool ResolveIpv4(const std::string& host, in_addr* out, std::string* error) {
+  const std::string name = host.empty() || host == "localhost"
+                               ? std::string("127.0.0.1")
+                               : host;
+  if (::inet_pton(AF_INET, name.c_str(), out) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(name.c_str(), nullptr, &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot resolve host " + host + ": " + ::gai_strerror(rc);
+    }
+    return false;
+  }
+  *out = reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+  ::freeaddrinfo(result);
+  return true;
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WriteFrame(int fd, std::string_view payload, std::string* error) {
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  frame += std::to_string(payload.size());
+  frame += '\n';
+  frame.append(payload.data(), payload.size());
+  frame += '\n';
+  return WriteAll(fd, frame.data(), frame.size(), error);
+}
+
+bool FrameReader::Fill(std::string* error) {
+  // Compact the consumed prefix before growing — a long-lived connection
+  // must not accumulate every frame it ever read.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SetError(error, "recv failed");
+      return false;
+    }
+    if (n == 0) return false;  // EOF; caller decides if it is clean
+    buf_.append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+FrameReader::Result FrameReader::Next(std::string* payload,
+                                      std::string* error) {
+  // Read the length line.
+  size_t nl;
+  while ((nl = buf_.find('\n', pos_)) == std::string::npos) {
+    const bool at_boundary = pos_ == buf_.size();
+    std::string io_error;
+    if (!Fill(&io_error)) {
+      if (io_error.empty() && at_boundary) return Result::kEof;
+      if (error != nullptr) {
+        *error = io_error.empty() ? "EOF inside a frame" : io_error;
+      }
+      return Result::kError;
+    }
+    if (buf_.size() - pos_ > 32 &&
+        buf_.find('\n', pos_) == std::string::npos) {
+      if (error != nullptr) *error = "frame length line too long";
+      return Result::kError;
+    }
+  }
+  const std::string_view line(buf_.data() + pos_, nl - pos_);
+  size_t len = 0;
+  if (line.empty() || line.size() > 19) {
+    if (error != nullptr) *error = "malformed frame length";
+    return Result::kError;
+  }
+  for (const char c : line) {
+    if (c < '0' || c > '9') {
+      if (error != nullptr) *error = "malformed frame length";
+      return Result::kError;
+    }
+    len = len * 10 + static_cast<size_t>(c - '0');
+  }
+  if (len > max_bytes_) {
+    if (error != nullptr) {
+      *error = "frame of " + std::to_string(len) + " bytes exceeds limit";
+    }
+    return Result::kError;
+  }
+  pos_ = nl + 1;
+
+  // Read the payload plus its trailing newline.
+  while (buf_.size() - pos_ < len + 1) {
+    std::string io_error;
+    if (!Fill(&io_error)) {
+      if (error != nullptr) {
+        *error = io_error.empty() ? "EOF inside a frame" : io_error;
+      }
+      return Result::kError;
+    }
+  }
+  payload->assign(buf_, pos_, len);
+  if (buf_[pos_ + len] != '\n') {
+    if (error != nullptr) *error = "missing frame terminator";
+    return Result::kError;
+  }
+  pos_ += len + 1;
+  return Result::kFrame;
+}
+
+UniqueFd DialTcp(const std::string& host, int port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (!ResolveIpv4(host, &addr.sin_addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket failed");
+    return UniqueFd();
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    SetError(error, "connect to " + host + ":" + std::to_string(port) +
+                        " failed");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+UniqueFd ListenTcp(const std::string& host, int port, int backlog,
+                   int* bound_port, std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (!ResolveIpv4(host, &addr.sin_addr, error)) return UniqueFd();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    SetError(error, "socket failed");
+    return UniqueFd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    SetError(error, "bind to port " + std::to_string(port) + " failed");
+    return UniqueFd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    SetError(error, "listen failed");
+    return UniqueFd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      SetError(error, "getsockname failed");
+      return UniqueFd();
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
+}  // namespace cqa

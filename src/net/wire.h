@@ -1,0 +1,102 @@
+// The wire protocol's transport layer: length-prefixed JSON frames over a
+// TCP byte stream, plus the small POSIX-socket helpers the server and
+// client share.
+//
+// Frame layout (both directions):
+//
+//     <decimal payload length in bytes> '\n'
+//     <payload bytes (one JSON document, net/json.h)> '\n'
+//
+// The length line makes the protocol self-delimiting without escaping; the
+// trailing newline keeps a captured stream human-readable ("JSON lines with
+// a length prefix"). A reader that sees EOF *between* frames has observed a
+// clean close; EOF inside a frame is a transport error.
+//
+// All helpers retry EINTR and handle partial reads/writes; writes use
+// MSG_NOSIGNAL so a peer reset surfaces as an error, never SIGPIPE.
+
+#ifndef CQA_NET_WIRE_H_
+#define CQA_NET_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cqa {
+
+/// Owning file descriptor (closes on destruction; movable, not copyable).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Reset();
+  /// Releases ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Writes one frame (length line + payload + newline). Returns false and
+/// fills `error` on any short write / peer reset.
+bool WriteFrame(int fd, std::string_view payload, std::string* error);
+
+/// Buffered frame reader over one descriptor. Not thread-safe (one reader
+/// per connection, which is the thread-per-connection model).
+class FrameReader {
+ public:
+  /// Frames whose payload exceeds `max_bytes` are a protocol error (the
+  /// connection is desynchronized beyond recovery — close it).
+  FrameReader(int fd, size_t max_bytes) : fd_(fd), max_bytes_(max_bytes) {}
+
+  enum class Result {
+    kFrame,  ///< one payload delivered
+    kEof,    ///< clean EOF at a frame boundary
+    kError,  ///< malformed frame / oversized / EOF mid-frame (see `error`)
+  };
+
+  Result Next(std::string* payload, std::string* error);
+
+ private:
+  /// Pulls more bytes into buf_; false on EOF or read error.
+  bool Fill(std::string* error);
+
+  int fd_;
+  size_t max_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+/// Connects to host:port (IPv4 dotted or "localhost"). Returns an invalid
+/// fd and fills `error` on failure.
+UniqueFd DialTcp(const std::string& host, int port, std::string* error);
+
+/// Binds and listens on host:port (port 0 = ephemeral); `bound_port`
+/// receives the actual port. Returns an invalid fd and fills `error` on
+/// failure.
+UniqueFd ListenTcp(const std::string& host, int port, int backlog,
+                   int* bound_port, std::string* error);
+
+}  // namespace cqa
+
+#endif  // CQA_NET_WIRE_H_

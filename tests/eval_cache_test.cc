@@ -63,6 +63,42 @@ TEST(DatabaseFingerprintTest, OrderIndependentAndContentSensitive) {
   EXPECT_NE(a.Fingerprint(), e.Fingerprint());
 }
 
+// The fingerprint is maintained under AddFact (a per-relation commutative
+// sum plus a version-keyed memo) instead of re-hashed from all facts. The
+// incremental value must match a from-scratch build at every step, through
+// interleaved reads (which populate the memo) and mutations (which must
+// invalidate it), and must survive copies.
+TEST(DatabaseFingerprintTest, IncrementalMatchesFreshBuildAtEveryStep) {
+  const std::vector<std::pair<Element, Element>> edges = {
+      {0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 1}, {0, 3}};
+  Database grown(Vocabulary::Graph());
+  grown.AddElements(4);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    grown.AddFact(0, {edges[i].first, edges[i].second});
+    // Read twice: the second hits the memo and must agree.
+    const uint64_t fp = grown.Fingerprint();
+    EXPECT_EQ(fp, grown.Fingerprint());
+    // A database built fresh with the same prefix computes the same value.
+    const Database fresh = GraphDb(
+        4, std::vector<std::pair<Element, Element>>(edges.begin(),
+                                                    edges.begin() + i + 1));
+    EXPECT_EQ(fp, fresh.Fingerprint()) << "after fact " << i;
+  }
+  // Duplicate facts are no-ops: no version bump, same fingerprint.
+  const uint64_t before = grown.Fingerprint();
+  EXPECT_FALSE(grown.AddFact(0, {0, 1}));
+  EXPECT_EQ(grown.Fingerprint(), before);
+  // Copies carry the memo and diverge independently afterwards.
+  Database copy = grown;
+  EXPECT_EQ(copy.Fingerprint(), before);
+  copy.AddFact(0, {1, 0});
+  EXPECT_NE(copy.Fingerprint(), before);
+  EXPECT_EQ(grown.Fingerprint(), before);
+  // Element growth (not just facts) invalidates the memo too.
+  grown.AddElements(1);
+  EXPECT_NE(grown.Fingerprint(), before);
+}
+
 TEST(EvalCacheTest, AcquireSharesViewsByContent) {
   EvalCache cache;
   const Database db1 = GraphDb(4, {{0, 1}, {1, 2}});

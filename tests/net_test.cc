@@ -1,0 +1,501 @@
+// Tests for the network front end (src/net): the JSON codec, the
+// AnswerCursor paging snapshot, and — through a real loopback socket — the
+// serving contract of cqa_server: answers byte-identical to in-process
+// evaluation in all four AnswerModes (including paged with limit=1), cursor
+// edge cases (empty sets, oversized limits, idempotent/foreign/exhausted
+// tokens), the snapshot rule (a PUBLISH invalidates open cursors with a
+// typed error, never a torn page), per-tenant admission (typed quota errors
+// while other tenants proceed), STATS, and graceful drain. The concurrency
+// test rides the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cq/parse.h"
+#include "data/text.h"
+#include "eval/service.h"
+#include "net/client.h"
+#include "net/json.h"
+#include "net/server.h"
+
+namespace cqa {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, RoundTrip) {
+  const std::string text =
+      R"({"verb":"EVAL","n":42,"x":-1.5,"ok":true,"nil":null,)"
+      R"("rows":[["a","b"],[]],"s":"q\"\\\né"})";
+  std::optional<Json> v = Json::Parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->GetString("verb"), "EVAL");
+  EXPECT_EQ(v->GetNumber("n"), 42.0);
+  EXPECT_EQ(v->GetNumber("x"), -1.5);
+  EXPECT_TRUE(v->GetBool("ok"));
+  ASSERT_NE(v->Find("rows"), nullptr);
+  EXPECT_EQ(v->Find("rows")->items().size(), 2u);
+  // Dump -> Parse is the identity; integral numbers print without ".0".
+  std::optional<Json> again = Json::Parse(v->Dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->Dump(), v->Dump());
+  EXPECT_NE(v->Dump().find("\"n\":42,"), std::string::npos);
+}
+
+TEST(JsonTest, StrictParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::Parse("[1,]").has_value());
+  EXPECT_FALSE(Json::Parse("").has_value());
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(Json::Parse(deep).has_value());
+}
+
+// -------------------------------------------------------- AnswerCursor --
+
+TEST(AnswerCursorTest, SortsAndPages) {
+  AnswerSet set(2);
+  set.Insert({3, 0});
+  set.Insert({1, 2});
+  set.Insert({1, 1});
+  const AnswerCursor cursor(std::move(set), /*db_version=*/7);
+  EXPECT_EQ(cursor.size(), 3u);
+  EXPECT_EQ(cursor.db_version(), 7u);
+  // Deterministic lexicographic order regardless of insertion order.
+  EXPECT_EQ(cursor.rows()[0], (Tuple{1, 1}));
+  EXPECT_EQ(cursor.rows()[1], (Tuple{1, 2}));
+  EXPECT_EQ(cursor.rows()[2], (Tuple{3, 0}));
+  // Pages concatenate to the rows; an oversized limit clamps.
+  EXPECT_EQ(cursor.Page(0, 2).size(), 2u);
+  EXPECT_EQ(cursor.Page(2, 100).size(), 1u);
+  EXPECT_EQ(cursor.Page(2, 100)[0], (Tuple{3, 0}));
+  // Past-the-end offsets are benign empty pages, not errors.
+  EXPECT_TRUE(cursor.Page(3, 1).empty());
+  EXPECT_TRUE(cursor.Page(999, 1).empty());
+  EXPECT_TRUE(cursor.Exhausted(3));
+  EXPECT_FALSE(cursor.Exhausted(2));
+}
+
+TEST(AnswerCursorTest, EmptySet) {
+  const AnswerCursor cursor(AnswerSet(1), /*db_version=*/0);
+  EXPECT_EQ(cursor.size(), 0u);
+  EXPECT_TRUE(cursor.Page(0, 10).empty());
+  EXPECT_TRUE(cursor.Exhausted(0));
+}
+
+// ---------------------------------------------------- loopback fixture --
+
+using Rows = std::vector<std::vector<std::string>>;
+
+constexpr const char* kDemoFacts =
+    "E(a, b)\nE(b, c)\nE(c, a)\nE(c, d)\nE(d, e)\nE(e, c)\n";
+constexpr const char* kPathQuery = "Q(x, z) :- E(x, y), E(y, z)";
+
+class NetTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    db_ = std::make_unique<Database>(
+        *ParseDatabase(Vocabulary::Graph(), kDemoFacts, nullptr));
+    server_ = std::make_unique<CqaServer>(std::move(options));
+    server_->AddDatabase("demo", db_.get());
+    std::string error;
+    ASSERT_TRUE(server_->Start(&error)) << error;
+  }
+
+  CqaClient Connect() {
+    CqaClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()))
+        << client.last_error().message;
+    return client;
+  }
+
+  // The in-process reference: Evaluate + MakeCursors, rows as names in
+  // cursor order — what the wire pages must concatenate to exactly.
+  Rows Reference(const std::string& query, AnswerMode mode) {
+    const QueryService service;
+    EvalRequest request{*ParseQueryOrDie(query), db_.get(), mode};
+    CursorResponse cur =
+        QueryService::MakeCursors(service.Evaluate(request), *db_);
+    return NamedRows(*cur.answers);
+  }
+
+  Rows ReferenceOver(const std::string& query) {
+    const QueryService service;
+    EvalRequest request{*ParseQueryOrDie(query), db_.get(),
+                        AnswerMode::kBounds};
+    CursorResponse cur =
+        QueryService::MakeCursors(service.Evaluate(request), *db_);
+    return NamedRows(*cur.over);
+  }
+
+  Rows NamedRows(const AnswerCursor& cursor) {
+    Rows out;
+    for (const Tuple& t : cursor.rows()) {
+      std::vector<std::string> row;
+      for (const Element e : t) row.push_back(db_->ElementName(e));
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  std::optional<ConjunctiveQuery> ParseQueryOrDie(const std::string& text) {
+    std::string error;
+    std::optional<ConjunctiveQuery> q =
+        ParseQuery(db_->vocab(), text, &error);
+    EXPECT_TRUE(q.has_value()) << error;
+    return q;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<CqaServer> server_;
+};
+
+// A socket client must get byte-identical answers to in-process
+// evaluation, in every AnswerMode, both in one page and paged with
+// limit=1 (the acceptance criterion of the network front end).
+TEST_F(NetTest, ByteIdenticalAnswersAllModes) {
+  StartServer();
+  CqaClient client = Connect();
+  for (const char* mode : {"exact", "over", "under", "bounds"}) {
+    const AnswerMode m = mode == std::string("exact")
+                             ? AnswerMode::kExact
+                         : mode == std::string("over")
+                             ? AnswerMode::kOverApproximate
+                         : mode == std::string("under")
+                             ? AnswerMode::kUnderApproximate
+                             : AnswerMode::kBounds;
+    const Rows expected = Reference(kPathQuery, m);
+    for (const size_t limit : {size_t{0}, size_t{1}, size_t{3}}) {
+      CqaClient::EvalParams params;
+      params.db = "demo";
+      params.query = kPathQuery;
+      params.mode = mode;
+      params.limit = limit;
+      std::optional<CqaClient::EvalResult> result = client.Eval(params);
+      ASSERT_TRUE(result.has_value())
+          << mode << ": " << client.last_error().message;
+      EXPECT_EQ(result->mode, mode);
+      EXPECT_EQ(result->status, "ok");
+      Rows got;
+      ASSERT_TRUE(client.DrainCursor(result->answers, limit, &got))
+          << client.last_error().code;
+      EXPECT_EQ(got, expected) << mode << " limit=" << limit;
+      EXPECT_EQ(result->answer_count,
+                static_cast<long long>(expected.size()));
+      if (m == AnswerMode::kBounds) {
+        Rows over;
+        ASSERT_TRUE(client.DrainCursor(result->over, limit, &over));
+        EXPECT_EQ(over, ReferenceOver(kPathQuery));
+        EXPECT_TRUE(result->over_valid);
+      }
+    }
+  }
+}
+
+TEST_F(NetTest, EmptyAnswerSet) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = "Q(x) :- E(x, x)";  // no self-loops in the demo graph
+  std::optional<CqaClient::EvalResult> result = client.Eval(params);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->answers.rows.empty());
+  EXPECT_FALSE(result->answers.more);
+  EXPECT_TRUE(result->answers.cursor.empty());
+  EXPECT_EQ(result->answer_count, 0);
+}
+
+TEST_F(NetTest, LimitLargerThanSetReturnsEverythingWithoutCursor) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  params.limit = 4096;
+  std::optional<CqaClient::EvalResult> result = client.Eval(params);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->answers.rows, Reference(kPathQuery, AnswerMode::kExact));
+  EXPECT_FALSE(result->answers.more);
+  EXPECT_TRUE(result->answers.cursor.empty());
+}
+
+// Tokens are idempotent: re-sending one re-reads the same page (a client
+// that lost a response can resume without skipping rows).
+TEST_F(NetTest, TokenRefetchIsIdempotent) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  params.limit = 1;
+  std::optional<CqaClient::EvalResult> result = client.Eval(params);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->answers.more);
+  const std::string token = result->answers.cursor;
+  std::optional<CqaClient::Page> first = client.Fetch(token, 1);
+  std::optional<CqaClient::Page> again = client.Fetch(token, 1);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(first->rows, again->rows);
+  EXPECT_EQ(first->cursor, again->cursor);
+}
+
+TEST_F(NetTest, MalformedAndForeignTokensAreTyped) {
+  StartServer();
+  CqaClient client = Connect();
+  // Malformed: not even token-shaped.
+  EXPECT_FALSE(client.Fetch("garbage").has_value());
+  EXPECT_EQ(client.last_error().code, "bad_cursor_token");
+  // Well-formed shape but fabricated: the checksum (keyed by this server's
+  // secret) cannot match, so a foreign server's token is refused too.
+  const std::string forged = "cqa1-0000000000000001-0000000000000000-"
+                             "deadbeefdeadbeef";
+  EXPECT_FALSE(client.Fetch(forged).has_value());
+  EXPECT_EQ(client.last_error().code, "bad_cursor_token");
+}
+
+TEST_F(NetTest, ExhaustedCursorTokenIsUnknown) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  params.limit = 1;
+  std::optional<CqaClient::EvalResult> result = client.Eval(params);
+  ASSERT_TRUE(result.has_value());
+  Rows all;
+  ASSERT_TRUE(client.DrainCursor(result->answers, 1, &all));
+  EXPECT_EQ(all.size(), Reference(kPathQuery, AnswerMode::kExact).size());
+  // The drain exhausted (and dropped) the cursor: its tokens are gone.
+  EXPECT_FALSE(client.Fetch(result->answers.cursor, 1).has_value());
+  EXPECT_EQ(client.last_error().code, "unknown_cursor");
+}
+
+// The snapshot rule on the wire: a cursor opened before a PUBLISH is
+// refused with the typed error — never a torn page — and a fresh EVAL sees
+// the new fact.
+TEST_F(NetTest, PublishInvalidatesOpenCursors) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = "Q(x, y) :- E(x, y)";
+  params.limit = 1;
+  std::optional<CqaClient::EvalResult> before = client.Eval(params);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_TRUE(before->answers.more);
+
+  std::optional<bool> inserted = client.Publish("demo", "E(a, e)");
+  ASSERT_TRUE(inserted.has_value());
+  EXPECT_TRUE(*inserted);
+
+  EXPECT_FALSE(client.Fetch(before->answers.cursor, 1).has_value());
+  EXPECT_EQ(client.last_error().code, "cursor_invalidated");
+
+  params.limit = 0;
+  std::optional<CqaClient::EvalResult> after = client.Eval(params);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->answer_count, before->answer_count + 1);
+  // Duplicate publish: acknowledged, nothing inserted, no new invalidation.
+  inserted = client.Publish("demo", "E(a, e)");
+  ASSERT_TRUE(inserted.has_value());
+  EXPECT_FALSE(*inserted);
+}
+
+TEST_F(NetTest, TypedProtocolErrors) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "nope";
+  params.query = kPathQuery;
+  EXPECT_FALSE(client.Eval(params).has_value());
+  EXPECT_EQ(client.last_error().code, "unknown_database");
+  params.db = "demo";
+  params.query = "Q(x) :- Nope(x)";
+  EXPECT_FALSE(client.Eval(params).has_value());
+  EXPECT_EQ(client.last_error().code, "parse_error");
+  params.query = kPathQuery;
+  params.mode = "sideways";
+  EXPECT_FALSE(client.Eval(params).has_value());
+  EXPECT_EQ(client.last_error().code, "bad_request");
+  Json bad_verb = Json::Object();
+  bad_verb.Set("verb", Json::Str("FROB"));
+  std::optional<Json> response = client.Call(std::move(bad_verb));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->GetBool("ok"));
+  EXPECT_EQ(response->Find("error")->GetString("code"), "bad_request");
+}
+
+// Request limits ride the wire onto the PR-6 cancellation path: an
+// answer-budget trip surfaces as status "truncated" with a sound partial
+// (subset) answer set.
+TEST_F(NetTest, EvalLimitsRideTheWire) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  params.max_answers = 1;
+  std::optional<CqaClient::EvalResult> result = client.Eval(params);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, "truncated");
+  EXPECT_FALSE(result->exact);
+  const Rows expected = Reference(kPathQuery, AnswerMode::kExact);
+  for (const std::vector<std::string>& row : result->answers.rows) {
+    EXPECT_NE(std::find(expected.begin(), expected.end(), row),
+              expected.end());
+  }
+  EXPECT_LT(result->answers.rows.size(), expected.size());
+}
+
+// One tenant exhausting its quota gets the typed rejection while another
+// tenant's requests keep succeeding (the acceptance criterion for
+// admission), and STATS still authenticates for the throttled tenant.
+TEST_F(NetTest, TenantQuotaIsTypedAndIsolated) {
+  ServerOptions options;
+  options.admission.allow_anonymous = false;
+  TenantConfig throttled;
+  throttled.api_key = "key-throttled";
+  throttled.name = "throttled";
+  throttled.rate_per_sec = 0.001;  // refill is negligible within the test
+  throttled.burst = 2;
+  TenantConfig open;
+  open.api_key = "key-open";
+  open.name = "open";
+  options.admission.tenants = {throttled, open};
+  StartServer(std::move(options));
+
+  CqaClient alice = Connect();
+  alice.set_api_key("key-throttled");
+  CqaClient bob = Connect();
+  bob.set_api_key("key-open");
+
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  EXPECT_TRUE(alice.Eval(params).has_value());
+  EXPECT_TRUE(alice.Eval(params).has_value());
+  // Burst spent: the typed quota error, with a retry hint.
+  EXPECT_FALSE(alice.Eval(params).has_value());
+  EXPECT_EQ(alice.last_error().code, "rate_limited");
+  // The other tenant is unaffected.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(bob.Eval(params).has_value()) << bob.last_error().code;
+  }
+  // Monitoring is never throttled: the tenant can observe its own limit.
+  std::optional<Json> stats = alice.Stats();
+  ASSERT_TRUE(stats.has_value());
+  const Json* tenants = stats->Find("tenants");
+  ASSERT_NE(tenants, nullptr);
+  EXPECT_EQ(tenants->Find("throttled")->GetNumber("rate_limited"), 1.0);
+  EXPECT_EQ(tenants->Find("open")->GetNumber("admitted"), 4.0);
+  // Unknown and missing keys are typed refusals.
+  CqaClient nobody = Connect();
+  nobody.set_api_key("key-wrong");
+  EXPECT_FALSE(nobody.Eval(params).has_value());
+  EXPECT_EQ(nobody.last_error().code, "unauthenticated");
+  CqaClient anon = Connect();
+  EXPECT_FALSE(anon.Eval(params).has_value());
+  EXPECT_EQ(anon.last_error().code, "unauthenticated");
+}
+
+TEST_F(NetTest, StatsCounters) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  params.limit = 1;
+  ASSERT_TRUE(client.Eval(params).has_value());
+  std::optional<Json> stats = client.Stats();
+  ASSERT_TRUE(stats.has_value());
+  const Json* server = stats->Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->GetNumber("eval_requests"), 1.0);
+  EXPECT_GE(server->GetNumber("connections_accepted"), 1.0);
+  EXPECT_EQ(server->GetNumber("open_cursors"), 1.0);
+  const Json* streaming = stats->Find("streaming");
+  ASSERT_NE(streaming, nullptr);
+  EXPECT_EQ(streaming->GetNumber("jobs"), 1.0);
+  EXPECT_NE(stats->Find("tenants"), nullptr);
+}
+
+// Graceful drain: Shutdown finishes cleanly with connections open, later
+// requests fail as transport errors (the listener is gone), and Shutdown
+// is idempotent.
+TEST_F(NetTest, GracefulShutdownDrains) {
+  StartServer();
+  CqaClient client = Connect();
+  CqaClient::EvalParams params;
+  params.db = "demo";
+  params.query = kPathQuery;
+  ASSERT_TRUE(client.Eval(params).has_value());
+  server_->Shutdown();
+  server_->Shutdown();  // idempotent
+  EXPECT_FALSE(client.Eval(params).has_value());
+  EXPECT_EQ(client.last_error().code, "transport");
+  CqaClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server_->port()));
+}
+
+// Connection handling under concurrency (this test is in the TSan CI
+// job): several client threads mixing EVAL, paging, PUBLISH, and STATS
+// against one server; every response must be ok or a typed error, never a
+// torn frame or a crash.
+TEST_F(NetTest, ConcurrentClientsSmoke) {
+  StartServer();
+  constexpr int kThreads = 4;
+  constexpr int kRequests = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      CqaClient client;
+      if (!client.Connect("127.0.0.1", server_->port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      CqaClient::EvalParams params;
+      params.db = "demo";
+      params.query = kPathQuery;
+      params.limit = 2;
+      for (int i = 0; i < kRequests; ++i) {
+        if (t == 0 && i % 4 == 3) {
+          // Writer thread: publishes race open cursors; the only
+          // acceptable failure anywhere is the typed invalidation.
+          if (!client.Publish("demo", "E(b, d)").has_value()) {
+            failures.fetch_add(1);
+          }
+          continue;
+        }
+        std::optional<CqaClient::EvalResult> result = client.Eval(params);
+        if (!result.has_value()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        Rows rows;
+        if (!client.DrainCursor(result->answers, 2, &rows) &&
+            client.last_error().code != "cursor_invalidated") {
+          failures.fetch_add(1);
+        }
+        if (i % 5 == 4 && !client.Stats().has_value()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace cqa
